@@ -1,0 +1,93 @@
+//! E1 — wall time per protocol phase (Fig. 4's three phases).
+//!
+//! Regenerates: per-phase latency rows for SD–MWS (deposit), MWS–RC
+//! (authenticated retrieval incl. token/ticket) and RC–PKG (session open +
+//! key fetch + decrypt), at two parameter sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mws_core::clock::ReplayPolicy;
+use mws_core::{Deployment, DeploymentConfig};
+use mws_pairing::SecurityLevel;
+
+fn config(level: SecurityLevel) -> DeploymentConfig {
+    DeploymentConfig {
+        level,
+        // Benches re-run identical operations; the replay guard would
+        // (correctly) reject them, so run with the prototype's policy.
+        replay: ReplayPolicy::Off,
+        ..DeploymentConfig::test_default()
+    }
+}
+
+fn bench_phases(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_protocol_phases");
+    group.sample_size(10);
+
+    for (name, level) in [("toy", SecurityLevel::Toy), ("light", SecurityLevel::Light)] {
+        // Phase SD–MWS: one deposit, end to end over the wire.
+        group.bench_function(BenchmarkId::new("sd_mws_deposit", name), |b| {
+            let mut dep = Deployment::new(config(level));
+            dep.register_device("sd");
+            dep.register_client("rc", "pw", &["A"]);
+            let mut sd = dep.device("sd");
+            b.iter(|| sd.deposit("A", b"kWh=42.70").unwrap());
+        });
+
+        // Phase MWS–RC: authenticated retrieval (token + ticket + rows),
+        // no PKG interaction.
+        group.bench_function(BenchmarkId::new("mws_rc_retrieve", name), |b| {
+            let mut dep = Deployment::new(config(level));
+            dep.register_device("sd");
+            dep.register_client("rc", "pw", &["A"]);
+            let mut sd = dep.device("sd");
+            for _ in 0..10 {
+                sd.deposit("A", b"kWh=42.70").unwrap();
+            }
+            let mut rc = dep.client("rc", "pw");
+            b.iter(|| {
+                let (token, messages) = rc.retrieve(0).unwrap();
+                assert_eq!(messages.len(), 10);
+                token
+            });
+        });
+
+        // Phase RC–PKG: open session, fetch one key, decrypt one message.
+        group.bench_function(BenchmarkId::new("rc_pkg_key_and_decrypt", name), |b| {
+            let mut dep = Deployment::new(config(level));
+            dep.register_device("sd");
+            dep.register_client("rc", "pw", &["A"]);
+            let mut sd = dep.device("sd");
+            sd.deposit("A", b"kWh=42.70").unwrap();
+            let mut rc = dep.client("rc", "pw");
+            let (token, messages) = rc.retrieve(0).unwrap();
+            let msg = messages[0].clone();
+            b.iter(|| {
+                let session = rc.open_pkg_session(&token).unwrap();
+                let sk = rc.fetch_key(&session, msg.aid, &msg.nonce).unwrap();
+                rc.decrypt_message(&msg, &sk).unwrap()
+            });
+        });
+
+        // Whole pipeline for one message (sum of the three phases).
+        group.bench_function(BenchmarkId::new("full_pipeline", name), |b| {
+            let mut dep = Deployment::new(config(level));
+            dep.register_device("sd");
+            dep.register_client("rc", "pw", &["A"]);
+            let mut sd = dep.device("sd");
+            let mut rc = dep.client("rc", "pw");
+            let mut since = 0u64;
+            b.iter(|| {
+                dep.clock().advance(1);
+                let now = dep.clock().now();
+                sd.deposit("A", b"kWh=42.70").unwrap();
+                let got = rc.retrieve_and_decrypt(since).unwrap();
+                assert_eq!(got.len(), 1);
+                since = now + 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phases);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E5 — requirement iv (scalability): deposit throughput vs. fleet size
+//! and retrieval latency vs. warehouse size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mws_bench::populated_deployment;
+use mws_core::clock::ReplayPolicy;
+use mws_core::{Deployment, DeploymentConfig};
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e5_scalability");
+    group.sample_size(10);
+
+    // Deposit throughput: one round across a fleet of N devices.
+    for n_devices in [1usize, 8, 32] {
+        group.throughput(Throughput::Elements(n_devices as u64));
+        group.bench_function(BenchmarkId::new("fleet_deposit_round", n_devices), |b| {
+            let mut dep = Deployment::new(DeploymentConfig {
+                replay: ReplayPolicy::Off,
+                ..DeploymentConfig::test_default()
+            });
+            dep.register_client("rc", "pw", &["A"]);
+            let mut handles = Vec::new();
+            for i in 0..n_devices {
+                let id = format!("m{i}");
+                dep.register_device(&id);
+                handles.push(dep.device(&id));
+            }
+            b.iter(|| {
+                for h in handles.iter_mut() {
+                    h.deposit("A", b"kWh=1.00").unwrap();
+                }
+            });
+        });
+    }
+
+    // Retrieval (wire + policy join + token) vs warehouse size; the
+    // decrypt-everything path scales with matches, so measure both the
+    // header-only retrieval and the first-message full pipeline.
+    for warehouse in [12usize, 100, 1000] {
+        let per_device = warehouse / 4;
+        let total = per_device * 4; // exact count actually deposited
+        let mut dep = populated_deployment(4, per_device);
+        let mut rc = dep.client("rc", "pw");
+        group.throughput(Throughput::Elements(total as u64));
+        group.bench_function(BenchmarkId::new("retrieve_headers", warehouse), |b| {
+            b.iter(|| {
+                let (_, messages) = rc.retrieve(0).unwrap();
+                assert_eq!(messages.len(), total);
+            });
+        });
+        // Incremental poll that matches nothing: the "steady state" cost.
+        group.bench_function(BenchmarkId::new("retrieve_empty_poll", warehouse), |b| {
+            let horizon = dep.clock().now() + 1_000;
+            b.iter(|| {
+                let (_, messages) = rc.retrieve(horizon).unwrap();
+                assert!(messages.is_empty());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

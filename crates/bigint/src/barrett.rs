@@ -1,0 +1,221 @@
+//! Barrett reduction — division-free modular reduction for *any* modulus
+//! (Montgomery requires odd moduli; Barrett does not).
+//!
+//! Precomputes `µ = ⌊2^(2·64·L) / m⌋` once, then reduces a double-width
+//! value with two multiplications and at most two subtractions
+//! (HAC Algorithm 14.42, radix 2⁶⁴).
+
+use crate::div::div_rem_slices;
+use crate::{BigIntError, Uint};
+
+/// A Barrett reduction context for a fixed modulus.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Barrett<const L: usize> {
+    m: Uint<L>,
+    /// `µ = ⌊2^(2·64·L) / m⌋`, which needs up to `L+1` limbs; stored as the
+    /// low `L` limbs plus the (single) high limb.
+    mu_lo: Uint<L>,
+    mu_hi: u64,
+}
+
+impl<const L: usize> Barrett<L> {
+    /// Creates a context. The modulus must satisfy `m > 1` and have its top
+    /// limb nonzero (full-width modulus), which keeps `µ` within `L+1`
+    /// limbs and the quotient estimate within range.
+    pub fn new(m: &Uint<L>) -> Result<Self, BigIntError> {
+        if *m <= Uint::ONE || m.limbs()[L - 1] == 0 {
+            return Err(BigIntError::BadModulus);
+        }
+        // µ = floor(2^(128·L) / m), computed with the slice divider.
+        let mut numerator = vec![0u64; 2 * L + 1];
+        numerator[2 * L] = 1;
+        let (q, _) = div_rem_slices(&numerator, m.limbs());
+        debug_assert!(q.len() <= L + 1, "µ exceeds L+1 limbs");
+        let mut mu_lo = [0u64; L];
+        let n = q.len().min(L);
+        mu_lo[..n].copy_from_slice(&q[..n]);
+        let mu_hi = if q.len() > L { q[L] } else { 0 };
+        Ok(Self {
+            m: *m,
+            mu_lo: Uint::from_limbs(mu_lo),
+            mu_hi,
+        })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.m
+    }
+
+    /// Reduces the double-width value `hi·2^(64·L) + lo` modulo `m`.
+    pub fn reduce(&self, lo: &Uint<L>, hi: &Uint<L>) -> Uint<L> {
+        // q̂ = ((x >> 64(L−1)) · µ) >> 64(L+1), then r = x − q̂·m, with at
+        // most two correction subtractions. We implement the multiply at
+        // slice level to keep the intermediate exact.
+        let mut x = Vec::with_capacity(2 * L);
+        x.extend_from_slice(lo.limbs());
+        x.extend_from_slice(hi.limbs());
+
+        // q1 = x >> 64(L−1)  (L+1 significant limbs)
+        let q1 = &x[L - 1..];
+        // q2 = q1 · µ  (up to 2L+2 limbs)
+        let mut mu = Vec::with_capacity(L + 1);
+        mu.extend_from_slice(self.mu_lo.limbs());
+        mu.push(self.mu_hi);
+        let q2 = mul_slices(q1, &mu);
+        // q3 = q2 >> 64(L+1)
+        let q3 = if q2.len() > L + 1 {
+            &q2[L + 1..]
+        } else {
+            &[][..]
+        };
+
+        // r = x − q3·m (mod 2^(64(L+1))) — fits because the true remainder
+        // does and q̂ underestimates by at most 2.
+        let q3m = mul_slices(q3, self.m.limbs());
+        let mut r = sub_slices_truncated(&x, &q3m, L + 1);
+
+        // At most two corrections.
+        for _ in 0..2 {
+            if ge_slices(&r, self.m.limbs()) {
+                r = sub_slices_truncated(&r, self.m.limbs(), L + 1);
+            } else {
+                break;
+            }
+        }
+        debug_assert!(!ge_slices(&r, self.m.limbs()), "Barrett correction bound");
+        let mut out = [0u64; L];
+        let n = r.len().min(L);
+        out[..n].copy_from_slice(&r[..n]);
+        Uint::from_limbs(out)
+    }
+
+    /// `(a · b) mod m` via Barrett.
+    pub fn mul_mod(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let (lo, hi) = a.widening_mul(b);
+        self.reduce(&lo, &hi)
+    }
+}
+
+fn mul_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let t = ai as u128 * bj as u128 + out[i + j] as u128 + carry;
+            out[i + j] = t as u64;
+            carry = t >> 64;
+        }
+        out[i + b.len()] = carry as u64;
+    }
+    out
+}
+
+/// `(a − b) mod 2^(64·width)`, truncated to `width` limbs.
+#[allow(clippy::needless_range_loop)] // borrow chain indexes two slices of differing length
+fn sub_slices_truncated(a: &[u64], b: &[u64], width: usize) -> Vec<u64> {
+    let mut out = vec![0u64; width];
+    let mut borrow = 0u64;
+    for i in 0..width {
+        let ai = *a.get(i).unwrap_or(&0);
+        let bi = *b.get(i).unwrap_or(&0);
+        let (d, b1) = ai.overflowing_sub(bi);
+        let (d, b2) = d.overflowing_sub(borrow);
+        out[i] = d;
+        borrow = (b1 as u64) + (b2 as u64);
+    }
+    out
+}
+
+fn ge_slices(a: &[u64], b: &[u64]) -> bool {
+    let len = a.len().max(b.len());
+    for i in (0..len).rev() {
+        let ai = *a.get(i).unwrap_or(&0);
+        let bi = *b.get(i).unwrap_or(&0);
+        match ai.cmp(&bi) {
+            core::cmp::Ordering::Greater => return true,
+            core::cmp::Ordering::Less => return false,
+            core::cmp::Ordering::Equal => continue,
+        }
+    }
+    true // equal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{U256, U512};
+
+    fn modulus() -> U256 {
+        // A full-width odd prime: 2^255 − 19 has its top limb nonzero.
+        let mut m = U256::ZERO;
+        m.set_bit(255, true);
+        m.wrapping_sub(&U256::from_u64(19))
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Barrett::new(&U256::ZERO).is_err());
+        assert!(Barrett::new(&U256::ONE).is_err());
+        // Top limb zero (not full-width).
+        assert!(Barrett::new(&U256::from_u64(12345)).is_err());
+        assert!(Barrett::new(&modulus()).is_ok());
+    }
+
+    #[test]
+    fn even_full_width_modulus_supported() {
+        // Montgomery cannot do this; Barrett can.
+        let mut m = U256::ZERO;
+        m.set_bit(255, true); // 2^255, even
+        let b = Barrett::new(&m).unwrap();
+        let a = U256::MAX;
+        let r = b.mul_mod(&a, &a);
+        let (lo, hi) = a.widening_mul(&a);
+        assert_eq!(r, U256::reduce_wide(&lo, &hi, &m));
+    }
+
+    #[test]
+    fn reduce_matches_division() {
+        let m = modulus();
+        let b = Barrett::new(&m).unwrap();
+        let cases = [
+            (U256::ZERO, U256::ZERO),
+            (U256::ONE, U256::ZERO),
+            (U256::MAX, U256::ZERO),
+            (U256::ZERO, U256::MAX),
+            (U256::MAX, U256::MAX),
+            (U256::from_u128(0xdead_beef_cafe_babe), U256::from_u64(77)),
+        ];
+        for (lo, hi) in cases {
+            assert_eq!(
+                b.reduce(&lo, &hi),
+                U256::reduce_wide(&lo, &hi, &m),
+                "lo={lo:?} hi={hi:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn mul_mod_matches_schoolbook() {
+        let m = modulus();
+        let b = Barrett::new(&m).unwrap();
+        let x = U256::from_u128(0x0123_4567_89ab_cdef_1122_3344_5566_7788);
+        let y = U256::from_u128(0xfedc_ba98_7654_3210_8877_6655_4433_2211);
+        assert_eq!(b.mul_mod(&x, &y), x.mul_mod(&y, &m));
+    }
+
+    #[test]
+    fn wide_512_bit_modulus() {
+        let m = U512::MAX.wrapping_sub(&U512::from_u64(568));
+        let b = Barrett::new(&m).unwrap();
+        let x = U512::MAX.wrapping_sub(&U512::from_u64(1));
+        let y = U512::MAX.wrapping_sub(&U512::from_u64(2));
+        assert_eq!(
+            b.mul_mod(&x.rem(&m), &y.rem(&m)),
+            x.rem(&m).mul_mod(&y.rem(&m), &m)
+        );
+    }
+}

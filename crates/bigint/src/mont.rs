@@ -1,0 +1,289 @@
+//! Montgomery modular multiplication (CIOS) for odd moduli.
+
+use crate::{BigIntError, Uint};
+
+/// A Montgomery reduction context for a fixed odd modulus `n < 2^(64·L)`.
+///
+/// Values are converted into the Montgomery domain once and multiplied there
+/// without per-operation division. This is the workhorse behind the pairing
+/// field arithmetic and Miller–Rabin exponentiation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Mont<const L: usize> {
+    n: Uint<L>,
+    /// `-n^{-1} mod 2^64`.
+    n0: u64,
+    /// `R mod n`, where `R = 2^(64·L)` (the Montgomery form of 1).
+    r1: Uint<L>,
+    /// `R² mod n` (used for conversion into the domain).
+    r2: Uint<L>,
+}
+
+impl<const L: usize> Mont<L> {
+    /// Creates a context for the odd modulus `n > 1`.
+    pub fn new(n: &Uint<L>) -> Result<Self, BigIntError> {
+        if n.is_even() || *n <= Uint::ONE {
+            return Err(BigIntError::BadModulus);
+        }
+        // Newton–Hensel iteration for n^{-1} mod 2^64 (5 steps double the
+        // precision from the seed's 3 correct bits past 64).
+        let mut inv = n.as_u64(); // correct mod 2^3 for odd n
+        for _ in 0..5 {
+            inv = inv.wrapping_mul(2u64.wrapping_sub(n.as_u64().wrapping_mul(inv)));
+        }
+        let n0 = inv.wrapping_neg();
+
+        // R mod n: reduce the (L+1)-limb value 2^(64·L) by n.
+        let r1 = reduce_pow2::<L>(n, 64 * L as u32);
+        let r2 = r1.mul_mod(&r1, n);
+        Ok(Self { n: *n, n0, r1, r2 })
+    }
+
+    /// The modulus.
+    pub fn modulus(&self) -> &Uint<L> {
+        &self.n
+    }
+
+    /// `R mod n` — the Montgomery representation of 1.
+    pub fn one_mont(&self) -> Uint<L> {
+        self.r1
+    }
+
+    /// Converts `a` (must be `< n`) into the Montgomery domain.
+    pub fn to_mont(&self, a: &Uint<L>) -> Uint<L> {
+        debug_assert!(a < &self.n);
+        self.mont_mul(a, &self.r2)
+    }
+
+    /// Converts out of the Montgomery domain.
+    pub fn from_mont(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, &Uint::ONE)
+    }
+
+    /// Montgomery product: `a · b · R^{-1} mod n` (CIOS).
+    pub fn mont_mul(&self, a: &Uint<L>, b: &Uint<L>) -> Uint<L> {
+        let n = &self.n.limbs;
+        let bl = &b.limbs;
+        // t has L+2 limbs: t[L] and an extra carry bit in t_hi.
+        let mut t = [0u64; 64]; // max L = 32 supported; only first L+2 used
+        debug_assert!(L + 2 <= 64, "limb count exceeds CIOS scratch space");
+        let mut t_top = 0u64; // t[L+1] equivalent (0 or 1)
+
+        for i in 0..L {
+            // t += a[i] * b
+            let ai = a.limbs[i] as u128;
+            let mut carry = 0u64;
+            for j in 0..L {
+                let s = ai * bl[j] as u128 + t[j] as u128 + carry as u128;
+                t[j] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let (s, c) = t[L].overflowing_add(carry);
+            t[L] = s;
+            t_top += c as u64;
+
+            // m = t[0] * n0 mod 2^64; t += m * n; t >>= 64
+            let m = t[0].wrapping_mul(self.n0) as u128;
+            let s0 = m * n[0] as u128 + t[0] as u128;
+            debug_assert_eq!(s0 as u64, 0);
+            let mut carry = (s0 >> 64) as u64;
+            for j in 1..L {
+                let s = m * n[j] as u128 + t[j] as u128 + carry as u128;
+                t[j - 1] = s as u64;
+                carry = (s >> 64) as u64;
+            }
+            let (s, c) = t[L].overflowing_add(carry);
+            t[L - 1] = s;
+            t[L] = t_top + c as u64;
+            t_top = 0;
+        }
+
+        let mut out = [0u64; L];
+        out.copy_from_slice(&t[..L]);
+        let mut r = Uint::from_limbs(out);
+        // Final conditional subtraction: result < 2n is guaranteed.
+        if t[L] != 0 || r >= self.n {
+            r = r.wrapping_sub(&self.n);
+        }
+        r
+    }
+
+    /// Montgomery squaring.
+    pub fn mont_sqr(&self, a: &Uint<L>) -> Uint<L> {
+        self.mont_mul(a, a)
+    }
+
+    /// Modular exponentiation `base^exp mod n` with 4-bit fixed windows.
+    /// `base` and the result are in the *plain* (non-Montgomery) domain.
+    pub fn pow(&self, base: &Uint<L>, exp: &Uint<L>) -> Uint<L> {
+        let b = self.to_mont(&base.rem(&self.n));
+        let r = self.pow_mont(&b, exp);
+        self.from_mont(&r)
+    }
+
+    /// Exponentiation where `base` and the result stay in the Montgomery
+    /// domain (for callers chaining many operations).
+    pub fn pow_mont(&self, base: &Uint<L>, exp: &Uint<L>) -> Uint<L> {
+        let bits = exp.bits();
+        if bits == 0 {
+            return self.r1;
+        }
+        // Precompute base^0..base^15 in Montgomery form.
+        let mut table = [self.r1; 16];
+        table[1] = *base;
+        for i in 2..16 {
+            table[i] = self.mont_mul(&table[i - 1], base);
+        }
+        let nwindows = bits.div_ceil(4);
+        let mut acc = self.r1;
+        let mut started = false;
+        for w in (0..nwindows).rev() {
+            if started {
+                acc = self.mont_sqr(&acc);
+                acc = self.mont_sqr(&acc);
+                acc = self.mont_sqr(&acc);
+                acc = self.mont_sqr(&acc);
+            }
+            let mut idx = 0usize;
+            for b in 0..4u32 {
+                let bit = w * 4 + b;
+                if bit < bits && exp.bit(bit) {
+                    idx |= 1 << b;
+                }
+            }
+            if idx != 0 {
+                acc = self.mont_mul(&acc, &table[idx]);
+                started = true;
+            } else if started {
+                // acc already squared; nothing to multiply.
+            }
+        }
+        if !started {
+            // exp was zero (all windows empty) — cannot happen since bits>0
+            // implies at least one set bit, but keep the invariant explicit.
+            return self.r1;
+        }
+        acc
+    }
+
+    /// Modular inverse for prime `n` via Fermat's little theorem:
+    /// `a^{n-2} mod n`. The caller must guarantee primality.
+    pub fn inv_prime(&self, a: &Uint<L>) -> Result<Uint<L>, BigIntError> {
+        if a.rem(&self.n).is_zero() {
+            return Err(BigIntError::NotInvertible);
+        }
+        let e = self.n.wrapping_sub(&Uint::from_u64(2));
+        Ok(self.pow(a, &e))
+    }
+}
+
+/// Computes `2^k mod n` for `k ≥ 0` without requiring a wider type.
+fn reduce_pow2<const L: usize>(n: &Uint<L>, k: u32) -> Uint<L> {
+    // Start from 2^(bits-1) < n ≤ 2^bits … actually simpler: repeated doubling
+    // of 1, reducing as we go. k is at most 64·L so this is ≤ 2048 iterations,
+    // only run at context construction.
+    let mut acc = Uint::<L>::ONE.rem(n);
+    for _ in 0..k {
+        let (sum, carry) = acc.overflowing_add(&acc);
+        acc = if carry || sum >= *n {
+            sum.wrapping_sub(n)
+        } else {
+            sum
+        };
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{U256, U512};
+
+    fn modulus() -> U256 {
+        // 2^255 - 19, an odd prime spanning all four limbs.
+        let mut m = U256::ZERO;
+        m.set_bit(255, true);
+        m.wrapping_sub(&U256::from_u64(19))
+    }
+
+    #[test]
+    fn rejects_bad_moduli() {
+        assert!(Mont::new(&U256::from_u64(10)).is_err());
+        assert!(Mont::new(&U256::ZERO).is_err());
+        assert!(Mont::new(&U256::ONE).is_err());
+        assert!(Mont::new(&U256::from_u64(3)).is_ok());
+    }
+
+    #[test]
+    fn roundtrip_domain() {
+        let m = Mont::new(&modulus()).unwrap();
+        for v in [0u64, 1, 2, 12345, u64::MAX] {
+            let a = U256::from_u64(v);
+            assert_eq!(m.from_mont(&m.to_mont(&a)), a);
+        }
+    }
+
+    #[test]
+    fn mont_mul_matches_mul_mod() {
+        let n = modulus();
+        let m = Mont::new(&n).unwrap();
+        let a = U256::from_u128(0xdead_beef_cafe_babe_0011_2233_4455_6677);
+        let b = U256::from_u128(0x0123_4567_89ab_cdef_8899_aabb_ccdd_eeff);
+        let am = m.to_mont(&a);
+        let bm = m.to_mont(&b);
+        let prod = m.from_mont(&m.mont_mul(&am, &bm));
+        assert_eq!(prod, a.mul_mod(&b, &n));
+    }
+
+    #[test]
+    fn pow_matches_pow_mod() {
+        let n = modulus();
+        let m = Mont::new(&n).unwrap();
+        let a = U256::from_u64(3);
+        let e = U256::from_u128(0xfedc_ba98_7654_3210_0f1e_2d3c_4b5a_6978);
+        assert_eq!(m.pow(&a, &e), a.pow_mod(&e, &n));
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let n = modulus();
+        let m = Mont::new(&n).unwrap();
+        let a = U256::from_u64(7);
+        assert_eq!(m.pow(&a, &U256::ZERO), U256::ONE);
+        assert_eq!(m.pow(&a, &U256::ONE), a);
+        assert_eq!(m.pow(&U256::ZERO, &U256::from_u64(9)), U256::ZERO);
+        // Fermat
+        let e = n.wrapping_sub(&U256::ONE);
+        assert_eq!(m.pow(&a, &e), U256::ONE);
+    }
+
+    #[test]
+    fn inv_prime_roundtrip() {
+        let n = modulus();
+        let m = Mont::new(&n).unwrap();
+        let a = U256::from_u128(0x1234_5678_9abc_def0_0fed_cba9_8765_4321);
+        let inv = m.inv_prime(&a).unwrap();
+        assert_eq!(a.mul_mod(&inv, &n), U256::ONE);
+        assert!(m.inv_prime(&U256::ZERO).is_err());
+    }
+
+    #[test]
+    fn wide_modulus_512() {
+        // All-limb 512-bit odd modulus: stress the CIOS carry chain.
+        let n = U512::MAX.wrapping_sub(&U512::from_u64(568)); // odd
+        assert!(n.is_odd());
+        let m = Mont::new(&n).unwrap();
+        let a = U512::MAX.wrapping_sub(&U512::from_u64(123_456_789));
+        let b = U512::MAX.wrapping_sub(&U512::from_u64(987_654_321));
+        let am = m.to_mont(&a.rem(&n));
+        let bm = m.to_mont(&b.rem(&n));
+        let got = m.from_mont(&m.mont_mul(&am, &bm));
+        assert_eq!(got, a.rem(&n).mul_mod(&b.rem(&n), &n));
+    }
+
+    #[test]
+    fn one_mont_is_r_mod_n() {
+        let n = modulus();
+        let m = Mont::new(&n).unwrap();
+        assert_eq!(m.from_mont(&m.one_mont()), U256::ONE);
+    }
+}

@@ -1,0 +1,190 @@
+//! Audit trail — the paper's "optionally an alert is sent to the
+//! administrator" (§V.B), generalized to every security-relevant event.
+
+use std::collections::VecDeque;
+
+/// Kinds of audited events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AuditEvent {
+    /// A deposit passed MAC verification and was stored.
+    DepositAccepted {
+        /// Device id.
+        sd_id: String,
+        /// Assigned message id.
+        message_id: u64,
+    },
+    /// A deposit failed authentication and was discarded (§V.B's alert).
+    DepositRejected {
+        /// Claimed device id.
+        sd_id: String,
+        /// Why.
+        reason: String,
+    },
+    /// An RC authenticated and retrieved messages.
+    RetrieveServed {
+        /// RC identity.
+        rc_id: String,
+        /// How many messages matched.
+        count: usize,
+    },
+    /// An RC failed authentication.
+    RetrieveRejected {
+        /// Claimed RC identity.
+        rc_id: String,
+        /// Why.
+        reason: String,
+    },
+    /// A policy grant was added.
+    Granted {
+        /// RC identity.
+        rc_id: String,
+        /// Attribute granted.
+        attribute: String,
+    },
+    /// A policy grant was revoked.
+    Revoked {
+        /// RC identity.
+        rc_id: String,
+        /// Attribute revoked.
+        attribute: String,
+    },
+    /// The PKG served a private key.
+    KeyServed {
+        /// RC identity.
+        rc_id: String,
+        /// AID requested.
+        aid: u64,
+    },
+    /// The PKG refused a request.
+    KeyRejected {
+        /// RC identity (if known).
+        rc_id: String,
+        /// Why.
+        reason: String,
+    },
+}
+
+/// A bounded in-memory audit log with timestamps.
+#[derive(Debug)]
+pub struct AuditLog {
+    capacity: usize,
+    events: VecDeque<(u64, AuditEvent)>,
+}
+
+impl AuditLog {
+    /// Creates a log retaining the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity: capacity.max(1),
+            events: VecDeque::new(),
+        }
+    }
+
+    /// Records an event at the given logical time.
+    pub fn record(&mut self, at: u64, event: AuditEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back((at, event));
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &(u64, AuditEvent)> {
+        self.events.iter()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Count of rejection events (quick anomaly signal).
+    pub fn rejection_count(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e,
+                    AuditEvent::DepositRejected { .. }
+                        | AuditEvent::RetrieveRejected { .. }
+                        | AuditEvent::KeyRejected { .. }
+                )
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_in_order() {
+        let mut log = AuditLog::new(10);
+        log.record(
+            1,
+            AuditEvent::Granted {
+                rc_id: "a".into(),
+                attribute: "x".into(),
+            },
+        );
+        log.record(
+            2,
+            AuditEvent::Revoked {
+                rc_id: "a".into(),
+                attribute: "x".into(),
+            },
+        );
+        let got: Vec<u64> = log.events().map(|(t, _)| *t).collect();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn bounded_capacity_drops_oldest() {
+        let mut log = AuditLog::new(2);
+        for i in 0..5 {
+            log.record(
+                i,
+                AuditEvent::RetrieveServed {
+                    rc_id: "r".into(),
+                    count: 0,
+                },
+            );
+        }
+        assert_eq!(log.len(), 2);
+        assert_eq!(log.events().next().unwrap().0, 3);
+    }
+
+    #[test]
+    fn rejection_counter() {
+        let mut log = AuditLog::new(10);
+        assert!(log.is_empty());
+        log.record(
+            0,
+            AuditEvent::DepositAccepted {
+                sd_id: "s".into(),
+                message_id: 1,
+            },
+        );
+        log.record(
+            1,
+            AuditEvent::DepositRejected {
+                sd_id: "s".into(),
+                reason: "mac".into(),
+            },
+        );
+        log.record(
+            2,
+            AuditEvent::KeyRejected {
+                rc_id: "r".into(),
+                reason: "ticket".into(),
+            },
+        );
+        assert_eq!(log.rejection_count(), 2);
+    }
+}

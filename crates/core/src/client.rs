@@ -1,0 +1,205 @@
+//! Receiving Client (RC) — the retrieval side of the protocol.
+//!
+//! The RC runs two conversations (§V.D): it authenticates to the MWS with
+//! its hashed password and receives `Token ‖ messages`; it then opens the
+//! token with its RSA private key, authenticates to the PKG with the
+//! enclosed ticket, requests `sI` per message (`AID ‖ Nonce`) and decrypts.
+//! Throughout, the RC never sees its attribute strings — only AIDs.
+
+use crate::clock::LogicalClock;
+use crate::errors::CoreError;
+use crate::gatekeeper::compose_rc_auth;
+use crate::pkg_service::{compose_authenticator, CONFIRM_LABEL, KEY_LABEL};
+use crate::sealed::open_blob;
+use crate::token::TokenGenerator;
+use mws_crypto::{Digest, HmacDrbg, RsaKeyPair, Sha256};
+use mws_ibe::{AttrCiphertext, CipherAlgo, IbeSystem, UserPrivateKey};
+use mws_net::Client;
+use mws_wire::{Pdu, WireMessage, WireReader};
+
+/// A message the RC has retrieved and decrypted.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RetrievedMessage {
+    /// Warehouse id.
+    pub message_id: u64,
+    /// The AID the message was filed under (the RC's only view of "what
+    /// kind of message this is").
+    pub aid: u64,
+    /// Decrypted plaintext.
+    pub plaintext: Vec<u8>,
+    /// Deposit timestamp.
+    pub timestamp: u64,
+}
+
+/// An authenticated PKG session.
+pub struct PkgSession {
+    session_id: u64,
+    session_key: Vec<u8>,
+}
+
+/// A provisioned receiving client.
+pub struct ReceivingClient {
+    rc_id: String,
+    hash_password: Vec<u8>,
+    rsa: RsaKeyPair,
+    ibe: IbeSystem,
+    clock: LogicalClock,
+    rng: HmacDrbg,
+    mws: Client,
+    pkg: Client,
+}
+
+impl ReceivingClient {
+    /// Creates a client from provisioning material.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        rc_id: &str,
+        password: &str,
+        rsa: RsaKeyPair,
+        ibe: IbeSystem,
+        clock: LogicalClock,
+        rng_seed: u64,
+        mws: Client,
+        pkg: Client,
+    ) -> Self {
+        Self {
+            rc_id: rc_id.to_string(),
+            hash_password: Sha256::digest(password.as_bytes()),
+            rsa,
+            ibe,
+            clock,
+            rng: HmacDrbg::new(&rng_seed.to_be_bytes(), rc_id.as_bytes()),
+            mws,
+            pkg,
+        }
+    }
+
+    /// The client identity.
+    pub fn id(&self) -> &str {
+        &self.rc_id
+    }
+
+    /// Phase MWS–RC: authenticates and retrieves `(token, messages)`.
+    pub fn retrieve(&mut self, since: u64) -> Result<(Vec<u8>, Vec<WireMessage>), CoreError> {
+        self.retrieve_page(since, 0)
+    }
+
+    /// Like [`Self::retrieve`] with an explicit page size (`limit = 0`
+    /// means no cap). For very large warehouses, page with
+    /// `since = last.timestamp` between calls.
+    pub fn retrieve_page(
+        &mut self,
+        since: u64,
+        limit: u32,
+    ) -> Result<(Vec<u8>, Vec<WireMessage>), CoreError> {
+        let t = self.clock.now();
+        let auth = compose_rc_auth(&mut self.rng, &self.hash_password, &self.rc_id, t);
+        let reply = self.mws.call(&Pdu::RetrieveRequest {
+            rc_id: self.rc_id.clone(),
+            auth,
+            since,
+            limit,
+        })?;
+        match reply {
+            Pdu::RetrieveResponse { token, messages } => Ok((token, messages)),
+            Pdu::Error { code, detail } => Err(CoreError::from_wire_error(code, detail)),
+            _ => Err(CoreError::UnexpectedReply),
+        }
+    }
+
+    /// Phase RC–PKG (authentication): opens the token, presents the ticket
+    /// and authenticator, verifies the PKG's confirmation.
+    pub fn open_pkg_session(&mut self, token: &[u8]) -> Result<PkgSession, CoreError> {
+        let (session_key, ticket) = TokenGenerator::parse_token(&self.rsa.private, token)
+            .ok_or(CoreError::Crypto("token rejected"))?;
+        let t = self.clock.now();
+        let authenticator = compose_authenticator(&mut self.rng, &session_key, &self.rc_id, t);
+        let reply = self.pkg.call(&Pdu::PkgAuthRequest {
+            rc_id: self.rc_id.clone(),
+            ticket,
+            authenticator,
+        })?;
+        let (session_id, confirmation) = match reply {
+            Pdu::PkgAuthResponse {
+                session_id,
+                confirmation,
+            } => (session_id, confirmation),
+            Pdu::Error { code, detail } => return Err(CoreError::from_wire_error(code, detail)),
+            _ => return Err(CoreError::UnexpectedReply),
+        };
+        // Mutual authentication: the confirmation must decrypt to T+1.
+        let body = open_blob(&session_key, CONFIRM_LABEL, &confirmation)
+            .ok_or(CoreError::Crypto("confirmation rejected"))?;
+        let mut r = WireReader::new(&body);
+        let echoed = r.u64().map_err(CoreError::Wire)?;
+        r.finish().map_err(CoreError::Wire)?;
+        if echoed != t.wrapping_add(1) {
+            return Err(CoreError::Crypto("confirmation mismatch"));
+        }
+        Ok(PkgSession {
+            session_id,
+            session_key,
+        })
+    }
+
+    /// Phase RC–PKG (key request): fetches `sI` for one message.
+    pub fn fetch_key(
+        &mut self,
+        session: &PkgSession,
+        aid: u64,
+        nonce: &[u8],
+    ) -> Result<UserPrivateKey, CoreError> {
+        let reply = self.pkg.call(&Pdu::KeyRequest {
+            session_id: session.session_id,
+            aid,
+            nonce: nonce.to_vec(),
+        })?;
+        let encrypted_key = match reply {
+            Pdu::KeyResponse { encrypted_key } => encrypted_key,
+            Pdu::Error { code, detail } => return Err(CoreError::from_wire_error(code, detail)),
+            _ => return Err(CoreError::UnexpectedReply),
+        };
+        let sk_bytes = open_blob(&session.session_key, KEY_LABEL, &encrypted_key)
+            .ok_or(CoreError::Crypto("key delivery rejected"))?;
+        Ok(self.ibe.sk_from_bytes(&sk_bytes)?)
+    }
+
+    /// Decrypts one retrieved message with its private key.
+    pub fn decrypt_message(
+        &self,
+        msg: &WireMessage,
+        sk: &UserPrivateKey,
+    ) -> Result<Vec<u8>, CoreError> {
+        let u = self.ibe.pairing().field().point_from_bytes(&msg.u)?;
+        let algo =
+            CipherAlgo::from_wire_id(msg.algo).ok_or(CoreError::Crypto("unknown cipher id"))?;
+        let ct = AttrCiphertext {
+            u,
+            algo,
+            sealed: msg.sealed.clone(),
+        };
+        Ok(self.ibe.decrypt_attr(sk, &ct, &msg.aad)?)
+    }
+
+    /// The full pipeline: retrieve, open a PKG session, fetch every key and
+    /// decrypt every message.
+    pub fn retrieve_and_decrypt(&mut self, since: u64) -> Result<Vec<RetrievedMessage>, CoreError> {
+        let (token, messages) = self.retrieve(since)?;
+        if messages.is_empty() {
+            return Ok(Vec::new());
+        }
+        let session = self.open_pkg_session(&token)?;
+        let mut out = Vec::with_capacity(messages.len());
+        for msg in &messages {
+            let sk = self.fetch_key(&session, msg.aid, &msg.nonce)?;
+            let plaintext = self.decrypt_message(msg, &sk)?;
+            out.push(RetrievedMessage {
+                message_id: msg.message_id,
+                aid: msg.aid,
+                plaintext,
+                timestamp: msg.timestamp,
+            });
+        }
+        Ok(out)
+    }
+}

@@ -1,0 +1,175 @@
+//! Logical time and replay protection.
+//!
+//! The paper's protocol carries timestamps `T` "to prevent replay attacks"
+//! (§V.D) but the prototype dropped them ("time synchronization is not taken
+//! into consideration", §VI.A). We implement the protocol as designed: a
+//! deployment-wide logical clock plus a per-service [`ReplayGuard`]
+//! combining a freshness window with a seen-nonce cache. `ReplayPolicy::Off`
+//! reproduces the prototype's (insecure) behaviour for comparison tests.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shared monotonically increasing logical clock.
+///
+/// Simulations tick it explicitly, so every run is reproducible; a real
+/// deployment would map this onto wall-clock seconds.
+#[derive(Clone, Debug, Default)]
+pub struct LogicalClock {
+    now: Arc<AtomicU64>,
+}
+
+impl LogicalClock {
+    /// A clock starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current time.
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::SeqCst)
+    }
+
+    /// Advances by `ticks` and returns the new time.
+    pub fn advance(&self, ticks: u64) -> u64 {
+        self.now.fetch_add(ticks, Ordering::SeqCst) + ticks
+    }
+}
+
+/// Replay-protection policy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ReplayPolicy {
+    /// Prototype behaviour: accept anything (§VI.A).
+    Off,
+    /// Accept timestamps within `±window` of local time and reject nonces
+    /// seen in the last `cache` entries.
+    Window {
+        /// Maximum tolerated clock skew (logical ticks).
+        window: u64,
+        /// Seen-nonce cache capacity.
+        cache: usize,
+    },
+}
+
+impl ReplayPolicy {
+    /// The default hardened policy.
+    pub fn standard() -> Self {
+        ReplayPolicy::Window {
+            window: 16,
+            cache: 4096,
+        }
+    }
+}
+
+/// Stateful replay detector.
+#[derive(Debug)]
+pub struct ReplayGuard {
+    policy: ReplayPolicy,
+    seen: VecDeque<Vec<u8>>,
+}
+
+impl ReplayGuard {
+    /// Creates a guard with the given policy.
+    pub fn new(policy: ReplayPolicy) -> Self {
+        Self {
+            policy,
+            seen: VecDeque::new(),
+        }
+    }
+
+    /// Checks freshness of `(timestamp, nonce)` against `now`, recording the
+    /// nonce. Returns `false` when the message must be rejected as a replay.
+    pub fn check_and_record(&mut self, now: u64, timestamp: u64, nonce: &[u8]) -> bool {
+        match self.policy {
+            ReplayPolicy::Off => true,
+            ReplayPolicy::Window { window, cache } => {
+                let fresh = timestamp <= now.saturating_add(window)
+                    && timestamp.saturating_add(window) >= now;
+                if !fresh {
+                    return false;
+                }
+                if self.seen.iter().any(|n| n == nonce) {
+                    return false;
+                }
+                if self.seen.len() == cache {
+                    self.seen.pop_front();
+                }
+                self.seen.push_back(nonce.to_vec());
+                true
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_shared() {
+        let c = LogicalClock::new();
+        let c2 = c.clone();
+        assert_eq!(c.now(), 0);
+        assert_eq!(c.advance(5), 5);
+        assert_eq!(c2.now(), 5, "clones share state");
+    }
+
+    #[test]
+    fn off_policy_accepts_everything() {
+        let mut g = ReplayGuard::new(ReplayPolicy::Off);
+        assert!(g.check_and_record(0, 10_000, b"n"));
+        assert!(g.check_and_record(0, 10_000, b"n"), "even replays");
+    }
+
+    #[test]
+    fn window_rejects_stale_and_future() {
+        let mut g = ReplayGuard::new(ReplayPolicy::Window {
+            window: 5,
+            cache: 10,
+        });
+        assert!(g.check_and_record(100, 100, b"a"));
+        assert!(g.check_and_record(100, 95, b"b"), "lower edge");
+        assert!(g.check_and_record(100, 105, b"c"), "upper edge");
+        assert!(!g.check_and_record(100, 94, b"d"), "too old");
+        assert!(!g.check_and_record(100, 106, b"e"), "too far ahead");
+    }
+
+    #[test]
+    fn nonce_replay_rejected() {
+        let mut g = ReplayGuard::new(ReplayPolicy::Window {
+            window: 5,
+            cache: 10,
+        });
+        assert!(g.check_and_record(0, 0, b"once"));
+        assert!(!g.check_and_record(0, 0, b"once"));
+        assert!(g.check_and_record(0, 0, b"twice"));
+    }
+
+    #[test]
+    fn cache_eviction_is_fifo() {
+        let mut g = ReplayGuard::new(ReplayPolicy::Window {
+            window: 100,
+            cache: 2,
+        });
+        assert!(g.check_and_record(0, 0, b"1"));
+        assert!(g.check_and_record(0, 0, b"2"));
+        assert!(g.check_and_record(0, 0, b"3")); // evicts "1"
+        assert!(g.check_and_record(0, 0, b"1"), "evicted nonce re-accepted");
+        assert!(
+            !g.check_and_record(0, 0, b"3"),
+            "recent nonce still blocked"
+        );
+    }
+
+    #[test]
+    fn rejected_nonce_is_not_recorded() {
+        let mut g = ReplayGuard::new(ReplayPolicy::Window {
+            window: 1,
+            cache: 10,
+        });
+        assert!(!g.check_and_record(100, 0, b"stale"));
+        // The stale message's nonce must not poison the cache.
+        assert!(g.check_and_record(100, 100, b"stale"));
+    }
+}

@@ -1,0 +1,269 @@
+//! Message Management System (Figure 3) — "the core of the MWS-RC".
+//!
+//! Owns the Message Database and the Policy Database: stores authenticated
+//! deposits, maintains the identity–attribute mapping (Table 1), and serves
+//! retrievals by joining the two ("it fetches all those records from the
+//! Message Database in which the attribute field matches the corresponding
+//! attributes fetched from Policy Database", §V.D).
+
+use crate::policy::AttrPattern;
+use mws_store::{
+    AttributeId, MessageDb, MessageId, PolicyDb, Result as StoreResult, StorageKind, StoredMessage,
+};
+
+/// The MMS: message store + policy store + pattern grants.
+pub struct MessageManagementSystem {
+    messages: MessageDb,
+    policy: PolicyDb,
+    /// §VIII "enhanced policies": pattern grants expanded lazily at
+    /// retrieval time against the attributes actually warehoused.
+    patterns: Vec<(String, AttrPattern)>,
+}
+
+impl MessageManagementSystem {
+    /// Opens the MMS over the given storage backends.
+    pub fn open(messages: StorageKind, policy: StorageKind) -> StoreResult<Self> {
+        Ok(Self {
+            messages: MessageDb::open(messages)?,
+            policy: PolicyDb::open(policy)?,
+            patterns: Vec::new(),
+        })
+    }
+
+    /// Stores an authenticated deposit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn store_message(
+        &mut self,
+        attribute: &str,
+        nonce: &[u8],
+        u: &[u8],
+        algo: u8,
+        sealed: &[u8],
+        sd_id: &str,
+        timestamp: u64,
+    ) -> StoreResult<MessageId> {
+        self.messages
+            .insert(attribute, nonce, u, algo, sealed, sd_id, timestamp)
+    }
+
+    /// Grants `identity` access to a literal attribute (Table 1 row).
+    pub fn grant(&mut self, identity: &str, attribute: &str) -> StoreResult<AttributeId> {
+        self.policy.grant(identity, attribute)
+    }
+
+    /// Grants by pattern (future-work policy language). Literal patterns
+    /// degrade to a plain grant.
+    pub fn grant_pattern(&mut self, identity: &str, pattern: AttrPattern) -> StoreResult<()> {
+        if pattern.is_literal() {
+            self.policy.grant(identity, pattern.source())?;
+        } else {
+            self.patterns.push((identity.to_string(), pattern));
+        }
+        Ok(())
+    }
+
+    /// Revokes one attribute (requirement iii).
+    pub fn revoke(&mut self, identity: &str, attribute: &str) -> StoreResult<()> {
+        // A pattern that would re-derive this grant must go too, otherwise
+        // the next retrieval silently re-grants it.
+        self.patterns
+            .retain(|(id, p)| !(id == identity && p.matches(attribute)));
+        self.policy.revoke(identity, attribute)
+    }
+
+    /// Revokes everything for an identity.
+    pub fn revoke_identity(&mut self, identity: &str) -> StoreResult<usize> {
+        self.patterns.retain(|(id, _)| id != identity);
+        self.policy.revoke_identity(identity)
+    }
+
+    /// Expands this identity's pattern grants against the warehoused
+    /// attributes, materializing missing Table 1 rows.
+    fn expand_patterns(&mut self, identity: &str) -> StoreResult<()> {
+        let attrs = self.messages.attributes();
+        let mine: Vec<AttrPattern> = self
+            .patterns
+            .iter()
+            .filter(|(id, _)| id == identity)
+            .map(|(_, p)| p.clone())
+            .collect();
+        for pattern in mine {
+            for attr in &attrs {
+                if pattern.matches(attr) && !self.policy.has_access(identity, attr) {
+                    self.policy.grant(identity, attr)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The `(AID, A)` pairs an identity may currently read.
+    pub fn attribute_table_for(
+        &mut self,
+        identity: &str,
+    ) -> StoreResult<Vec<(AttributeId, String)>> {
+        self.expand_patterns(identity)?;
+        Ok(self.policy.attributes_for(identity))
+    }
+
+    /// Serves a retrieval: every message (with its AID) the identity may
+    /// read, filtered to `timestamp ≥ since`, oldest first. A nonzero
+    /// `limit` caps the page size (pagination for large warehouses).
+    pub fn retrieve_for(
+        &mut self,
+        identity: &str,
+        since: u64,
+        limit: u32,
+    ) -> StoreResult<Vec<(StoredMessage, AttributeId)>> {
+        let table = self.attribute_table_for(identity)?;
+        let mut out: Vec<(StoredMessage, AttributeId)> = Vec::new();
+        for (aid, attr) in &table {
+            for msg in self.messages.by_attribute_since(attr, since)? {
+                out.push((msg, *aid));
+            }
+        }
+        out.sort_by_key(|(m, _)| m.id);
+        out.dedup_by_key(|(m, _)| m.id);
+        if limit != 0 {
+            out.truncate(limit as usize);
+        }
+        Ok(out)
+    }
+
+    /// Retention sweep on the message store.
+    pub fn purge_before(&mut self, before: u64) -> StoreResult<usize> {
+        self.messages.purge_before(before)
+    }
+
+    /// Read access to the policy table (Table 1 regeneration).
+    pub fn policy(&self) -> &PolicyDb {
+        &self.policy
+    }
+
+    /// Read access to the message store.
+    pub fn messages(&self) -> &MessageDb {
+        &self.messages
+    }
+
+    /// Durability point for both stores.
+    pub fn sync(&mut self) -> StoreResult<()> {
+        self.messages.sync()?;
+        self.policy.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mms() -> MessageManagementSystem {
+        MessageManagementSystem::open(StorageKind::Memory, StorageKind::Memory).unwrap()
+    }
+
+    fn store(m: &mut MessageManagementSystem, attr: &str, ts: u64) -> MessageId {
+        m.store_message(attr, b"n", b"u", 3, b"c", "sd", ts)
+            .unwrap()
+    }
+
+    #[test]
+    fn retrieval_joins_policy_and_messages() {
+        let mut m = mms();
+        store(&mut m, "ELECTRIC-1", 1);
+        store(&mut m, "WATER-1", 2);
+        store(&mut m, "ELECTRIC-1", 3);
+        let aid = m.grant("rc", "ELECTRIC-1").unwrap();
+        let got = m.retrieve_for("rc", 0, 0).unwrap();
+        assert_eq!(got.len(), 2);
+        assert!(got
+            .iter()
+            .all(|(msg, a)| msg.attribute == "ELECTRIC-1" && *a == aid));
+        assert!(got[0].0.id < got[1].0.id);
+    }
+
+    #[test]
+    fn since_filter_applies() {
+        let mut m = mms();
+        for ts in 1..=4 {
+            store(&mut m, "A", ts);
+        }
+        m.grant("rc", "A").unwrap();
+        assert_eq!(m.retrieve_for("rc", 3, 0).unwrap().len(), 2);
+    }
+
+    #[test]
+    fn unknown_identity_gets_nothing() {
+        let mut m = mms();
+        store(&mut m, "A", 1);
+        assert!(m.retrieve_for("ghost", 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn multi_attribute_identity_dedups() {
+        let mut m = mms();
+        store(&mut m, "A", 1);
+        store(&mut m, "B", 2);
+        m.grant("rc", "A").unwrap();
+        m.grant("rc", "B").unwrap();
+        let got = m.retrieve_for("rc", 0, 0).unwrap();
+        assert_eq!(got.len(), 2);
+    }
+
+    #[test]
+    fn revocation_stops_future_reads() {
+        let mut m = mms();
+        store(&mut m, "A", 1);
+        m.grant("rc", "A").unwrap();
+        assert_eq!(m.retrieve_for("rc", 0, 0).unwrap().len(), 1);
+        m.revoke("rc", "A").unwrap();
+        assert!(m.retrieve_for("rc", 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pattern_grants_cover_future_devices() {
+        // Requirement v (dynamic recipients): a pattern grant picks up
+        // attributes that appear *after* the grant.
+        let mut m = mms();
+        m.grant_pattern("rc", AttrPattern::parse("ELECTRIC-**").unwrap())
+            .unwrap();
+        assert!(m.retrieve_for("rc", 0, 0).unwrap().is_empty());
+        store(&mut m, "ELECTRIC-NEW-METER", 5);
+        store(&mut m, "WATER-NEW-METER", 6);
+        let got = m.retrieve_for("rc", 0, 0).unwrap();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].0.attribute, "ELECTRIC-NEW-METER");
+        // The expansion materialized a Table 1 row with a real AID.
+        assert!(m.policy().has_access("rc", "ELECTRIC-NEW-METER"));
+    }
+
+    #[test]
+    fn revoke_kills_matching_patterns_too() {
+        let mut m = mms();
+        m.grant_pattern("rc", AttrPattern::parse("GAS-**").unwrap())
+            .unwrap();
+        store(&mut m, "GAS-1", 1);
+        assert_eq!(m.retrieve_for("rc", 0, 0).unwrap().len(), 1);
+        m.revoke("rc", "GAS-1").unwrap();
+        // Without pattern cleanup the next retrieve would re-grant.
+        assert!(m.retrieve_for("rc", 0, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn literal_pattern_grant_is_plain_grant() {
+        let mut m = mms();
+        m.grant_pattern("rc", AttrPattern::parse("PLAIN-ATTR").unwrap())
+            .unwrap();
+        assert!(m.policy().has_access("rc", "PLAIN-ATTR"));
+    }
+
+    #[test]
+    fn revoke_identity_sweeps_patterns() {
+        let mut m = mms();
+        store(&mut m, "X-1", 1);
+        m.grant("rc", "X-1").unwrap();
+        m.grant_pattern("rc", AttrPattern::parse("Y-**").unwrap())
+            .unwrap();
+        assert_eq!(m.revoke_identity("rc").unwrap(), 1);
+        store(&mut m, "Y-1", 2);
+        assert!(m.retrieve_for("rc", 0, 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,161 @@
+//! Attribute patterns — the paper's §VIII "enhanced policies" (XACML-style)
+//! future work, scoped to what the MWS needs.
+//!
+//! Attribute strings are dash-separated segments
+//! (`ELECTRIC-APT.COMPLEX.NAME-SV-CA`, §V.B). A pattern grants a whole
+//! family of attributes: `*` matches exactly one segment, a trailing `**`
+//! matches any remainder. The MMS expands pattern grants against the
+//! attributes actually present in the warehouse at retrieval time, so an RC
+//! with `ELECTRIC-**` automatically gains access to meters that register
+//! after the grant (requirement v: dynamic recipients).
+
+/// One pattern segment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum Seg {
+    Literal(String),
+    Wild,
+    WildRest,
+}
+
+/// A parsed attribute pattern.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttrPattern {
+    segments: Vec<Seg>,
+    source: String,
+}
+
+/// Pattern parse errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternError {
+    /// Empty pattern or empty segment.
+    Empty,
+    /// `**` somewhere other than the final segment.
+    MisplacedWildRest,
+}
+
+impl core::fmt::Display for PatternError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            PatternError::Empty => write!(f, "empty pattern or segment"),
+            PatternError::MisplacedWildRest => write!(f, "'**' must be the final segment"),
+        }
+    }
+}
+
+impl std::error::Error for PatternError {}
+
+impl AttrPattern {
+    /// Parses a pattern like `ELECTRIC-*-SV-CA` or `WATER-**`.
+    pub fn parse(pattern: &str) -> Result<Self, PatternError> {
+        if pattern.is_empty() {
+            return Err(PatternError::Empty);
+        }
+        let raw: Vec<&str> = pattern.split('-').collect();
+        let mut segments = Vec::with_capacity(raw.len());
+        for (i, s) in raw.iter().enumerate() {
+            let seg = match *s {
+                "" => return Err(PatternError::Empty),
+                "*" => Seg::Wild,
+                "**" => {
+                    if i != raw.len() - 1 {
+                        return Err(PatternError::MisplacedWildRest);
+                    }
+                    Seg::WildRest
+                }
+                lit => Seg::Literal(lit.to_string()),
+            };
+            segments.push(seg);
+        }
+        Ok(Self {
+            segments,
+            source: pattern.to_string(),
+        })
+    }
+
+    /// The original pattern text.
+    pub fn source(&self) -> &str {
+        &self.source
+    }
+
+    /// True when the pattern contains no wildcards (it is a plain attribute).
+    pub fn is_literal(&self) -> bool {
+        self.segments.iter().all(|s| matches!(s, Seg::Literal(_)))
+    }
+
+    /// Does `attribute` match?
+    pub fn matches(&self, attribute: &str) -> bool {
+        let parts: Vec<&str> = attribute.split('-').collect();
+        let mut pi = 0;
+        for (ai, part) in parts.iter().enumerate() {
+            match self.segments.get(pi) {
+                None => return false, // attribute longer than pattern
+                Some(Seg::WildRest) => return true,
+                Some(Seg::Wild) => {
+                    let _ = ai;
+                    pi += 1;
+                }
+                Some(Seg::Literal(lit)) => {
+                    if lit != part {
+                        return false;
+                    }
+                    pi += 1;
+                }
+            }
+        }
+        // Attribute exhausted: pattern must be exhausted too, or end in `**`.
+        pi == self.segments.len()
+            || (pi == self.segments.len() - 1 && self.segments[pi] == Seg::WildRest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_patterns() {
+        let p = AttrPattern::parse("ELECTRIC-APT9-SV-CA").unwrap();
+        assert!(p.is_literal());
+        assert!(p.matches("ELECTRIC-APT9-SV-CA"));
+        assert!(!p.matches("ELECTRIC-APT9-SV"));
+        assert!(!p.matches("ELECTRIC-APT9-SV-CA-EXTRA"));
+        assert!(!p.matches("WATER-APT9-SV-CA"));
+    }
+
+    #[test]
+    fn single_segment_wildcard() {
+        let p = AttrPattern::parse("ELECTRIC-*-SV-CA").unwrap();
+        assert!(!p.is_literal());
+        assert!(p.matches("ELECTRIC-APT1-SV-CA"));
+        assert!(p.matches("ELECTRIC-APT2-SV-CA"));
+        assert!(!p.matches("ELECTRIC-APT1-X-SV-CA"), "* is one segment");
+        assert!(!p.matches("ELECTRIC-SV-CA"));
+    }
+
+    #[test]
+    fn trailing_wild_rest() {
+        let p = AttrPattern::parse("WATER-**").unwrap();
+        assert!(p.matches("WATER-APT1"));
+        assert!(p.matches("WATER-APT1-SV-CA"));
+        assert!(p.matches("WATER"), "** matches zero segments");
+        assert!(!p.matches("GAS-APT1"));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert_eq!(AttrPattern::parse(""), Err(PatternError::Empty));
+        assert_eq!(AttrPattern::parse("A--B"), Err(PatternError::Empty));
+        assert_eq!(
+            AttrPattern::parse("A-**-B"),
+            Err(PatternError::MisplacedWildRest)
+        );
+    }
+
+    #[test]
+    fn mixed_wildcards() {
+        let p = AttrPattern::parse("*-APT9-**").unwrap();
+        assert!(p.matches("ELECTRIC-APT9"));
+        assert!(p.matches("WATER-APT9-SV-CA"));
+        assert!(!p.matches("APT9-X"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Encrypt-then-MAC AEAD composition.
+//!
+//! The protocol's symmetric layer (cipher C in §IV's `E{M, h[…]}`) needs
+//! authenticated encryption once message integrity moves end-to-end (paper
+//! §VIII). This module composes any [`BlockCipher`] in CTR mode with
+//! HMAC-SHA256 over `aad ‖ nonce ‖ ciphertext`, the standard EtM
+//! construction.
+
+use crate::{ct_eq, BlockCipher, CipherError, CtrMode, Hmac, Sha256};
+
+/// AEAD failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AeadError {
+    /// Authentication tag mismatch (or truncated input).
+    TagMismatch,
+    /// Underlying cipher error.
+    Cipher(CipherError),
+}
+
+impl core::fmt::Display for AeadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            AeadError::TagMismatch => write!(f, "authentication failed"),
+            AeadError::Cipher(e) => write!(f, "cipher error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AeadError {}
+
+impl From<CipherError> for AeadError {
+    fn from(e: CipherError) -> Self {
+        AeadError::Cipher(e)
+    }
+}
+
+const TAG_LEN: usize = 32;
+
+/// Encrypts `plaintext`, authenticating it together with `aad`.
+///
+/// Output layout: `ciphertext ‖ tag(32)`. The `enc_key`/`mac_key` split
+/// follows the "independent keys" rule for EtM; derive both from one master
+/// via [`crate::kdf`].
+pub fn seal<C: BlockCipher>(
+    cipher: &C,
+    mac_key: &[u8],
+    nonce: &[u8],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    let mut out = CtrMode::encrypt(cipher, nonce, plaintext)?;
+    let tag = Hmac::<Sha256>::mac_parts(mac_key, &[aad, nonce, &out]);
+    out.extend_from_slice(&tag);
+    Ok(out)
+}
+
+/// Verifies and decrypts a [`seal`] output.
+pub fn open<C: BlockCipher>(
+    cipher: &C,
+    mac_key: &[u8],
+    nonce: &[u8],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, AeadError> {
+    if sealed.len() < TAG_LEN {
+        return Err(AeadError::TagMismatch);
+    }
+    let (ct, tag) = sealed.split_at(sealed.len() - TAG_LEN);
+    let expect = Hmac::<Sha256>::mac_parts(mac_key, &[aad, nonce, ct]);
+    if !ct_eq(&expect, tag) {
+        return Err(AeadError::TagMismatch);
+    }
+    Ok(CtrMode::decrypt(cipher, nonce, ct)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes128;
+
+    fn setup() -> (Aes128, Vec<u8>, Vec<u8>) {
+        let cipher = Aes128::new(&[1; 16]).unwrap();
+        (cipher, vec![2; 32], vec![3; 8])
+    }
+
+    #[test]
+    fn roundtrip() {
+        let (cipher, mac_key, nonce) = setup();
+        let sealed = seal(&cipher, &mac_key, &nonce, b"header", b"secret body").unwrap();
+        let opened = open(&cipher, &mac_key, &nonce, b"header", &sealed).unwrap();
+        assert_eq!(opened, b"secret body");
+    }
+
+    #[test]
+    fn empty_plaintext_and_aad() {
+        let (cipher, mac_key, nonce) = setup();
+        let sealed = seal(&cipher, &mac_key, &nonce, b"", b"").unwrap();
+        assert_eq!(sealed.len(), TAG_LEN);
+        assert_eq!(open(&cipher, &mac_key, &nonce, b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn tamper_detection() {
+        let (cipher, mac_key, nonce) = setup();
+        let sealed = seal(&cipher, &mac_key, &nonce, b"aad", b"payload!").unwrap();
+        // Flip each byte in turn: every position must be caught.
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert_eq!(
+                open(&cipher, &mac_key, &nonce, b"aad", &bad).unwrap_err(),
+                AeadError::TagMismatch,
+                "byte {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn aad_binding() {
+        let (cipher, mac_key, nonce) = setup();
+        let sealed = seal(&cipher, &mac_key, &nonce, b"attr=ELECTRIC", b"kwh=42").unwrap();
+        assert!(open(&cipher, &mac_key, &nonce, b"attr=WATER", &sealed).is_err());
+    }
+
+    #[test]
+    fn wrong_keys_rejected() {
+        let (cipher, mac_key, nonce) = setup();
+        let sealed = seal(&cipher, &mac_key, &nonce, b"", b"msg").unwrap();
+        assert!(open(&cipher, &[9; 32], &nonce, b"", &sealed).is_err());
+        assert!(open(&cipher, &mac_key, &[9; 8], b"", &sealed).is_err());
+    }
+
+    #[test]
+    fn truncated_input() {
+        let (cipher, mac_key, nonce) = setup();
+        assert_eq!(
+            open(&cipher, &mac_key, &nonce, b"", &[0u8; 31]).unwrap_err(),
+            AeadError::TagMismatch
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! AES-128 / AES-256 (FIPS 197).
+//!
+//! The modern replacement for the paper's DES (benchmark E7/D1). Byte-wise
+//! implementation: clear, table-light, validated against the FIPS 197
+//! appendix vectors.
+
+use crate::{BlockCipher, CipherError};
+
+/// The AES S-box.
+const SBOX: [u8; 256] = [
+    0x63, 0x7c, 0x77, 0x7b, 0xf2, 0x6b, 0x6f, 0xc5, 0x30, 0x01, 0x67, 0x2b, 0xfe, 0xd7, 0xab, 0x76,
+    0xca, 0x82, 0xc9, 0x7d, 0xfa, 0x59, 0x47, 0xf0, 0xad, 0xd4, 0xa2, 0xaf, 0x9c, 0xa4, 0x72, 0xc0,
+    0xb7, 0xfd, 0x93, 0x26, 0x36, 0x3f, 0xf7, 0xcc, 0x34, 0xa5, 0xe5, 0xf1, 0x71, 0xd8, 0x31, 0x15,
+    0x04, 0xc7, 0x23, 0xc3, 0x18, 0x96, 0x05, 0x9a, 0x07, 0x12, 0x80, 0xe2, 0xeb, 0x27, 0xb2, 0x75,
+    0x09, 0x83, 0x2c, 0x1a, 0x1b, 0x6e, 0x5a, 0xa0, 0x52, 0x3b, 0xd6, 0xb3, 0x29, 0xe3, 0x2f, 0x84,
+    0x53, 0xd1, 0x00, 0xed, 0x20, 0xfc, 0xb1, 0x5b, 0x6a, 0xcb, 0xbe, 0x39, 0x4a, 0x4c, 0x58, 0xcf,
+    0xd0, 0xef, 0xaa, 0xfb, 0x43, 0x4d, 0x33, 0x85, 0x45, 0xf9, 0x02, 0x7f, 0x50, 0x3c, 0x9f, 0xa8,
+    0x51, 0xa3, 0x40, 0x8f, 0x92, 0x9d, 0x38, 0xf5, 0xbc, 0xb6, 0xda, 0x21, 0x10, 0xff, 0xf3, 0xd2,
+    0xcd, 0x0c, 0x13, 0xec, 0x5f, 0x97, 0x44, 0x17, 0xc4, 0xa7, 0x7e, 0x3d, 0x64, 0x5d, 0x19, 0x73,
+    0x60, 0x81, 0x4f, 0xdc, 0x22, 0x2a, 0x90, 0x88, 0x46, 0xee, 0xb8, 0x14, 0xde, 0x5e, 0x0b, 0xdb,
+    0xe0, 0x32, 0x3a, 0x0a, 0x49, 0x06, 0x24, 0x5c, 0xc2, 0xd3, 0xac, 0x62, 0x91, 0x95, 0xe4, 0x79,
+    0xe7, 0xc8, 0x37, 0x6d, 0x8d, 0xd5, 0x4e, 0xa9, 0x6c, 0x56, 0xf4, 0xea, 0x65, 0x7a, 0xae, 0x08,
+    0xba, 0x78, 0x25, 0x2e, 0x1c, 0xa6, 0xb4, 0xc6, 0xe8, 0xdd, 0x74, 0x1f, 0x4b, 0xbd, 0x8b, 0x8a,
+    0x70, 0x3e, 0xb5, 0x66, 0x48, 0x03, 0xf6, 0x0e, 0x61, 0x35, 0x57, 0xb9, 0x86, 0xc1, 0x1d, 0x9e,
+    0xe1, 0xf8, 0x98, 0x11, 0x69, 0xd9, 0x8e, 0x94, 0x9b, 0x1e, 0x87, 0xe9, 0xce, 0x55, 0x28, 0xdf,
+    0x8c, 0xa1, 0x89, 0x0d, 0xbf, 0xe6, 0x42, 0x68, 0x41, 0x99, 0x2d, 0x0f, 0xb0, 0x54, 0xbb, 0x16,
+];
+
+/// Inverse S-box, derived from [`SBOX`] at first use.
+fn inv_sbox() -> [u8; 256] {
+    let mut inv = [0u8; 256];
+    for (i, &s) in SBOX.iter().enumerate() {
+        inv[s as usize] = i as u8;
+    }
+    inv
+}
+
+fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (((b >> 7) & 1) * 0x1b)
+}
+
+/// GF(2^8) multiplication.
+fn gmul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 == 1 {
+            p ^= a;
+        }
+        a = xtime(a);
+        b >>= 1;
+    }
+    p
+}
+
+/// Generic AES engine over a round-key schedule.
+#[derive(Clone)]
+struct AesEngine {
+    round_keys: Vec<[u8; 16]>,
+    inv_sbox: [u8; 256],
+}
+
+impl AesEngine {
+    fn new(key: &[u8]) -> Self {
+        let nk = key.len() / 4; // 4 or 8
+        let nr = nk + 6; // 10 or 14
+        let mut w = vec![[0u8; 4]; 4 * (nr + 1)];
+        for i in 0..nk {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon = 1u8;
+        for i in nk..4 * (nr + 1) {
+            let mut temp = w[i - 1];
+            if i % nk == 0 {
+                temp.rotate_left(1);
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+                temp[0] ^= rcon;
+                rcon = xtime(rcon);
+            } else if nk > 6 && i % nk == 4 {
+                for b in temp.iter_mut() {
+                    *b = SBOX[*b as usize];
+                }
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - nk][j] ^ temp[j];
+            }
+        }
+        let round_keys = (0..=nr)
+            .map(|r| {
+                let mut rk = [0u8; 16];
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+                rk
+            })
+            .collect();
+        Self {
+            round_keys,
+            inv_sbox: inv_sbox(),
+        }
+    }
+
+    fn encrypt(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), 16);
+        let nr = self.round_keys.len() - 1;
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..nr {
+            sub_bytes(block);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[nr]);
+    }
+
+    fn decrypt(&self, block: &mut [u8]) {
+        debug_assert_eq!(block.len(), 16);
+        let nr = self.round_keys.len() - 1;
+        add_round_key(block, &self.round_keys[nr]);
+        for round in (1..nr).rev() {
+            inv_shift_rows(block);
+            inv_sub_bytes(block, &self.inv_sbox);
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+        }
+        inv_shift_rows(block);
+        inv_sub_bytes(block, &self.inv_sbox);
+        add_round_key(block, &self.round_keys[0]);
+    }
+}
+
+fn add_round_key(state: &mut [u8], rk: &[u8; 16]) {
+    for (s, k) in state.iter_mut().zip(rk.iter()) {
+        *s ^= k;
+    }
+}
+
+fn sub_bytes(state: &mut [u8]) {
+    for b in state.iter_mut() {
+        *b = SBOX[*b as usize];
+    }
+}
+
+fn inv_sub_bytes(state: &mut [u8], inv: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = inv[*b as usize];
+    }
+}
+
+// State layout: column-major — state[4*c + r] is row r, column c.
+fn shift_rows(state: &mut [u8]) {
+    let s = |r: usize, c: usize| state[4 * c + r];
+    let mut out = [0u8; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * c + r] = s(r, (c + r) % 4);
+        }
+    }
+    state.copy_from_slice(&out);
+}
+
+fn inv_shift_rows(state: &mut [u8]) {
+    let s = |r: usize, c: usize| state[4 * c + r];
+    let mut out = [0u8; 16];
+    for r in 0..4 {
+        for c in 0..4 {
+            out[4 * c + r] = s(r, (c + 4 - r) % 4);
+        }
+    }
+    state.copy_from_slice(&out);
+}
+
+fn mix_columns(state: &mut [u8]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gmul(col[0], 2) ^ gmul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gmul(col[1], 2) ^ gmul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gmul(col[2], 2) ^ gmul(col[3], 3);
+        state[4 * c + 3] = gmul(col[0], 3) ^ col[1] ^ col[2] ^ gmul(col[3], 2);
+    }
+}
+
+fn inv_mix_columns(state: &mut [u8]) {
+    for c in 0..4 {
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
+        state[4 * c] = gmul(col[0], 14) ^ gmul(col[1], 11) ^ gmul(col[2], 13) ^ gmul(col[3], 9);
+        state[4 * c + 1] = gmul(col[0], 9) ^ gmul(col[1], 14) ^ gmul(col[2], 11) ^ gmul(col[3], 13);
+        state[4 * c + 2] = gmul(col[0], 13) ^ gmul(col[1], 9) ^ gmul(col[2], 14) ^ gmul(col[3], 11);
+        state[4 * c + 3] = gmul(col[0], 11) ^ gmul(col[1], 13) ^ gmul(col[2], 9) ^ gmul(col[3], 14);
+    }
+}
+
+/// AES with a 128-bit key.
+#[derive(Clone)]
+pub struct Aes128 {
+    engine: AesEngine,
+}
+
+impl Aes128 {
+    /// Creates an AES-128 instance from a 16-byte key.
+    pub fn new(key: &[u8]) -> Result<Self, CipherError> {
+        if key.len() != 16 {
+            return Err(CipherError::BadKey);
+        }
+        Ok(Self {
+            engine: AesEngine::new(key),
+        })
+    }
+}
+
+impl BlockCipher for Aes128 {
+    const BLOCK_SIZE: usize = 16;
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        self.engine.encrypt(block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        self.engine.decrypt(block);
+    }
+}
+
+/// AES with a 256-bit key.
+#[derive(Clone)]
+pub struct Aes256 {
+    engine: AesEngine,
+}
+
+impl Aes256 {
+    /// Creates an AES-256 instance from a 32-byte key.
+    pub fn new(key: &[u8]) -> Result<Self, CipherError> {
+        if key.len() != 32 {
+            return Err(CipherError::BadKey);
+        }
+        Ok(Self {
+            engine: AesEngine::new(key),
+        })
+    }
+}
+
+impl BlockCipher for Aes256 {
+    const BLOCK_SIZE: usize = 16;
+
+    fn encrypt_block(&self, block: &mut [u8]) {
+        self.engine.encrypt(block);
+    }
+
+    fn decrypt_block(&self, block: &mut [u8]) {
+        self.engine.decrypt(block);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn fips197_appendix_b_aes128() {
+        let aes = Aes128::new(&unhex("2b7e151628aed2a6abf7158809cf4f3c")).unwrap();
+        let mut block = unhex("3243f6a8885a308d313198a2e0370734");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex("3925841d02dc09fbdc118597196a0b32"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, unhex("3243f6a8885a308d313198a2e0370734"));
+    }
+
+    #[test]
+    fn fips197_appendix_c1_aes128() {
+        let aes = Aes128::new(&unhex("000102030405060708090a0b0c0d0e0f")).unwrap();
+        let mut block = unhex("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex("69c4e0d86a7b0430d8cdb78070b4c55a"));
+    }
+
+    #[test]
+    fn fips197_appendix_c3_aes256() {
+        let aes = Aes256::new(&unhex(
+            "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+        ))
+        .unwrap();
+        let mut block = unhex("00112233445566778899aabbccddeeff");
+        aes.encrypt_block(&mut block);
+        assert_eq!(block, unhex("8ea2b7ca516745bfeafc49904b496089"));
+        aes.decrypt_block(&mut block);
+        assert_eq!(block, unhex("00112233445566778899aabbccddeeff"));
+    }
+
+    #[test]
+    fn rejects_bad_key_lengths() {
+        assert!(Aes128::new(&[0; 15]).is_err());
+        assert!(Aes128::new(&[0; 32]).is_err());
+        assert!(Aes256::new(&[0; 16]).is_err());
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes128::new(&[7u8; 16]).unwrap();
+        for seed in 0u8..16 {
+            let original: Vec<u8> = (0..16).map(|i| i as u8 ^ seed.wrapping_mul(31)).collect();
+            let mut block = original.clone();
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! CRC-32 (IEEE 802.3 polynomial) — used by `mws-store` record framing.
+
+/// Computes the CRC-32 checksum of `data` (reflected, init/final 0xFFFFFFFF —
+/// the zlib/PNG variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xffff_ffffu32;
+    for &byte in data {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xedb8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        assert_eq!(crc32(b""), 0x0000_0000);
+        assert_eq!(crc32(b"123456789"), 0xcbf4_3926);
+        assert_eq!(
+            crc32(b"The quick brown fox jumps over the lazy dog"),
+            0x414f_a339
+        );
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let base = crc32(b"record payload");
+        let mut corrupted = b"record payload".to_vec();
+        corrupted[3] ^= 0x10;
+        assert_ne!(crc32(&corrupted), base);
+    }
+}

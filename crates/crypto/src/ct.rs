@@ -1,0 +1,35 @@
+//! Constant-time helpers.
+
+/// Constant-time byte-slice equality.
+///
+/// Runs in time dependent only on the slice lengths, never on the contents.
+/// Slices of differing length compare unequal (the length itself is not
+/// secret in any of this workspace's protocols).
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equality() {
+        assert!(ct_eq(b"", b""));
+        assert!(ct_eq(b"abc", b"abc"));
+        assert!(!ct_eq(b"abc", b"abd"));
+        assert!(!ct_eq(b"abc", b"ab"));
+        assert!(!ct_eq(b"abc", b"abcd"));
+        // Difference only in the first byte.
+        assert!(!ct_eq(b"xbc", b"abc"));
+        // Difference only in the last byte.
+        assert!(!ct_eq(b"abx", b"abc"));
+    }
+}

@@ -1,0 +1,265 @@
+//! Galois/Counter Mode (NIST SP 800-38D) over any 128-bit block cipher.
+//!
+//! The modern single-pass AEAD alternative to the workspace's
+//! encrypt-then-MAC composition; benchmarked against it in E7. GHASH is
+//! implemented bitwise over `GF(2¹²⁸)` — clarity over speed, validated
+//! against the NIST GCM test vectors.
+
+use crate::{ct_eq, BlockCipher, CipherError};
+
+/// GCM tag length (full 128-bit tags only).
+pub const GCM_TAG_LEN: usize = 16;
+
+/// Multiplication in GF(2¹²⁸) with the GCM polynomial
+/// `x¹²⁸ + x⁷ + x² + x + 1` (right-shift formulation, MSB-first bits).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    let mut z = 0u128;
+    let mut v = x;
+    for i in 0..128 {
+        if (y >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= 0xe1 << 120;
+        }
+    }
+    z
+}
+
+/// GHASH over the already-padded block sequence.
+struct GHash {
+    h: u128,
+    acc: u128,
+}
+
+impl GHash {
+    fn new(h: u128) -> Self {
+        Self { h, acc: 0 }
+    }
+
+    fn update_padded(&mut self, data: &[u8]) {
+        for chunk in data.chunks(16) {
+            let mut block = [0u8; 16];
+            block[..chunk.len()].copy_from_slice(chunk);
+            self.acc = gf_mul(self.acc ^ u128::from_be_bytes(block), self.h);
+        }
+    }
+
+    fn finalize(mut self, aad_bits: u64, ct_bits: u64) -> u128 {
+        let mut lengths = [0u8; 16];
+        lengths[..8].copy_from_slice(&aad_bits.to_be_bytes());
+        lengths[8..].copy_from_slice(&ct_bits.to_be_bytes());
+        self.acc = gf_mul(self.acc ^ u128::from_be_bytes(lengths), self.h);
+        self.acc
+    }
+}
+
+fn counter_block(j0: &[u8; 16], counter: u32) -> [u8; 16] {
+    let mut block = *j0;
+    let base = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes"));
+    block[12..16].copy_from_slice(&base.wrapping_add(counter).to_be_bytes());
+    block
+}
+
+/// Derives `(H, J0)` from the cipher and IV.
+fn init<C: BlockCipher>(cipher: &C, iv: &[u8]) -> Result<(u128, [u8; 16]), CipherError> {
+    if C::BLOCK_SIZE != 16 {
+        return Err(CipherError::BadKey);
+    }
+    let mut hb = [0u8; 16];
+    cipher.encrypt_block(&mut hb);
+    let h = u128::from_be_bytes(hb);
+    let j0 = if iv.len() == 12 {
+        let mut j = [0u8; 16];
+        j[..12].copy_from_slice(iv);
+        j[15] = 1;
+        j
+    } else {
+        // GHASH the IV for non-96-bit lengths.
+        if iv.is_empty() {
+            return Err(CipherError::BadIv);
+        }
+        let mut g = GHash::new(h);
+        g.update_padded(iv);
+        g.finalize(0, iv.len() as u64 * 8).to_be_bytes()
+    };
+    Ok((h, j0))
+}
+
+fn gctr<C: BlockCipher>(cipher: &C, j0: &[u8; 16], data: &mut [u8]) {
+    for (i, chunk) in data.chunks_mut(16).enumerate() {
+        let mut ks = counter_block(j0, (i as u32) + 1);
+        cipher.encrypt_block(&mut ks);
+        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+            *d ^= k;
+        }
+    }
+}
+
+fn compute_tag<C: BlockCipher>(
+    cipher: &C,
+    h: u128,
+    j0: &[u8; 16],
+    aad: &[u8],
+    ct: &[u8],
+) -> [u8; 16] {
+    let mut g = GHash::new(h);
+    g.update_padded(aad);
+    g.update_padded(ct);
+    let s = g.finalize(aad.len() as u64 * 8, ct.len() as u64 * 8);
+    let mut tag = counter_block(j0, 0);
+    cipher.encrypt_block(&mut tag);
+    let t = u128::from_be_bytes(tag) ^ s;
+    t.to_be_bytes()
+}
+
+/// GCM encryption: returns `ciphertext ‖ tag(16)`.
+pub fn gcm_seal<C: BlockCipher>(
+    cipher: &C,
+    iv: &[u8],
+    aad: &[u8],
+    plaintext: &[u8],
+) -> Result<Vec<u8>, CipherError> {
+    let (h, j0) = init(cipher, iv)?;
+    let mut out = plaintext.to_vec();
+    gctr(cipher, &j0, &mut out);
+    let tag = compute_tag(cipher, h, &j0, aad, &out);
+    out.extend_from_slice(&tag);
+    Ok(out)
+}
+
+/// GCM decryption of a [`gcm_seal`] output.
+pub fn gcm_open<C: BlockCipher>(
+    cipher: &C,
+    iv: &[u8],
+    aad: &[u8],
+    sealed: &[u8],
+) -> Result<Vec<u8>, CipherError> {
+    if sealed.len() < GCM_TAG_LEN {
+        return Err(CipherError::BadLength);
+    }
+    let (h, j0) = init(cipher, iv)?;
+    let (ct, tag) = sealed.split_at(sealed.len() - GCM_TAG_LEN);
+    let expect = compute_tag(cipher, h, &j0, aad, ct);
+    if !ct_eq(&expect, tag) {
+        return Err(CipherError::BadPadding); // tag mismatch
+    }
+    let mut out = ct.to_vec();
+    gctr(cipher, &j0, &mut out);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Aes128;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    #[test]
+    fn nist_test_case_1_empty() {
+        // AES-128, zero key, zero IV, empty everything.
+        let aes = Aes128::new(&[0; 16]).unwrap();
+        let sealed = gcm_seal(&aes, &[0; 12], b"", b"").unwrap();
+        assert_eq!(hex(&sealed), "58e2fccefa7e3061367f1d57a4e7455a");
+        assert_eq!(gcm_open(&aes, &[0; 12], b"", &sealed).unwrap(), b"");
+    }
+
+    #[test]
+    fn nist_test_case_2_one_block() {
+        let aes = Aes128::new(&[0; 16]).unwrap();
+        let sealed = gcm_seal(&aes, &[0; 12], b"", &[0u8; 16]).unwrap();
+        assert_eq!(
+            hex(&sealed),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    #[test]
+    fn nist_test_case_3_and_4() {
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let aes = Aes128::new(&key).unwrap();
+        let iv = unhex("cafebabefacedbaddecaf888");
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        // Case 3: no AAD.
+        let sealed = gcm_seal(&aes, &iv, b"", &pt).unwrap();
+        assert_eq!(
+            hex(&sealed[..64]),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e\
+             21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f5985"
+        );
+        assert_eq!(hex(&sealed[64..]), "4d5c2af327cd64a62cf35abd2ba6fab4");
+
+        // Case 4: with AAD and a short final block.
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let sealed = gcm_seal(&aes, &iv, &aad, &pt[..60]).unwrap();
+        assert_eq!(hex(&sealed[60..]), "5bc94fbc3221a5db94fae95ae7121a47");
+        assert_eq!(gcm_open(&aes, &iv, &aad, &sealed).unwrap(), &pt[..60]);
+    }
+
+    #[test]
+    fn non_96_bit_iv() {
+        // NIST test case 6 uses a 60-byte IV.
+        let key = unhex("feffe9928665731c6d6a8f9467308308");
+        let aes = Aes128::new(&key).unwrap();
+        let iv = unhex(
+            "9313225df88406e555909c5aff5269aa6a7a9538534f7da1e4c303d2a318a728\
+             c3c0c95156809539fcf0e2429a6b525416aedbf5a0de6a57a637b39b",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let pt = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a72\
+             1c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let sealed = gcm_seal(&aes, &iv, &aad, &pt).unwrap();
+        assert_eq!(hex(&sealed[pt.len()..]), "619cc5aefffe0bfa462af43c1699d050");
+        assert_eq!(gcm_open(&aes, &iv, &aad, &sealed).unwrap(), pt);
+    }
+
+    #[test]
+    fn tamper_and_aad_binding() {
+        let aes = Aes128::new(&[7; 16]).unwrap();
+        let sealed = gcm_seal(&aes, &[1; 12], b"hdr", b"payload").unwrap();
+        for i in 0..sealed.len() {
+            let mut bad = sealed.clone();
+            bad[i] ^= 1;
+            assert!(gcm_open(&aes, &[1; 12], b"hdr", &bad).is_err(), "byte {i}");
+        }
+        assert!(gcm_open(&aes, &[1; 12], b"other", &sealed).is_err());
+        assert!(gcm_open(&aes, &[2; 12], b"hdr", &sealed).is_err());
+        assert!(gcm_open(&aes, &[1; 12], b"hdr", &sealed[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_64_bit_block_ciphers() {
+        let des = crate::Des::new(&[1; 8]).unwrap();
+        assert!(gcm_seal(&des, &[0; 12], b"", b"").is_err());
+    }
+
+    #[test]
+    fn gf_mul_known_value() {
+        // H·H for H = 0x...01 must equal the polynomial reduction of x²⁵⁴.
+        // Spot-check commutativity and the identity instead (bit 0 = x¹²⁷…
+        // GCM is MSB-first: the identity element is 0x80000...0).
+        let one = 1u128 << 127;
+        let a = 0x0123_4567_89ab_cdef_0011_2233_4455_6677u128;
+        assert_eq!(gf_mul(a, one), a);
+        assert_eq!(gf_mul(one, a), a);
+        let b = 0xdead_beef_cafe_babe_1122_3344_5566_7788u128;
+        assert_eq!(gf_mul(a, b), gf_mul(b, a));
+    }
+}

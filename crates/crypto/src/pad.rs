@@ -1,0 +1,81 @@
+//! PKCS#7 padding (RFC 5652 §6.3).
+
+/// Error returned when padding is malformed at unpad time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PadError;
+
+impl core::fmt::Display for PadError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "invalid PKCS#7 padding")
+    }
+}
+
+impl std::error::Error for PadError {}
+
+/// Pads `data` to a multiple of `block_size` (1–255 bytes of padding; a full
+/// extra block is added when the input is already aligned).
+///
+/// # Panics
+///
+/// Panics if `block_size` is 0 or > 255.
+pub fn pkcs7_pad(data: &[u8], block_size: usize) -> Vec<u8> {
+    assert!((1..=255).contains(&block_size), "unsupported block size");
+    let pad = block_size - data.len() % block_size;
+    let mut out = Vec::with_capacity(data.len() + pad);
+    out.extend_from_slice(data);
+    out.extend(std::iter::repeat_n(pad as u8, pad));
+    out
+}
+
+/// Strips PKCS#7 padding, validating every padding byte.
+pub fn pkcs7_unpad(data: &[u8], block_size: usize) -> Result<Vec<u8>, PadError> {
+    if data.is_empty() || !data.len().is_multiple_of(block_size) {
+        return Err(PadError);
+    }
+    let pad = *data.last().expect("nonempty") as usize;
+    if pad == 0 || pad > block_size || pad > data.len() {
+        return Err(PadError);
+    }
+    if data[data.len() - pad..].iter().any(|&b| b as usize != pad) {
+        return Err(PadError);
+    }
+    Ok(data[..data.len() - pad].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pad_unpad_roundtrip_all_phases() {
+        for len in 0..40 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            for bs in [8usize, 16] {
+                let padded = pkcs7_pad(&data, bs);
+                assert_eq!(padded.len() % bs, 0);
+                assert!(padded.len() > data.len(), "always adds padding");
+                assert_eq!(pkcs7_unpad(&padded, bs).unwrap(), data);
+            }
+        }
+    }
+
+    #[test]
+    fn aligned_input_gets_full_block() {
+        let data = [1u8; 16];
+        let padded = pkcs7_pad(&data, 16);
+        assert_eq!(padded.len(), 32);
+        assert_eq!(&padded[16..], &[16u8; 16]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(pkcs7_unpad(&[], 8).is_err());
+        assert!(pkcs7_unpad(&[1, 2, 3], 8).is_err()); // not aligned
+        assert!(pkcs7_unpad(&[0u8; 8], 8).is_err()); // pad byte 0
+        assert!(pkcs7_unpad(&[1, 1, 1, 1, 1, 1, 1, 9], 8).is_err()); // pad > bs
+        let mut bad = pkcs7_pad(b"hello", 8);
+        let n = bad.len();
+        bad[n - 2] ^= 1; // corrupt an interior pad byte
+        assert!(pkcs7_unpad(&bad, 8).is_err());
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the crypto substrate.
+
+use mws_crypto::{
+    gcm_open, gcm_seal, open, pkcs7_pad, pkcs7_unpad, seal, Aes128, Aes256, BlockCipher, CbcMode,
+    ChaCha20, CtrMode, Des, Digest, Hmac, Md5, Sha1, Sha256, TripleDes,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sha256_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha256::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha1_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Sha1::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Sha1::digest(&data));
+    }
+
+    #[test]
+    fn md5_incremental_any_split(data in prop::collection::vec(any::<u8>(), 0..512), split in 0usize..512) {
+        let split = split.min(data.len());
+        let mut h = Md5::new();
+        h.update(&data[..split]);
+        h.update(&data[split..]);
+        prop_assert_eq!(h.finalize(), Md5::digest(&data));
+    }
+
+    #[test]
+    fn hmac_key_sensitivity(key in prop::collection::vec(any::<u8>(), 1..100), data in prop::collection::vec(any::<u8>(), 0..100)) {
+        let t1 = Hmac::<Sha256>::mac(&key, &data);
+        let mut key2 = key.clone();
+        key2[0] ^= 1;
+        let t2 = Hmac::<Sha256>::mac(&key2, &data);
+        prop_assert_ne!(t1, t2);
+    }
+
+    #[test]
+    fn pkcs7_roundtrip(data in prop::collection::vec(any::<u8>(), 0..200), bs in 1usize..=32) {
+        let padded = pkcs7_pad(&data, bs);
+        prop_assert_eq!(padded.len() % bs, 0);
+        prop_assert_eq!(pkcs7_unpad(&padded, bs).unwrap(), data);
+    }
+
+    #[test]
+    fn des_block_roundtrip(key in prop::array::uniform8(any::<u8>()), block in prop::array::uniform8(any::<u8>())) {
+        let des = Des::new(&key).unwrap();
+        let mut b = block;
+        des.encrypt_block(&mut b);
+        des.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn tdes_block_roundtrip(key in prop::collection::vec(any::<u8>(), 24..=24), block in prop::array::uniform8(any::<u8>())) {
+        let tdes = TripleDes::new(&key).unwrap();
+        let mut b = block;
+        tdes.encrypt_block(&mut b);
+        tdes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes128_block_roundtrip(key in prop::array::uniform16(any::<u8>()), block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes128::new(&key).unwrap();
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn aes256_block_roundtrip(key in prop::collection::vec(any::<u8>(), 32..=32), block in prop::array::uniform16(any::<u8>())) {
+        let aes = Aes256::new(&key).unwrap();
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn cbc_roundtrip_any_message(key in prop::array::uniform16(any::<u8>()), iv in prop::array::uniform16(any::<u8>()), msg in prop::collection::vec(any::<u8>(), 0..300)) {
+        let aes = Aes128::new(&key).unwrap();
+        let ct = CbcMode::encrypt(&aes, &iv, &msg).unwrap();
+        prop_assert_eq!(CbcMode::decrypt(&aes, &iv, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn ctr_roundtrip_any_message(key in prop::array::uniform16(any::<u8>()), nonce in prop::array::uniform8(any::<u8>()), msg in prop::collection::vec(any::<u8>(), 0..300)) {
+        let aes = Aes128::new(&key).unwrap();
+        let ct = CtrMode::encrypt(&aes, &nonce, &msg).unwrap();
+        prop_assert_eq!(ct.len(), msg.len());
+        prop_assert_eq!(CtrMode::decrypt(&aes, &nonce, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn chacha_roundtrip_any_message(key in prop::collection::vec(any::<u8>(), 32..=32), nonce in prop::collection::vec(any::<u8>(), 12..=12), msg in prop::collection::vec(any::<u8>(), 0..300)) {
+        let ct = ChaCha20::encrypt(&key, &nonce, &msg).unwrap();
+        prop_assert_eq!(ChaCha20::decrypt(&key, &nonce, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn gcm_roundtrip_and_tamper(key in prop::array::uniform16(any::<u8>()), iv in prop::collection::vec(any::<u8>(), 1..32), msg in prop::collection::vec(any::<u8>(), 0..200), aad in prop::collection::vec(any::<u8>(), 0..50), flip in any::<u16>()) {
+        let cipher = Aes128::new(&key).unwrap();
+        let sealed = gcm_seal(&cipher, &iv, &aad, &msg).unwrap();
+        prop_assert_eq!(gcm_open(&cipher, &iv, &aad, &sealed).unwrap(), msg);
+        let pos = (flip as usize) % (sealed.len() * 8);
+        let mut bad = sealed.clone();
+        bad[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(gcm_open(&cipher, &iv, &aad, &bad).is_err());
+    }
+
+    #[test]
+    fn aead_roundtrip_and_tamper(key in prop::array::uniform16(any::<u8>()), msg in prop::collection::vec(any::<u8>(), 0..200), aad in prop::collection::vec(any::<u8>(), 0..50), flip in any::<u16>()) {
+        let cipher = Aes128::new(&key).unwrap();
+        let mac_key = [7u8; 32];
+        let nonce = [5u8; 8];
+        let sealed = seal(&cipher, &mac_key, &nonce, &aad, &msg).unwrap();
+        prop_assert_eq!(open(&cipher, &mac_key, &nonce, &aad, &sealed).unwrap(), msg);
+        // Random single-bit corruption always detected.
+        let pos = (flip as usize) % (sealed.len() * 8);
+        let mut bad = sealed.clone();
+        bad[pos / 8] ^= 1 << (pos % 8);
+        prop_assert!(open(&cipher, &mac_key, &nonce, &aad, &bad).is_err());
+    }
+}

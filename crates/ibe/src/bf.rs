@@ -1,0 +1,293 @@
+//! Boneh–Franklin IBE: `Setup`, `Extract`, and the BasicIdent
+//! encrypt/decrypt (paper §IV).
+
+use crate::kdf::{xor_into, xor_pad};
+use crate::IbeError;
+use mws_pairing::{FpW, PairingCtx, PairingError, Point, SecurityLevel};
+use rand::RngCore;
+
+/// An IBE system instance: pairing parameters shared by every party.
+#[derive(Clone, Debug)]
+pub struct IbeSystem {
+    ctx: PairingCtx,
+}
+
+/// The PKG's master secret `s` (never leaves the PKG in the protocol).
+#[derive(Clone)]
+pub struct MasterSecret(pub(crate) FpW);
+
+impl core::fmt::Debug for MasterSecret {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("MasterSecret {{ .. }}") // never print key material
+    }
+}
+
+/// The system public key `P_pub = s·P` (the paper's `sP`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MasterPublic(pub(crate) Point);
+
+/// A user (or attribute) private key `d = s·Q_ID`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct UserPrivateKey(pub(crate) Point);
+
+impl core::fmt::Debug for UserPrivateKey {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("UserPrivateKey {{ .. }}")
+    }
+}
+
+/// BasicIdent ciphertext `(U, V) = (rP, M ⊕ H₂(g_ID^r))`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicCiphertext {
+    /// `U = r·P`.
+    pub u: Point,
+    /// Masked message.
+    pub v: Vec<u8>,
+}
+
+impl IbeSystem {
+    /// Creates a system over the given pairing context.
+    pub fn new(ctx: PairingCtx) -> Self {
+        Self { ctx }
+    }
+
+    /// Creates a system over a named deterministic parameter set.
+    pub fn named(level: SecurityLevel) -> Self {
+        Self::new(PairingCtx::named(level))
+    }
+
+    /// The pairing context (shared system parameters `⟨p, q, P, …⟩`).
+    pub fn pairing(&self) -> &PairingCtx {
+        &self.ctx
+    }
+
+    /// `Setup`: draws the master secret `s` and publishes `P_pub = sP`.
+    pub fn setup<R: RngCore + ?Sized>(&self, rng: &mut R) -> (MasterSecret, MasterPublic) {
+        let s = self.ctx.random_scalar(rng);
+        let ppub = self.ctx.mul(&self.ctx.generator(), &s);
+        (MasterSecret(s), MasterPublic(ppub))
+    }
+
+    /// `Q_ID = MapToPoint(H(ID))` — the public point of an identity.
+    pub fn identity_point(&self, id: &[u8]) -> Point {
+        self.ctx.hash_to_point(id)
+    }
+
+    /// `Extract`: `d_ID = s·Q_ID`.
+    pub fn extract(&self, msk: &MasterSecret, id: &[u8]) -> UserPrivateKey {
+        let q_id = self.identity_point(id);
+        UserPrivateKey(self.ctx.mul(&q_id, &msk.0))
+    }
+
+    /// `Extract` applied to an already-mapped point (used by the threshold
+    /// PKG and the attribute scheme, which hash `A ‖ Nonce` themselves).
+    pub fn extract_point(&self, msk: &MasterSecret, q_id: &Point) -> UserPrivateKey {
+        UserPrivateKey(self.ctx.mul(q_id, &msk.0))
+    }
+
+    /// BasicIdent encryption of an arbitrary-length message.
+    pub fn encrypt_basic<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        mpk: &MasterPublic,
+        id: &[u8],
+        msg: &[u8],
+    ) -> BasicCiphertext {
+        let q_id = self.identity_point(id);
+        self.encrypt_basic_point(rng, mpk, &q_id, msg)
+    }
+
+    /// BasicIdent encryption to a pre-mapped identity point.
+    pub fn encrypt_basic_point<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        mpk: &MasterPublic,
+        q_id: &Point,
+        msg: &[u8],
+    ) -> BasicCiphertext {
+        let r = self.ctx.random_scalar(rng);
+        let u = self.ctx.mul(&self.ctx.generator(), &r);
+        // g = ê(Q_ID, P_pub)^r
+        let g = self.ctx.pairing(q_id, &mpk.0);
+        let gr = self.ctx.field().fp2_pow(&g, &r);
+        let mut v = msg.to_vec();
+        let pad = xor_pad(&self.ctx, &gr, v.len());
+        xor_into(&mut v, &pad);
+        BasicCiphertext { u, v }
+    }
+
+    /// BasicIdent decryption: `M = V ⊕ H₂(ê(d_ID, U))`.
+    pub fn decrypt_basic(
+        &self,
+        sk: &UserPrivateKey,
+        ct: &BasicCiphertext,
+    ) -> Result<Vec<u8>, IbeError> {
+        if ct.u.is_infinity() || !self.ctx.field().is_on_curve(&ct.u) {
+            return Err(IbeError::InvalidPoint);
+        }
+        let g = self.ctx.pairing(&sk.0, &ct.u);
+        let mut m = ct.v.clone();
+        let pad = xor_pad(&self.ctx, &g, m.len());
+        xor_into(&mut m, &pad);
+        Ok(m)
+    }
+
+    /// Serializes the master public key (compressed point).
+    pub fn mpk_to_bytes(&self, mpk: &MasterPublic) -> Vec<u8> {
+        self.ctx.field().point_to_bytes(&mpk.0)
+    }
+
+    /// Parses a master public key, validating the point.
+    pub fn mpk_from_bytes(&self, bytes: &[u8]) -> Result<MasterPublic, PairingError> {
+        let p = self.ctx.field().point_from_bytes(bytes)?;
+        if p.is_infinity() || !self.ctx.mul(&p, self.ctx.group_order()).is_infinity() {
+            return Err(PairingError::InvalidPoint);
+        }
+        Ok(MasterPublic(p))
+    }
+
+    /// Serializes a user private key.
+    pub fn sk_to_bytes(&self, sk: &UserPrivateKey) -> Vec<u8> {
+        self.ctx.field().point_to_bytes(&sk.0)
+    }
+
+    /// Parses a user private key.
+    pub fn sk_from_bytes(&self, bytes: &[u8]) -> Result<UserPrivateKey, PairingError> {
+        Ok(UserPrivateKey(self.ctx.field().point_from_bytes(bytes)?))
+    }
+}
+
+impl MasterPublic {
+    /// The underlying point `sP`.
+    pub fn point(&self) -> &Point {
+        &self.0
+    }
+}
+
+impl UserPrivateKey {
+    /// The underlying point `sQ_ID`.
+    pub fn point(&self) -> &Point {
+        &self.0
+    }
+
+    /// Wraps a raw point (used when reassembling threshold shares or
+    /// receiving `sI` from the PKG over the wire).
+    pub fn from_point(p: Point) -> Self {
+        Self(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mws_crypto::HmacDrbg;
+
+    fn system() -> IbeSystem {
+        IbeSystem::named(SecurityLevel::Toy)
+    }
+
+    #[test]
+    fn setup_extract_encrypt_decrypt() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(1);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, b"bob@sap.com", b"meter=42kWh");
+        let sk = ibe.extract(&msk, b"bob@sap.com");
+        assert_eq!(ibe.decrypt_basic(&sk, &ct).unwrap(), b"meter=42kWh");
+    }
+
+    #[test]
+    fn wrong_identity_gets_garbage() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(2);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, b"alice", b"secret message");
+        let sk_eve = ibe.extract(&msk, b"eve");
+        let got = ibe.decrypt_basic(&sk_eve, &ct).unwrap();
+        assert_ne!(got, b"secret message");
+    }
+
+    #[test]
+    fn wrong_master_key_gets_garbage() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(3);
+        let (_, mpk) = ibe.setup(&mut rng);
+        let (msk2, _) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, b"alice", b"secret message");
+        let sk = ibe.extract(&msk2, b"alice");
+        assert_ne!(ibe.decrypt_basic(&sk, &ct).unwrap(), b"secret message");
+    }
+
+    #[test]
+    fn encryption_is_randomized() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(4);
+        let (_, mpk) = ibe.setup(&mut rng);
+        let c1 = ibe.encrypt_basic(&mut rng, &mpk, b"id", b"m");
+        let c2 = ibe.encrypt_basic(&mut rng, &mpk, b"id", b"m");
+        assert_ne!(c1, c2);
+    }
+
+    #[test]
+    fn empty_message() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(5);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, b"id", b"");
+        let sk = ibe.extract(&msk, b"id");
+        assert_eq!(ibe.decrypt_basic(&sk, &ct).unwrap(), b"");
+    }
+
+    #[test]
+    fn large_message() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(6);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let msg: Vec<u8> = (0..10_000).map(|i| (i % 251) as u8).collect();
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, b"id", &msg);
+        let sk = ibe.extract(&msk, b"id");
+        assert_eq!(ibe.decrypt_basic(&sk, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn rejects_invalid_u_point() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(7);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let mut ct = ibe.encrypt_basic(&mut rng, &mpk, b"id", b"m");
+        ct.u = Point::Infinity;
+        let sk = ibe.extract(&msk, b"id");
+        assert_eq!(
+            ibe.decrypt_basic(&sk, &ct).unwrap_err(),
+            IbeError::InvalidPoint
+        );
+    }
+
+    #[test]
+    fn key_serialization_roundtrips() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(8);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let mpk2 = ibe.mpk_from_bytes(&ibe.mpk_to_bytes(&mpk)).unwrap();
+        assert_eq!(mpk, mpk2);
+        let sk = ibe.extract(&msk, b"id");
+        let sk2 = ibe.sk_from_bytes(&ibe.sk_to_bytes(&sk)).unwrap();
+        assert_eq!(sk, sk2);
+        assert!(
+            ibe.mpk_from_bytes(&[0x00]).is_err(),
+            "infinity mpk rejected"
+        );
+    }
+
+    #[test]
+    fn extract_point_matches_extract() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(9);
+        let (msk, _) = ibe.setup(&mut rng);
+        let q = ibe.identity_point(b"attr|nonce");
+        assert_eq!(
+            ibe.extract_point(&msk, &q),
+            ibe.extract(&msk, b"attr|nonce")
+        );
+    }
+}

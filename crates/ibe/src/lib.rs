@@ -1,0 +1,73 @@
+//! Boneh–Franklin Identity-Based Encryption and its protocol-level variants.
+//!
+//! This crate implements the cryptographic core of the paper (§IV–§V):
+//!
+//! * [`bf`] — the Boneh–Franklin scheme: `Setup`, `Extract`, and the
+//!   **BasicIdent** encrypt/decrypt (CPA-secure, what the paper describes).
+//! * [`fullident`] — **FullIdent**, the Fujisaki–Okamoto-transformed
+//!   CCA-secure variant (design decision D2).
+//! * [`attr`] — the paper's *attribute* scheme: identities are attribute
+//!   strings plus a per-message nonce (`I = H(A ‖ Nonce)`), and the IBE
+//!   value keys a symmetric cipher (`C = E{M, h[ê(Q_ID, sP)^r]}`). This is
+//!   what the Smart Device actually runs.
+//! * [`threshold`] — a `t`-of-`n` distributed PKG via Shamir sharing of the
+//!   master secret (paper §VIII future work: "a form of threshold
+//!   cryptography may also be considered, to create a distributed PKG").
+//! * [`ibs`] — identity-based signatures (Cha–Cheon) and plain BLS
+//!   signatures (paper §VIII: "a possibility of the SD to use IBE … to sign
+//!   a message").
+//!
+//! # Quickstart
+//!
+//! ```
+//! use mws_ibe::bf::IbeSystem;
+//! use mws_pairing::SecurityLevel;
+//! use mws_crypto::HmacDrbg;
+//!
+//! let mut rng = HmacDrbg::from_u64(1);
+//! let ibe = IbeSystem::named(SecurityLevel::Toy);
+//! let (msk, mpk) = ibe.setup(&mut rng);
+//! let ct = ibe.encrypt_basic(&mut rng, &mpk, b"alice@example.com", b"hi");
+//! let sk = ibe.extract(&msk, b"alice@example.com");
+//! assert_eq!(ibe.decrypt_basic(&sk, &ct).unwrap(), b"hi");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attr;
+pub mod bf;
+pub mod fullident;
+pub mod ibs;
+pub mod kdf;
+pub mod threshold;
+
+pub use attr::{AttrCiphertext, CipherAlgo};
+pub use bf::{BasicCiphertext, IbeSystem, MasterPublic, MasterSecret, UserPrivateKey};
+pub use fullident::FullCiphertext;
+
+/// Errors from the IBE layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IbeError {
+    /// Ciphertext failed validation (FO check, MAC, or structure).
+    InvalidCiphertext,
+    /// A point failed curve/subgroup checks during decode.
+    InvalidPoint,
+    /// Threshold reconstruction had too few or duplicate shares.
+    BadShares,
+    /// Signature rejected.
+    BadSignature,
+}
+
+impl core::fmt::Display for IbeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            IbeError::InvalidCiphertext => write!(f, "invalid ciphertext"),
+            IbeError::InvalidPoint => write!(f, "invalid point encoding"),
+            IbeError::BadShares => write!(f, "insufficient or duplicate shares"),
+            IbeError::BadSignature => write!(f, "signature verification failed"),
+        }
+    }
+}
+
+impl std::error::Error for IbeError {}

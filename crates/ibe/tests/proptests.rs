@@ -1,0 +1,104 @@
+//! Property-based tests for the IBE layer.
+
+use mws_crypto::HmacDrbg;
+use mws_ibe::bf::IbeSystem;
+use mws_ibe::CipherAlgo;
+use mws_pairing::SecurityLevel;
+use proptest::prelude::*;
+
+fn system() -> IbeSystem {
+    IbeSystem::named(SecurityLevel::Toy)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn basic_roundtrip_any_message(msg in prop::collection::vec(any::<u8>(), 0..500), id in "[a-z0-9@\\.\\-]{1,40}", seed in any::<u64>()) {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(seed);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_basic(&mut rng, &mpk, id.as_bytes(), &msg);
+        let sk = ibe.extract(&msk, id.as_bytes());
+        prop_assert_eq!(ibe.decrypt_basic(&sk, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn full_roundtrip_any_message(msg in prop::collection::vec(any::<u8>(), 0..500), seed in any::<u64>()) {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(seed);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_full(&mut rng, &mpk, b"id", &msg);
+        let sk = ibe.extract(&msk, b"id");
+        prop_assert_eq!(ibe.decrypt_full(&sk, &ct).unwrap(), msg);
+    }
+
+    #[test]
+    fn full_tamper_always_rejected(msg in prop::collection::vec(any::<u8>(), 1..200), flip in any::<u16>()) {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(1);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let mut ct = ibe.encrypt_full(&mut rng, &mpk, b"id", &msg);
+        // Flip one bit somewhere in (v ‖ w).
+        let total_bits = (32 + ct.w.len()) * 8;
+        let pos = (flip as usize) % total_bits;
+        if pos < 32 * 8 {
+            ct.v[pos / 8] ^= 1 << (pos % 8);
+        } else {
+            let p = pos - 32 * 8;
+            ct.w[p / 8] ^= 1 << (p % 8);
+        }
+        let sk = ibe.extract(&msk, b"id");
+        prop_assert!(ibe.decrypt_full(&sk, &ct).is_err());
+    }
+
+    #[test]
+    fn attr_scheme_roundtrip(
+        msg in prop::collection::vec(any::<u8>(), 0..300),
+        attr in "[A-Z0-9\\-]{1,30}",
+        nonce in prop::collection::vec(any::<u8>(), 1..24),
+        algo_idx in 0usize..5,
+    ) {
+        let algos = [CipherAlgo::Des, CipherAlgo::TripleDes, CipherAlgo::Aes128, CipherAlgo::Aes256, CipherAlgo::ChaCha20];
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(2);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_attr(&mut rng, &mpk, &attr, &nonce, algos[algo_idx], b"aad", &msg);
+        let sk = ibe.extract_point(&msk, &ibe.attribute_point(&attr, &nonce));
+        prop_assert_eq!(ibe.decrypt_attr(&sk, &ct, b"aad").unwrap(), msg);
+    }
+
+    #[test]
+    fn threshold_any_t_of_n(t in 1u32..5, extra in 0u32..3, pick_seed in any::<u64>()) {
+        let n = t + extra;
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(3);
+        let (msk, _) = ibe.setup(&mut rng);
+        let shares = ibe.share_master(&mut rng, &msk, t, n).unwrap();
+        let q_id = ibe.identity_point(b"attr|n");
+        let expect = ibe.extract(&msk, b"attr|n");
+        // Pick t distinct share indices pseudo-randomly.
+        let mut order: Vec<usize> = (0..n as usize).collect();
+        let mut s = pick_seed;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            order.swap(i, (s as usize) % (i + 1));
+        }
+        let partials: Vec<_> = order[..t as usize]
+            .iter()
+            .map(|&i| ibe.partial_extract(&shares[i], &q_id))
+            .collect();
+        prop_assert_eq!(ibe.combine_partial_keys(&partials).unwrap(), expect);
+    }
+
+    #[test]
+    fn bls_never_cross_verifies(msg1 in prop::collection::vec(any::<u8>(), 1..60), msg2 in prop::collection::vec(any::<u8>(), 1..60)) {
+        prop_assume!(msg1 != msg2);
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(4);
+        let kp = ibe.bls_keygen(&mut rng);
+        let sig = ibe.bls_sign(&kp, &msg1);
+        prop_assert!(ibe.bls_verify(&kp.pk, &msg1, &sig).is_ok());
+        prop_assert!(ibe.bls_verify(&kp.pk, &msg2, &sig).is_err());
+    }
+}

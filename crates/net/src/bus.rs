@@ -1,0 +1,289 @@
+//! The in-process request/response bus.
+
+use crate::fault::{FaultConfig, FaultState};
+use crate::metrics::LinkMetrics;
+use crate::NetError;
+use mws_wire::{decode_envelope, encode_envelope, Pdu};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A request handler bound to an endpoint name.
+///
+/// Handlers receive decoded PDUs and return the reply PDU; transport
+/// concerns (framing, faults, metrics) live in the bus.
+pub trait Service: Send {
+    /// Handles one request.
+    fn handle(&mut self, request: Pdu) -> Pdu;
+}
+
+impl<F: FnMut(Pdu) -> Pdu + Send> Service for F {
+    fn handle(&mut self, request: Pdu) -> Pdu {
+        self(request)
+    }
+}
+
+struct Endpoint {
+    service: Box<dyn Service>,
+    faults: FaultState,
+    metrics: LinkMetrics,
+    latency: crate::LatencyModel,
+}
+
+#[derive(Default)]
+struct NetworkState {
+    endpoints: HashMap<String, Endpoint>,
+}
+
+/// A named-endpoint network. Cheap to clone (shared state).
+#[derive(Clone, Default)]
+pub struct Network {
+    state: Arc<Mutex<NetworkState>>,
+}
+
+impl Network {
+    /// Creates an empty network.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds a service under `name` with default (fault-free) links.
+    pub fn bind<S: Service + 'static>(&self, name: &str, service: S) {
+        self.bind_with(name, service, FaultConfig::default());
+    }
+
+    /// Binds a service with an explicit fault/latency configuration.
+    pub fn bind_with<S: Service + 'static>(&self, name: &str, service: S, cfg: FaultConfig) {
+        let mut state = self.state.lock();
+        state.endpoints.insert(
+            name.to_string(),
+            Endpoint {
+                service: Box::new(service),
+                faults: FaultState::new(&cfg),
+                metrics: LinkMetrics::default(),
+                latency: cfg.latency,
+            },
+        );
+    }
+
+    /// Removes an endpoint (server shutdown).
+    pub fn unbind(&self, name: &str) -> bool {
+        self.state.lock().endpoints.remove(name).is_some()
+    }
+
+    /// A client handle for the named endpoint.
+    pub fn client(&self, name: &str) -> Client {
+        Client {
+            network: self.clone(),
+            target: name.to_string(),
+        }
+    }
+
+    /// Snapshot of an endpoint's metrics.
+    pub fn metrics(&self, name: &str) -> Option<LinkMetrics> {
+        self.state.lock().endpoints.get(name).map(|e| e.metrics)
+    }
+
+    /// Dispatches one framed request; internal to [`Client::call`].
+    fn dispatch(&self, target: &str, frame: Vec<u8>) -> Result<Vec<u8>, NetError> {
+        let mut state = self.state.lock();
+        let ep = state
+            .endpoints
+            .get_mut(target)
+            .ok_or_else(|| NetError::UnknownEndpoint(target.to_string()))?;
+
+        // Request leg.
+        ep.metrics.virtual_us += ep.latency.cost_us(frame.len());
+        if ep.faults.should_drop() {
+            ep.metrics.dropped += 1;
+            return Err(NetError::Dropped);
+        }
+        ep.metrics.bytes_in += frame.len() as u64;
+        ep.metrics.requests += 1;
+        let (request, _) = decode_envelope(&frame)?;
+        let reply = ep.service.handle(request);
+        let reply_frame = encode_envelope(&reply);
+
+        // Response leg.
+        ep.metrics.virtual_us += ep.latency.cost_us(reply_frame.len());
+        if ep.faults.should_drop() {
+            ep.metrics.dropped += 1;
+            return Err(NetError::Dropped);
+        }
+        ep.metrics.bytes_out += reply_frame.len() as u64;
+        Ok(reply_frame)
+    }
+}
+
+/// A client handle for one endpoint.
+#[derive(Clone)]
+pub struct Client {
+    network: Network,
+    target: String,
+}
+
+impl Client {
+    /// Sends a request and waits for the reply.
+    pub fn call(&self, request: &Pdu) -> Result<Pdu, NetError> {
+        let frame = encode_envelope(request);
+        let reply_frame = self.network.dispatch(&self.target, frame)?;
+        let (reply, _) = decode_envelope(&reply_frame)?;
+        Ok(reply)
+    }
+
+    /// Like [`Self::call`] but retries after fault-injected drops, up to
+    /// `attempts` times — the retransmission loop a real deployment runs.
+    pub fn call_with_retry(&self, request: &Pdu, attempts: u32) -> Result<Pdu, NetError> {
+        let mut last = NetError::Dropped;
+        for _ in 0..attempts {
+            match self.call(request) {
+                Ok(reply) => return Ok(reply),
+                Err(NetError::Dropped) => last = NetError::Dropped,
+                Err(other) => return Err(other),
+            }
+        }
+        Err(last)
+    }
+
+    /// Target endpoint name.
+    pub fn target(&self) -> &str {
+        &self.target
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LatencyModel;
+
+    fn echo() -> impl Service {
+        |req: Pdu| match req {
+            Pdu::DepositAck { message_id } => Pdu::DepositAck {
+                message_id: message_id + 1,
+            },
+            other => other,
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let net = Network::new();
+        net.bind("mws", echo());
+        let client = net.client("mws");
+        let reply = client.call(&Pdu::DepositAck { message_id: 1 }).unwrap();
+        assert_eq!(reply, Pdu::DepositAck { message_id: 2 });
+    }
+
+    #[test]
+    fn unknown_endpoint() {
+        let net = Network::new();
+        let client = net.client("ghost");
+        assert!(matches!(
+            client.call(&Pdu::ParamsRequest),
+            Err(NetError::UnknownEndpoint(_))
+        ));
+    }
+
+    #[test]
+    fn unbind_disconnects() {
+        let net = Network::new();
+        net.bind("mws", echo());
+        assert!(net.unbind("mws"));
+        assert!(!net.unbind("mws"));
+        assert!(net.client("mws").call(&Pdu::ParamsRequest).is_err());
+    }
+
+    #[test]
+    fn metrics_account_bytes_and_requests() {
+        let net = Network::new();
+        net.bind("mws", echo());
+        let client = net.client("mws");
+        let req = Pdu::DepositAck { message_id: 7 };
+        client.call(&req).unwrap();
+        client.call(&req).unwrap();
+        let m = net.metrics("mws").unwrap();
+        assert_eq!(m.requests, 2);
+        let frame_len = mws_wire::encode_envelope(&req).len() as u64;
+        assert_eq!(m.bytes_in, 2 * frame_len);
+        assert_eq!(m.bytes_out, 2 * frame_len); // echo: same size back
+    }
+
+    #[test]
+    fn virtual_latency_accumulates() {
+        let net = Network::new();
+        net.bind_with(
+            "slow",
+            echo(),
+            FaultConfig {
+                latency: LatencyModel {
+                    base_us: 100,
+                    per_byte_ns: 0,
+                },
+                ..Default::default()
+            },
+        );
+        net.client("slow").call(&Pdu::ParamsRequest).unwrap();
+        let m = net.metrics("slow").unwrap();
+        assert_eq!(m.virtual_us, 200, "request + response legs");
+    }
+
+    #[test]
+    fn drops_surface_and_retry_recovers() {
+        let net = Network::new();
+        net.bind_with(
+            "lossy",
+            echo(),
+            FaultConfig {
+                drop_rate: 0.5,
+                seed: 3,
+                ..Default::default()
+            },
+        );
+        let client = net.client("lossy");
+        // With 50% loss per leg, 20 attempts succeed with overwhelming odds.
+        let reply = client
+            .call_with_retry(&Pdu::DepositAck { message_id: 0 }, 20)
+            .unwrap();
+        assert_eq!(reply, Pdu::DepositAck { message_id: 1 });
+        assert!(net.metrics("lossy").unwrap().dropped > 0);
+    }
+
+    #[test]
+    fn total_loss_exhausts_retries() {
+        let net = Network::new();
+        net.bind_with(
+            "dead",
+            echo(),
+            FaultConfig {
+                drop_rate: 1.0,
+                ..Default::default()
+            },
+        );
+        let client = net.client("dead");
+        assert_eq!(
+            client.call_with_retry(&Pdu::ParamsRequest, 3).unwrap_err(),
+            NetError::Dropped
+        );
+        assert_eq!(net.metrics("dead").unwrap().dropped, 3);
+        assert_eq!(net.metrics("dead").unwrap().requests, 0);
+    }
+
+    #[test]
+    fn stateful_service_keeps_state() {
+        let net = Network::new();
+        let mut count = 0u64;
+        net.bind("counter", move |_req: Pdu| {
+            count += 1;
+            Pdu::DepositAck { message_id: count }
+        });
+        let c = net.client("counter");
+        assert_eq!(
+            c.call(&Pdu::ParamsRequest).unwrap(),
+            Pdu::DepositAck { message_id: 1 }
+        );
+        assert_eq!(
+            c.call(&Pdu::ParamsRequest).unwrap(),
+            Pdu::DepositAck { message_id: 2 }
+        );
+    }
+}

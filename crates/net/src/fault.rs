@@ -1,0 +1,127 @@
+//! Deterministic fault injection and latency modeling.
+
+use mws_crypto::HmacDrbg;
+
+/// Latency model: `base + per_byte · len`, accounted on a virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LatencyModel {
+    /// Fixed per-message cost in microseconds.
+    pub base_us: u64,
+    /// Per-byte cost in nanoseconds.
+    pub per_byte_ns: u64,
+}
+
+impl LatencyModel {
+    /// A zero-cost link.
+    pub const ZERO: Self = Self {
+        base_us: 0,
+        per_byte_ns: 0,
+    };
+
+    /// A WAN-ish profile (20 ms RTT halves, ~10 Mbit/s).
+    pub const WAN: Self = Self {
+        base_us: 10_000,
+        per_byte_ns: 800,
+    };
+
+    /// Modeled microseconds for a message of `len` bytes.
+    pub fn cost_us(&self, len: usize) -> u64 {
+        self.base_us + (self.per_byte_ns * len as u64) / 1000
+    }
+}
+
+/// Per-link fault configuration.
+#[derive(Debug, Clone)]
+pub struct FaultConfig {
+    /// Probability (0.0–1.0) of dropping any message.
+    pub drop_rate: f64,
+    /// Latency model for the virtual clock.
+    pub latency: LatencyModel,
+    /// DRBG seed — same seed, same drops.
+    pub seed: u64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self {
+            drop_rate: 0.0,
+            latency: LatencyModel::ZERO,
+            seed: 0,
+        }
+    }
+}
+
+/// Stateful deterministic drop decider.
+pub(crate) struct FaultState {
+    drop_rate: f64,
+    drbg: HmacDrbg,
+}
+
+impl FaultState {
+    pub(crate) fn new(cfg: &FaultConfig) -> Self {
+        Self {
+            drop_rate: cfg.drop_rate,
+            drbg: HmacDrbg::new(&cfg.seed.to_be_bytes(), b"mws-net-fault"),
+        }
+    }
+
+    /// Returns true when the next message should be dropped.
+    pub(crate) fn should_drop(&mut self) -> bool {
+        if self.drop_rate <= 0.0 {
+            return false;
+        }
+        let mut b = [0u8; 8];
+        self.drbg.generate(&mut b);
+        let x = u64::from_be_bytes(b) as f64 / u64::MAX as f64;
+        x < self.drop_rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_rate_never_drops() {
+        let mut f = FaultState::new(&FaultConfig::default());
+        assert!((0..1000).all(|_| !f.should_drop()));
+    }
+
+    #[test]
+    fn full_rate_always_drops() {
+        let mut f = FaultState::new(&FaultConfig {
+            drop_rate: 1.0,
+            ..Default::default()
+        });
+        assert!((0..100).all(|_| f.should_drop()));
+    }
+
+    #[test]
+    fn partial_rate_is_deterministic_and_plausible() {
+        let cfg = FaultConfig {
+            drop_rate: 0.25,
+            seed: 7,
+            ..Default::default()
+        };
+        let run = |mut f: FaultState| (0..10_000).map(|_| f.should_drop()).collect::<Vec<_>>();
+        let a = run(FaultState::new(&cfg));
+        let b = run(FaultState::new(&cfg));
+        assert_eq!(a, b, "same seed, same drops");
+        let drops = a.iter().filter(|&&d| d).count();
+        assert!((2000..3000).contains(&drops), "~25% of 10k, got {drops}");
+        // Different seed differs.
+        let c = run(FaultState::new(&FaultConfig { seed: 8, ..cfg }));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn latency_model_costs() {
+        assert_eq!(LatencyModel::ZERO.cost_us(1000), 0);
+        let m = LatencyModel {
+            base_us: 100,
+            per_byte_ns: 1000,
+        };
+        assert_eq!(m.cost_us(0), 100);
+        assert_eq!(m.cost_us(500), 600);
+    }
+}

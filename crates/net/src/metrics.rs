@@ -1,0 +1,41 @@
+//! Per-endpoint wire metrics.
+
+/// Counters for one endpoint (or one client link).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkMetrics {
+    /// Requests delivered to the service.
+    pub requests: u64,
+    /// Requests/responses dropped by fault injection.
+    pub dropped: u64,
+    /// Bytes received by the service (framed requests).
+    pub bytes_in: u64,
+    /// Bytes emitted by the service (framed responses).
+    pub bytes_out: u64,
+    /// Modeled network time accumulated on the virtual clock (µs).
+    pub virtual_us: u64,
+}
+
+impl LinkMetrics {
+    /// Total bytes in both directions.
+    pub fn bytes_total(&self) -> u64 {
+        self.bytes_in + self.bytes_out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals() {
+        let m = LinkMetrics {
+            requests: 2,
+            dropped: 1,
+            bytes_in: 10,
+            bytes_out: 30,
+            virtual_us: 5,
+        };
+        assert_eq!(m.bytes_total(), 40);
+        assert_eq!(LinkMetrics::default().bytes_total(), 0);
+    }
+}

@@ -1,0 +1,461 @@
+//! Point arithmetic on the supersingular curve `E : y² = x³ + x` over `F_p`.
+//!
+//! Public points are affine (an explicit point at infinity variant); scalar
+//! multiplication runs in Jacobian coordinates internally so a `k·P` costs a
+//! single field inversion at the end.
+
+use crate::fp::{Fp, FpCtx};
+use crate::{FpW, PairingError};
+use rand::RngCore;
+
+/// A point on `E(F_p)` in affine form.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Point {
+    /// The point at infinity (group identity).
+    Infinity,
+    /// A finite point.
+    Affine {
+        /// x-coordinate.
+        x: Fp,
+        /// y-coordinate.
+        y: Fp,
+    },
+}
+
+impl Point {
+    /// Is this the identity?
+    pub fn is_infinity(&self) -> bool {
+        matches!(self, Point::Infinity)
+    }
+}
+
+/// Internal Jacobian representation: `(X, Y, Z)` with `x = X/Z²`, `y = Y/Z³`;
+/// `Z = 0` encodes infinity.
+#[derive(Clone, Copy)]
+pub(crate) struct Jacobian {
+    pub(crate) x: Fp,
+    pub(crate) y: Fp,
+    pub(crate) z: Fp,
+}
+
+impl FpCtx {
+    /// Curve membership: `y² == x³ + x` (infinity is on the curve).
+    pub fn is_on_curve(&self, p: &Point) -> bool {
+        match p {
+            Point::Infinity => true,
+            Point::Affine { x, y } => {
+                let lhs = self.sqr(y);
+                let rhs = self.add(&self.mul(&self.sqr(x), x), x);
+                lhs == rhs
+            }
+        }
+    }
+
+    /// Point negation.
+    pub fn point_neg(&self, p: &Point) -> Point {
+        match p {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => Point::Affine {
+                x: *x,
+                y: self.neg(y),
+            },
+        }
+    }
+
+    /// Affine point addition (used by the Miller loop, which needs slopes
+    /// anyway; costs one inversion).
+    pub fn point_add(&self, a: &Point, b: &Point) -> Point {
+        match (a, b) {
+            (Point::Infinity, _) => *b,
+            (_, Point::Infinity) => *a,
+            (Point::Affine { x: x1, y: y1 }, Point::Affine { x: x2, y: y2 }) => {
+                if x1 == x2 {
+                    if y1 == y2 {
+                        return self.point_double(a);
+                    }
+                    return Point::Infinity; // a == −b
+                }
+                let lambda = self.mul(
+                    &self.sub(y2, y1),
+                    &self.inv(&self.sub(x2, x1)).expect("x1 != x2"),
+                );
+                self.chord_result(x1, y1, x2, &lambda)
+            }
+        }
+    }
+
+    /// Affine doubling.
+    pub fn point_double(&self, p: &Point) -> Point {
+        match p {
+            Point::Infinity => Point::Infinity,
+            Point::Affine { x, y } => {
+                if self.is_zero(y) {
+                    return Point::Infinity; // vertical tangent
+                }
+                // λ = (3x² + 1) / 2y   (curve a-coefficient is 1)
+                let num = self.add(&self.mul(&self.from_u64(3), &self.sqr(x)), &self.one());
+                let lambda = self.mul(&num, &self.inv(&self.dbl(y)).expect("y != 0"));
+                self.chord_result(x, y, x, &lambda)
+            }
+        }
+    }
+
+    /// Completes a chord/tangent construction given the slope.
+    fn chord_result(&self, x1: &Fp, y1: &Fp, x2: &Fp, lambda: &Fp) -> Point {
+        let x3 = self.sub(&self.sub(&self.sqr(lambda), x1), x2);
+        let y3 = self.sub(&self.mul(lambda, &self.sub(x1, &x3)), y1);
+        Point::Affine { x: x3, y: y3 }
+    }
+
+    /// Scalar multiplication `k·P` (Jacobian double-and-add).
+    pub fn point_mul(&self, p: &Point, k: &FpW) -> Point {
+        let (x, y) = match p {
+            Point::Infinity => return Point::Infinity,
+            Point::Affine { x, y } => (*x, *y),
+        };
+        if k.is_zero() {
+            return Point::Infinity;
+        }
+        let base = Jacobian {
+            x,
+            y,
+            z: self.one(),
+        };
+        let mut acc: Option<Jacobian> = None;
+        for i in (0..k.bits()).rev() {
+            if let Some(a) = acc {
+                acc = Some(self.jac_double(&a));
+            }
+            if k.bit(i) {
+                acc = Some(match acc {
+                    None => base,
+                    Some(a) => self.jac_add(&a, &base),
+                });
+            }
+        }
+        match acc {
+            None => Point::Infinity,
+            Some(a) => self.jac_to_affine(&a),
+        }
+    }
+
+    pub(crate) fn jac_is_infinity(&self, p: &Jacobian) -> bool {
+        self.is_zero(&p.z)
+    }
+
+    pub(crate) fn jac_double(&self, p: &Jacobian) -> Jacobian {
+        if self.jac_is_infinity(p) || self.is_zero(&p.y) {
+            return Jacobian {
+                x: self.one(),
+                y: self.one(),
+                z: self.zero(),
+            };
+        }
+        // dbl-2007-bl with a = 1.
+        let xx = self.sqr(&p.x);
+        let yy = self.sqr(&p.y);
+        let yyyy = self.sqr(&yy);
+        let zz = self.sqr(&p.z);
+        // S = 2((X+YY)² − XX − YYYY)
+        let s = {
+            let t = self.sqr(&self.add(&p.x, &yy));
+            self.dbl(&self.sub(&self.sub(&t, &xx), &yyyy))
+        };
+        // M = 3XX + a·ZZ²  (a = 1)
+        let m = self.add(&self.add(&self.dbl(&xx), &xx), &self.sqr(&zz));
+        // T = M² − 2S
+        let t = self.sub(&self.sqr(&m), &self.dbl(&s));
+        let x3 = t;
+        // Y3 = M(S − T) − 8·YYYY
+        let y3 = {
+            let eight_yyyy = self.dbl(&self.dbl(&self.dbl(&yyyy)));
+            self.sub(&self.mul(&m, &self.sub(&s, &t)), &eight_yyyy)
+        };
+        // Z3 = (Y+Z)² − YY − ZZ
+        let z3 = {
+            let t = self.sqr(&self.add(&p.y, &p.z));
+            self.sub(&self.sub(&t, &yy), &zz)
+        };
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    pub(crate) fn jac_add(&self, a: &Jacobian, b: &Jacobian) -> Jacobian {
+        if self.jac_is_infinity(a) {
+            return *b;
+        }
+        if self.jac_is_infinity(b) {
+            return *a;
+        }
+        // add-2007-bl.
+        let z1z1 = self.sqr(&a.z);
+        let z2z2 = self.sqr(&b.z);
+        let u1 = self.mul(&a.x, &z2z2);
+        let u2 = self.mul(&b.x, &z1z1);
+        let s1 = self.mul(&self.mul(&a.y, &b.z), &z2z2);
+        let s2 = self.mul(&self.mul(&b.y, &a.z), &z1z1);
+        let h = self.sub(&u2, &u1);
+        if self.is_zero(&h) {
+            if s1 == s2 {
+                return self.jac_double(a);
+            }
+            return Jacobian {
+                x: self.one(),
+                y: self.one(),
+                z: self.zero(),
+            };
+        }
+        let i = self.sqr(&self.dbl(&h));
+        let j = self.mul(&h, &i);
+        let r = self.dbl(&self.sub(&s2, &s1));
+        let v = self.mul(&u1, &i);
+        let x3 = self.sub(&self.sub(&self.sqr(&r), &j), &self.dbl(&v));
+        let y3 = self.sub(
+            &self.mul(&r, &self.sub(&v, &x3)),
+            &self.dbl(&self.mul(&s1, &j)),
+        );
+        let z3 = {
+            let t = self.sqr(&self.add(&a.z, &b.z));
+            self.mul(&self.sub(&self.sub(&t, &z1z1), &z2z2), &h)
+        };
+        Jacobian {
+            x: x3,
+            y: y3,
+            z: z3,
+        }
+    }
+
+    pub(crate) fn jac_to_affine(&self, p: &Jacobian) -> Point {
+        if self.jac_is_infinity(p) {
+            return Point::Infinity;
+        }
+        let zinv = self.inv(&p.z).expect("nonzero z");
+        let zinv2 = self.sqr(&zinv);
+        let zinv3 = self.mul(&zinv2, &zinv);
+        Point::Affine {
+            x: self.mul(&p.x, &zinv2),
+            y: self.mul(&p.y, &zinv3),
+        }
+    }
+
+    /// A uniformly random point of the full group `E(F_p)` (order `p+1`).
+    pub fn random_curve_point<R: RngCore + ?Sized>(&self, rng: &mut R) -> Point {
+        loop {
+            let x = self.random(rng);
+            let rhs = self.add(&self.mul(&self.sqr(&x), &x), &x);
+            if let Some(y) = self.sqrt(&rhs) {
+                // Randomize the sign so both roots are reachable.
+                let y = if rng.next_u32() & 1 == 1 {
+                    self.neg(&y)
+                } else {
+                    y
+                };
+                return Point::Affine { x, y };
+            }
+        }
+    }
+
+    /// Compressed encoding: `0x00` for infinity, else `0x02 | parity(y)`
+    /// followed by the big-endian x-coordinate.
+    pub fn point_to_bytes(&self, p: &Point) -> Vec<u8> {
+        match p {
+            Point::Infinity => vec![0x00],
+            Point::Affine { x, y } => {
+                let mut out = Vec::with_capacity(1 + 8 * crate::FP_LIMBS);
+                out.push(0x02 | self.parity(y) as u8);
+                out.extend_from_slice(&self.to_bytes(x));
+                out
+            }
+        }
+    }
+
+    /// Decodes a compressed point, verifying curve membership.
+    pub fn point_from_bytes(&self, bytes: &[u8]) -> Result<Point, PairingError> {
+        match bytes.split_first() {
+            Some((0x00, [])) => Ok(Point::Infinity),
+            Some((&tag @ (0x02 | 0x03), rest)) => {
+                if rest.len() != 8 * crate::FP_LIMBS {
+                    return Err(PairingError::Decode);
+                }
+                let xi = FpW::from_be_bytes(rest).map_err(|_| PairingError::Decode)?;
+                if xi >= *self.modulus() {
+                    return Err(PairingError::Decode);
+                }
+                let x = self.from_uint(&xi);
+                let rhs = self.add(&self.mul(&self.sqr(&x), &x), &x);
+                let y = self.sqrt(&rhs).ok_or(PairingError::InvalidPoint)?;
+                let y = if self.parity(&y) == (tag & 1 == 1) {
+                    y
+                } else {
+                    self.neg(&y)
+                };
+                Ok(Point::Affine { x, y })
+            }
+            _ => Err(PairingError::Decode),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mws_crypto::HmacDrbg;
+
+    /// A small 3-mod-4 prime context for fast curve tests.
+    fn ctx() -> FpCtx {
+        let mut p = FpW::ZERO;
+        p.set_bit(127, true);
+        FpCtx::new(&p.wrapping_sub(&FpW::ONE)) // 2^127 − 1
+    }
+
+    fn rng() -> HmacDrbg {
+        HmacDrbg::from_u64(2024)
+    }
+
+    #[test]
+    fn random_points_are_on_curve() {
+        let f = ctx();
+        let mut rng = rng();
+        for _ in 0..8 {
+            let p = f.random_curve_point(&mut rng);
+            assert!(f.is_on_curve(&p));
+        }
+    }
+
+    #[test]
+    fn group_identities() {
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        assert_eq!(f.point_add(&p, &Point::Infinity), p);
+        assert_eq!(f.point_add(&Point::Infinity, &p), p);
+        assert_eq!(f.point_add(&p, &f.point_neg(&p)), Point::Infinity);
+        assert!(f.is_on_curve(&f.point_neg(&p)));
+    }
+
+    #[test]
+    fn addition_commutes_and_associates() {
+        let f = ctx();
+        let mut rng = rng();
+        let a = f.random_curve_point(&mut rng);
+        let b = f.random_curve_point(&mut rng);
+        let c = f.random_curve_point(&mut rng);
+        assert_eq!(f.point_add(&a, &b), f.point_add(&b, &a));
+        assert_eq!(
+            f.point_add(&f.point_add(&a, &b), &c),
+            f.point_add(&a, &f.point_add(&b, &c))
+        );
+    }
+
+    #[test]
+    fn double_equals_add_self() {
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        assert_eq!(f.point_double(&p), f.point_add(&p, &p));
+        assert!(f.is_on_curve(&f.point_double(&p)));
+    }
+
+    #[test]
+    fn scalar_mul_matches_repeated_addition() {
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        let mut acc = Point::Infinity;
+        for k in 0u64..20 {
+            assert_eq!(f.point_mul(&p, &FpW::from_u64(k)), acc, "k = {k}");
+            acc = f.point_add(&acc, &p);
+        }
+    }
+
+    #[test]
+    fn scalar_mul_distributes() {
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        let a = FpW::from_u64(123456789);
+        let b = FpW::from_u64(987654321);
+        // (a+b)P = aP + bP
+        let lhs = f.point_mul(&p, &a.wrapping_add(&b));
+        let rhs = f.point_add(&f.point_mul(&p, &a), &f.point_mul(&p, &b));
+        assert_eq!(lhs, rhs);
+        // (ab)P = a(bP)
+        let lhs = f.point_mul(&p, &a.wrapping_mul(&b));
+        let rhs = f.point_mul(&f.point_mul(&p, &b), &a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn group_order_annihilates() {
+        // #E(F_p) = p + 1 for this supersingular family.
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        let order = f.modulus().wrapping_add(&FpW::ONE);
+        assert_eq!(f.point_mul(&p, &order), Point::Infinity);
+    }
+
+    #[test]
+    fn mul_by_zero_and_infinity() {
+        let f = ctx();
+        let mut rng = rng();
+        let p = f.random_curve_point(&mut rng);
+        assert_eq!(f.point_mul(&p, &FpW::ZERO), Point::Infinity);
+        assert_eq!(
+            f.point_mul(&Point::Infinity, &FpW::from_u64(7)),
+            Point::Infinity
+        );
+    }
+
+    #[test]
+    fn two_torsion_point() {
+        // (0, 0) is on the curve and is its own negation: 2·(0,0) = O.
+        let f = ctx();
+        let p = Point::Affine {
+            x: f.zero(),
+            y: f.zero(),
+        };
+        assert!(f.is_on_curve(&p));
+        assert_eq!(f.point_double(&p), Point::Infinity);
+        assert_eq!(f.point_add(&p, &p), Point::Infinity);
+    }
+
+    #[test]
+    fn serialization_roundtrip() {
+        let f = ctx();
+        let mut rng = rng();
+        for _ in 0..6 {
+            let p = f.random_curve_point(&mut rng);
+            let bytes = f.point_to_bytes(&p);
+            assert_eq!(f.point_from_bytes(&bytes).unwrap(), p);
+        }
+        let inf = f.point_to_bytes(&Point::Infinity);
+        assert_eq!(f.point_from_bytes(&inf).unwrap(), Point::Infinity);
+    }
+
+    #[test]
+    fn serialization_rejects_garbage() {
+        let f = ctx();
+        assert!(f.point_from_bytes(&[]).is_err());
+        assert!(f.point_from_bytes(&[0x05, 1, 2]).is_err());
+        assert!(f.point_from_bytes(&[0x02, 1, 2, 3]).is_err()); // wrong length
+                                                                // x with no curve point: find one by trial.
+        let mut rng = rng();
+        loop {
+            let x = f.random(&mut rng);
+            let rhs = f.add(&f.mul(&f.sqr(&x), &x), &x);
+            if f.sqrt(&rhs).is_none() {
+                let mut bytes = vec![0x02];
+                bytes.extend_from_slice(&f.to_bytes(&x));
+                assert_eq!(
+                    f.point_from_bytes(&bytes).unwrap_err(),
+                    PairingError::InvalidPoint
+                );
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,249 @@
+//! The quadratic extension `F_p² = F_p[i] / (i² + 1)`.
+//!
+//! Valid because `p ≡ 3 (mod 4)` makes −1 a non-residue. Pairing values and
+//! the distortion-map image live here.
+
+use crate::fp::{Fp, FpCtx};
+use crate::FpW;
+
+/// An element `c0 + c1·i` of `F_p²`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Fp2 {
+    /// Real component.
+    pub c0: Fp,
+    /// Imaginary component.
+    pub c1: Fp,
+}
+
+impl core::fmt::Debug for Fp2 {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "Fp2({:?} + {:?}·i)", self.c0, self.c1)
+    }
+}
+
+impl FpCtx {
+    /// Builds an extension element from components.
+    pub fn fp2(&self, c0: Fp, c1: Fp) -> Fp2 {
+        Fp2 { c0, c1 }
+    }
+
+    /// Zero of `F_p²`.
+    pub fn fp2_zero(&self) -> Fp2 {
+        Fp2 {
+            c0: self.zero(),
+            c1: self.zero(),
+        }
+    }
+
+    /// One of `F_p²`.
+    pub fn fp2_one(&self) -> Fp2 {
+        Fp2 {
+            c0: self.one(),
+            c1: self.zero(),
+        }
+    }
+
+    /// Embeds a base-field element.
+    pub fn fp2_from_fp(&self, a: Fp) -> Fp2 {
+        Fp2 {
+            c0: a,
+            c1: self.zero(),
+        }
+    }
+
+    /// Is the element zero?
+    pub fn fp2_is_zero(&self, a: &Fp2) -> bool {
+        self.is_zero(&a.c0) && self.is_zero(&a.c1)
+    }
+
+    /// `a + b` in `F_p²`.
+    pub fn fp2_add(&self, a: &Fp2, b: &Fp2) -> Fp2 {
+        Fp2 {
+            c0: self.add(&a.c0, &b.c0),
+            c1: self.add(&a.c1, &b.c1),
+        }
+    }
+
+    /// `a − b` in `F_p²`.
+    pub fn fp2_sub(&self, a: &Fp2, b: &Fp2) -> Fp2 {
+        Fp2 {
+            c0: self.sub(&a.c0, &b.c0),
+            c1: self.sub(&a.c1, &b.c1),
+        }
+    }
+
+    /// `−a` in `F_p²`.
+    pub fn fp2_neg(&self, a: &Fp2) -> Fp2 {
+        Fp2 {
+            c0: self.neg(&a.c0),
+            c1: self.neg(&a.c1),
+        }
+    }
+
+    /// `a · b` in `F_p²` (Karatsuba: 3 base multiplications).
+    pub fn fp2_mul(&self, a: &Fp2, b: &Fp2) -> Fp2 {
+        let v0 = self.mul(&a.c0, &b.c0);
+        let v1 = self.mul(&a.c1, &b.c1);
+        let s = self.mul(&self.add(&a.c0, &a.c1), &self.add(&b.c0, &b.c1));
+        Fp2 {
+            c0: self.sub(&v0, &v1),
+            c1: self.sub(&self.sub(&s, &v0), &v1),
+        }
+    }
+
+    /// `a²` in `F_p²` (complex squaring: 2 base multiplications).
+    pub fn fp2_sqr(&self, a: &Fp2) -> Fp2 {
+        // (c0 + c1 i)² = (c0+c1)(c0−c1) + 2 c0 c1 i
+        let t0 = self.add(&a.c0, &a.c1);
+        let t1 = self.sub(&a.c0, &a.c1);
+        let c1 = self.mul(&a.c0, &a.c1);
+        Fp2 {
+            c0: self.mul(&t0, &t1),
+            c1: self.dbl(&c1),
+        }
+    }
+
+    /// Multiplies an `F_p²` element by a base-field scalar.
+    pub fn fp2_mul_fp(&self, a: &Fp2, s: &Fp) -> Fp2 {
+        Fp2 {
+            c0: self.mul(&a.c0, s),
+            c1: self.mul(&a.c1, s),
+        }
+    }
+
+    /// Conjugation `c0 − c1·i` — which is also the Frobenius `a ↦ a^p`.
+    pub fn fp2_conj(&self, a: &Fp2) -> Fp2 {
+        Fp2 {
+            c0: a.c0,
+            c1: self.neg(&a.c1),
+        }
+    }
+
+    /// Norm `a·ā = c0² + c1² ∈ F_p`.
+    pub fn fp2_norm(&self, a: &Fp2) -> Fp {
+        self.add(&self.sqr(&a.c0), &self.sqr(&a.c1))
+    }
+
+    /// Inverse in `F_p²`: `ā / (c0² + c1²)`. `None` for zero.
+    pub fn fp2_inv(&self, a: &Fp2) -> Option<Fp2> {
+        let norm = self.fp2_norm(a);
+        let ninv = self.inv(&norm)?;
+        Some(Fp2 {
+            c0: self.mul(&a.c0, &ninv),
+            c1: self.neg(&self.mul(&a.c1, &ninv)),
+        })
+    }
+
+    /// `a^e` in `F_p²` by square-and-multiply.
+    pub fn fp2_pow(&self, a: &Fp2, e: &FpW) -> Fp2 {
+        let mut acc = self.fp2_one();
+        let bits = e.bits();
+        for i in (0..bits).rev() {
+            acc = self.fp2_sqr(&acc);
+            if e.bit(i) {
+                acc = self.fp2_mul(&acc, a);
+            }
+        }
+        acc
+    }
+
+    /// Canonical serialization: `c0 ‖ c1` big-endian.
+    pub fn fp2_to_bytes(&self, a: &Fp2) -> Vec<u8> {
+        let mut out = self.to_bytes(&a.c0);
+        out.extend_from_slice(&self.to_bytes(&a.c1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx() -> FpCtx {
+        let mut p = FpW::ZERO;
+        p.set_bit(127, true);
+        FpCtx::new(&p.wrapping_sub(&FpW::ONE))
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        let f = ctx();
+        let i = f.fp2(f.zero(), f.one());
+        let i2 = f.fp2_sqr(&i);
+        assert_eq!(i2, f.fp2_neg(&f.fp2_one()));
+        // Via mul as well.
+        assert_eq!(f.fp2_mul(&i, &i), i2);
+    }
+
+    #[test]
+    fn mul_sqr_agree() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(123), f.from_u64(456));
+        assert_eq!(f.fp2_mul(&a, &a), f.fp2_sqr(&a));
+    }
+
+    #[test]
+    fn field_axioms() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(11), f.from_u64(22));
+        let b = f.fp2(f.from_u64(33), f.from_u64(44));
+        let c = f.fp2(f.from_u64(55), f.from_u64(66));
+        assert_eq!(f.fp2_mul(&a, &b), f.fp2_mul(&b, &a));
+        assert_eq!(
+            f.fp2_mul(&f.fp2_mul(&a, &b), &c),
+            f.fp2_mul(&a, &f.fp2_mul(&b, &c))
+        );
+        assert_eq!(
+            f.fp2_mul(&f.fp2_add(&a, &b), &c),
+            f.fp2_add(&f.fp2_mul(&a, &c), &f.fp2_mul(&b, &c))
+        );
+        assert_eq!(f.fp2_mul(&a, &f.fp2_one()), a);
+        assert_eq!(f.fp2_add(&a, &f.fp2_neg(&a)), f.fp2_zero());
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(987654321), f.from_u64(123456789));
+        let inv = f.fp2_inv(&a).unwrap();
+        assert_eq!(f.fp2_mul(&a, &inv), f.fp2_one());
+        assert!(f.fp2_inv(&f.fp2_zero()).is_none());
+        // Base-field-only element inverts like Fp.
+        let b = f.fp2_from_fp(f.from_u64(7));
+        let binv = f.fp2_inv(&b).unwrap();
+        assert_eq!(binv.c0, f.inv(&f.from_u64(7)).unwrap());
+        assert!(f.is_zero(&binv.c1));
+    }
+
+    #[test]
+    fn conj_is_frobenius() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(31337), f.from_u64(271828));
+        let frob = f.fp2_pow(&a, f.modulus());
+        assert_eq!(frob, f.fp2_conj(&a));
+    }
+
+    #[test]
+    fn norm_multiplicative() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(3), f.from_u64(5));
+        let b = f.fp2(f.from_u64(7), f.from_u64(11));
+        let nab = f.fp2_norm(&f.fp2_mul(&a, &b));
+        assert_eq!(nab, f.mul(&f.fp2_norm(&a), &f.fp2_norm(&b)));
+    }
+
+    #[test]
+    fn pow_edge_cases() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(5), f.from_u64(9));
+        assert_eq!(f.fp2_pow(&a, &FpW::ZERO), f.fp2_one());
+        assert_eq!(f.fp2_pow(&a, &FpW::ONE), a);
+        assert_eq!(f.fp2_pow(&a, &FpW::from_u64(2)), f.fp2_sqr(&a));
+        // Lagrange: a^(p²−1) = 1 for a ≠ 0. p²−1 = (p−1)(p+1); compute in
+        // two steps to stay within the width.
+        let pm1 = f.modulus().wrapping_sub(&FpW::ONE);
+        let pp1 = f.modulus().wrapping_add(&FpW::ONE);
+        let step = f.fp2_pow(&a, &pm1);
+        assert_eq!(f.fp2_pow(&step, &pp1), f.fp2_one());
+    }
+}

@@ -1,0 +1,358 @@
+//! The modified Tate pairing `ê : G₁ × G₁ → μ_q ⊂ F_p²*`.
+//!
+//! `ê(P, Q) = f_{q,P}(φ(Q))^{(p²−1)/q}` where `φ(x, y) = (−x, i·y)` is the
+//! distortion map. Because the embedding degree is 2 and `φ(Q)` has its
+//! x-coordinate in the base field, every vertical-line evaluation lands in
+//! `F_p*` and is annihilated by the final exponentiation
+//! (`(p²−1)/q = (p−1)·h` and `|F_p*| = p−1`), so the Miller loop uses the
+//! standard BKLS denominator elimination.
+//!
+//! The Miller loop runs in affine coordinates (design decision D5 in
+//! DESIGN.md): each step costs one field inversion, which keeps the code
+//! auditable; experiment E3 measures the cost.
+
+use crate::curve::Point;
+use crate::fp::{Fp, FpCtx};
+use crate::fp2::Fp2;
+use crate::FpW;
+
+/// Pairing engine: the field context plus the subgroup order `q` and
+/// cofactor `h` (`p + 1 = q·h`).
+#[derive(Clone, Debug)]
+pub struct TatePairing {
+    /// Subgroup order (prime).
+    pub q: FpW,
+    /// Cofactor `h = (p+1)/q`.
+    pub h: FpW,
+}
+
+impl TatePairing {
+    /// Evaluates the modified Tate pairing of two points of `E(F_p)[q]`.
+    ///
+    /// Returns 1 (the identity of `μ_q`) when either input is the point at
+    /// infinity.
+    pub fn pairing(&self, f: &FpCtx, p: &Point, q_pt: &Point) -> Fp2 {
+        let (xp, yp) = match p {
+            Point::Infinity => return f.fp2_one(),
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let (xq, yq) = match q_pt {
+            Point::Infinity => return f.fp2_one(),
+            Point::Affine { x, y } => (*x, *y),
+        };
+        // Distortion image φ(Q) = (−xq, i·yq); only the components are
+        // needed by the line evaluations.
+        let mxq = f.neg(&xq);
+        let val = self.miller_loop(f, &xp, &yp, &mxq, &yq);
+        self.final_exponentiation(f, &val)
+    }
+
+    /// Miller loop computing `f_{q,P}(φ(Q))` with denominator elimination.
+    ///
+    /// Line through `(x1, y1)` with slope `λ`, evaluated at
+    /// `φ(Q) = (mxq, i·yq)`:
+    /// `l = i·yq − y1 − λ(mxq − x1) = [λ(x1 − mxq) − y1] + yq·i`.
+    fn miller_loop(&self, f: &FpCtx, xp: &Fp, yp: &Fp, mxq: &Fp, yq: &Fp) -> Fp2 {
+        let line = |lambda: &Fp, x1: &Fp, y1: &Fp| -> Fp2 {
+            let c0 = f.sub(&f.mul(lambda, &f.sub(x1, mxq)), y1);
+            f.fp2(c0, *yq)
+        };
+
+        let mut acc = f.fp2_one();
+        // T = (xt, yt); None encodes the point at infinity.
+        let mut t: Option<(Fp, Fp)> = Some((*xp, *yp));
+        let bits = self.q.bits();
+        for i in (0..bits - 1).rev() {
+            acc = f.fp2_sqr(&acc);
+            if let Some((xt, yt)) = t {
+                if f.is_zero(&yt) {
+                    // Vertical tangent: line ∈ F_p*, eliminated. T ← O.
+                    // (Unreachable for odd-order P; kept for robustness.)
+                    t = None;
+                } else {
+                    // Tangent: λ = (3x² + 1) / 2y  (curve coefficient a = 1).
+                    let num = f.add(&f.mul(&f.from_u64(3), &f.sqr(&xt)), &f.one());
+                    let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
+                    acc = f.fp2_mul(&acc, &line(&lambda, &xt, &yt));
+                    // T ← 2T (affine chord-tangent).
+                    let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xt);
+                    let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                    t = Some((x3, y3));
+                }
+            }
+            if self.q.bit(i) {
+                if let Some((xt, yt)) = t {
+                    if xt == *xp {
+                        if yt == *yp {
+                            // T == P: the "chord" is the tangent at P.
+                            let num = f.add(&f.mul(&f.from_u64(3), &f.sqr(&xt)), &f.one());
+                            let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
+                            acc = f.fp2_mul(&acc, &line(&lambda, &xt, &yt));
+                            let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xt);
+                            let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                            t = Some((x3, y3));
+                        } else {
+                            // T == −P: vertical chord, eliminated. T ← O.
+                            // (This is the expected final addition step.)
+                            t = None;
+                        }
+                    } else {
+                        let lambda =
+                            f.mul(&f.sub(yp, &yt), &f.inv(&f.sub(xp, &xt)).expect("xp ≠ xt"));
+                        acc = f.fp2_mul(&acc, &line(&lambda, &xt, &yt));
+                        let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), xp);
+                        let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                        t = Some((x3, y3));
+                    }
+                } else {
+                    // T == O: adding P restarts from P. (Unreachable for
+                    // exact-order-q inputs; kept for robustness.)
+                    t = Some((*xp, *yp));
+                }
+            }
+        }
+        acc
+    }
+
+    /// Evaluates the pairing with a projective (inversion-free) Miller loop
+    /// — the D5 ablation partner of [`Self::pairing`].
+    ///
+    /// `T` is tracked in Jacobian coordinates; line values are scaled by the
+    /// nonzero `F_p` factors `2Y·Z³` (tangent) / `(x_P − x_T)·Z³` (chord),
+    /// which the final exponentiation annihilates, so no per-step inversion
+    /// is needed. Produces bit-identical results to the affine loop.
+    pub fn pairing_projective(&self, f: &FpCtx, p: &Point, q_pt: &Point) -> Fp2 {
+        let (xp, yp) = match p {
+            Point::Infinity => return f.fp2_one(),
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let (xq, yq) = match q_pt {
+            Point::Infinity => return f.fp2_one(),
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let mxq = f.neg(&xq);
+        let val = self.miller_loop_projective(f, &xp, &yp, &mxq, &yq);
+        self.final_exponentiation(f, &val)
+    }
+
+    /// Projective Miller loop; see [`Self::pairing_projective`].
+    fn miller_loop_projective(&self, f: &FpCtx, xp: &Fp, yp: &Fp, mxq: &Fp, yq: &Fp) -> Fp2 {
+        use crate::curve::Jacobian;
+        let mut acc = f.fp2_one();
+        let mut t = Jacobian {
+            x: *xp,
+            y: *yp,
+            z: f.one(),
+        };
+        let bits = self.q.bits();
+        for i in (0..bits - 1).rev() {
+            acc = f.fp2_sqr(&acc);
+            if !f.jac_is_infinity(&t) {
+                if f.is_zero(&t.y) {
+                    // Vertical tangent (unreachable for odd-order P).
+                    t = f.jac_double(&t);
+                } else {
+                    // Tangent line scaled by 2Y·Z³ ∈ F_p*:
+                    //   l̃ = [−2Y² − (3X² + Z⁴)(mxq·Z² − X)] + (2Y·Z³·yq)·i
+                    let zz = f.sqr(&t.z);
+                    let z4 = f.sqr(&zz);
+                    let xx3 = f.add(&f.dbl(&f.sqr(&t.x)), &f.sqr(&t.x)); // 3X²
+                    let m = f.add(&xx3, &z4); // 3X² + Z⁴
+                    let c0 = f.sub(
+                        &f.neg(&f.dbl(&f.sqr(&t.y))),
+                        &f.mul(&m, &f.sub(&f.mul(mxq, &zz), &t.x)),
+                    );
+                    let c1 = f.mul(&f.dbl(&f.mul(&t.y, &f.mul(&zz, &t.z))), yq);
+                    acc = f.fp2_mul(&acc, &f.fp2(c0, c1));
+                    t = f.jac_double(&t);
+                }
+            }
+            if self.q.bit(i) {
+                if f.jac_is_infinity(&t) {
+                    // T == O: adding P restarts from P (unreachable for
+                    // exact-order inputs).
+                    t = Jacobian {
+                        x: *xp,
+                        y: *yp,
+                        z: f.one(),
+                    };
+                } else {
+                    let zz = f.sqr(&t.z);
+                    let z3 = f.mul(&zz, &t.z);
+                    // x_T == x_P ⟺ X == xp·Z².
+                    if t.x == f.mul(xp, &zz) {
+                        if t.y == f.mul(yp, &z3) {
+                            // T == P: tangent case (first iteration of a q
+                            // with two leading 1 bits). Reuse the tangent
+                            // line formula.
+                            let z4 = f.sqr(&zz);
+                            let xx3 = f.add(&f.dbl(&f.sqr(&t.x)), &f.sqr(&t.x));
+                            let m = f.add(&xx3, &z4);
+                            let c0 = f.sub(
+                                &f.neg(&f.dbl(&f.sqr(&t.y))),
+                                &f.mul(&m, &f.sub(&f.mul(mxq, &zz), &t.x)),
+                            );
+                            let c1 = f.mul(&f.dbl(&f.mul(&t.y, &z3)), yq);
+                            acc = f.fp2_mul(&acc, &f.fp2(c0, c1));
+                            t = f.jac_double(&t);
+                        } else {
+                            // T == −P: vertical chord, eliminated; T ← O.
+                            t = Jacobian {
+                                x: f.one(),
+                                y: f.one(),
+                                z: f.zero(),
+                            };
+                        }
+                    } else {
+                        // Chord through T and P scaled by (x_P − x_T)·Z³:
+                        //   l̃ = [(xp·Z³ − X·Z)(−yp) − (yp·Z³ − Y)(mxq − xp)]
+                        //        + ((xp·Z³ − X·Z)·yq)·i
+                        let a = f.sub(&f.mul(xp, &z3), &f.mul(&t.x, &t.z)); // (xp−x1)Z³/... = xp·Z³ − X·Z
+                        let b = f.sub(&f.mul(yp, &z3), &t.y); // (yp−y1)·Z³
+                        let c0 = f.sub(&f.mul(&a, &f.neg(yp)), &f.mul(&b, &f.sub(mxq, xp)));
+                        let c1 = f.mul(&a, yq);
+                        acc = f.fp2_mul(&acc, &f.fp2(c0, c1));
+                        let p_jac = Jacobian {
+                            x: *xp,
+                            y: *yp,
+                            z: f.one(),
+                        };
+                        t = f.jac_add(&t, &p_jac);
+                    }
+                }
+            }
+        }
+        acc
+    }
+
+    /// Final exponentiation `z^{(p²−1)/q} = (z^{p−1})^h` with
+    /// `z^{p−1} = z̄ · z^{−1}` (Frobenius is conjugation in `F_p²`).
+    fn final_exponentiation(&self, f: &FpCtx, z: &Fp2) -> Fp2 {
+        let zinv = f
+            .fp2_inv(z)
+            .expect("Miller value is nonzero for valid inputs");
+        let easy = f.fp2_mul(&f.fp2_conj(z), &zinv);
+        f.fp2_pow(&easy, &self.h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{PairingCtx, SecurityLevel};
+    use mws_crypto::HmacDrbg;
+
+    fn ctx() -> PairingCtx {
+        PairingCtx::named(SecurityLevel::Toy)
+    }
+
+    #[test]
+    fn pairing_of_infinity_is_one() {
+        let c = ctx();
+        let g = c.generator();
+        let one = c.field().fp2_one();
+        assert_eq!(c.pairing(&Point::Infinity, &g), one);
+        assert_eq!(c.pairing(&g, &Point::Infinity), one);
+    }
+
+    #[test]
+    fn pairing_nondegenerate() {
+        let c = ctx();
+        let g = c.generator();
+        let e = c.pairing(&g, &g);
+        assert_ne!(e, c.field().fp2_one());
+        // The value has order dividing q.
+        assert_eq!(c.field().fp2_pow(&e, c.group_order()), c.field().fp2_one());
+    }
+
+    #[test]
+    fn pairing_symmetric() {
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(1);
+        let g = c.generator();
+        let a = c.random_scalar(&mut rng);
+        let b = c.random_scalar(&mut rng);
+        let pa = c.mul(&g, &a);
+        let pb = c.mul(&g, &b);
+        assert_eq!(c.pairing(&pa, &pb), c.pairing(&pb, &pa));
+    }
+
+    #[test]
+    fn pairing_bilinear_left() {
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(2);
+        let g = c.generator();
+        let a = c.random_scalar(&mut rng);
+        // e(aP, P) == e(P, P)^a
+        let lhs = c.pairing(&c.mul(&g, &a), &g);
+        let rhs = c.field().fp2_pow(&c.pairing(&g, &g), &a);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bilinear_right() {
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(3);
+        let g = c.generator();
+        let b = c.random_scalar(&mut rng);
+        let lhs = c.pairing(&g, &c.mul(&g, &b));
+        let rhs = c.field().fp2_pow(&c.pairing(&g, &g), &b);
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn pairing_bf_identity() {
+        // The identity the whole protocol rests on: ê(rP, sI) == ê(sP, rI).
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(4);
+        let g = c.generator();
+        let r = c.random_scalar(&mut rng);
+        let s = c.random_scalar(&mut rng);
+        let i_pt = c.mul(
+            &c.hash_to_point(b"ELECTRIC-APT-SV-CA|nonce42"),
+            &c.random_scalar(&mut rng),
+        );
+        let lhs = c.pairing(&c.mul(&g, &r), &c.mul(&i_pt, &s));
+        let rhs = c.pairing(&c.mul(&g, &s), &c.mul(&i_pt, &r));
+        assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn projective_matches_affine() {
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(6);
+        let g = c.generator();
+        for _ in 0..5 {
+            let a = c.random_scalar(&mut rng);
+            let b = c.random_scalar(&mut rng);
+            let pa = c.mul(&g, &a);
+            let pb = c.mul(&g, &b);
+            assert_eq!(c.pairing(&pa, &pb), c.pairing_projective(&pa, &pb));
+        }
+        // Including identity inputs and hashed points.
+        assert_eq!(
+            c.pairing_projective(&Point::Infinity, &g),
+            c.field().fp2_one()
+        );
+        let h = c.hash_to_point(b"some attribute");
+        assert_eq!(c.pairing(&h, &g), c.pairing_projective(&h, &g));
+        assert_eq!(c.pairing(&g, &h), c.pairing_projective(&g, &h));
+    }
+
+    #[test]
+    fn pairing_additive_in_first_argument() {
+        let c = ctx();
+        let mut rng = HmacDrbg::from_u64(5);
+        let g = c.generator();
+        let a = c.random_scalar(&mut rng);
+        let b = c.random_scalar(&mut rng);
+        let pa = c.mul(&g, &a);
+        let pb = c.mul(&g, &b);
+        let sum = c.add(&pa, &pb);
+        // e(aP + bP, Q) == e(aP, Q) · e(bP, Q)
+        let q = c.mul(&g, &c.random_scalar(&mut rng));
+        let lhs = c.pairing(&sum, &q);
+        let rhs = c.field().fp2_mul(&c.pairing(&pa, &q), &c.pairing(&pb, &q));
+        assert_eq!(lhs, rhs);
+    }
+}

@@ -1,0 +1,332 @@
+//! Pairing parameter sets (PBC "type A" analogue) and the user-facing
+//! [`PairingCtx`].
+
+use crate::curve::Point;
+use crate::fp::FpCtx;
+use crate::fp2::Fp2;
+use crate::pairing::TatePairing;
+use crate::{FpW, PairingError};
+use mws_bigint::{gen_prime, is_prime, random_below, random_nonzero_below, MillerRabinRounds};
+use mws_crypto::HmacDrbg;
+use rand::RngCore;
+use std::sync::OnceLock;
+
+/// Raw curve parameters: `p + 1 = q·h`, `E : y² = x³ + x` over `F_p`,
+/// generator of the order-`q` subgroup.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PairingParams {
+    /// Field prime, `≡ 3 (mod 4)`.
+    pub p: FpW,
+    /// Prime subgroup order.
+    pub q: FpW,
+    /// Cofactor `(p+1)/q`.
+    pub h: FpW,
+    /// Compressed encoding of the subgroup generator.
+    pub generator: Vec<u8>,
+}
+
+/// Named parameter sizes.
+///
+/// All sets are deterministic (derived from a fixed seed via HMAC-DRBG) so
+/// every test and benchmark runs on identical curves.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SecurityLevel {
+    /// 80-bit `q`, 160-bit `p` — unit tests; *no* real security.
+    Toy,
+    /// 128-bit `q`, 256-bit `p` — integration tests.
+    Light,
+    /// 160-bit `q`, 512-bit `p` — the classic PBC type-A demo size;
+    /// benchmarks. (Production deployments would want ≥1024-bit `p`,
+    /// beyond this build's fixed 512-bit field width.)
+    Standard,
+}
+
+impl SecurityLevel {
+    /// `(q bits, p bits, seed)` for deterministic generation.
+    fn shape(self) -> (u32, u32, u64) {
+        match self {
+            SecurityLevel::Toy => (80, 160, 0x544f59),
+            SecurityLevel::Light => (128, 256, 0x4c49474854),
+            SecurityLevel::Standard => (160, 512, 0x535444),
+        }
+    }
+}
+
+/// A ready-to-use pairing context: field, curve, subgroup and pairing engine.
+#[derive(Clone, Debug)]
+pub struct PairingCtx {
+    fp: FpCtx,
+    tate: TatePairing,
+    generator: Point,
+    params: PairingParams,
+}
+
+impl PairingCtx {
+    /// Builds a context from raw parameters, validating their consistency.
+    pub fn from_params(params: &PairingParams) -> Result<Self, PairingError> {
+        // p ≡ 3 (mod 4), q·h = p + 1.
+        if params.p.is_even() || params.p.as_u64() & 3 != 3 {
+            return Err(PairingError::BadParameters);
+        }
+        let (qh, overflow) = {
+            let (lo, hi) = params.q.widening_mul(&params.h);
+            (lo, !hi.is_zero())
+        };
+        if overflow || qh != params.p.wrapping_add(&FpW::ONE) {
+            return Err(PairingError::BadParameters);
+        }
+        let fp = FpCtx::new(&params.p);
+        let generator = fp.point_from_bytes(&params.generator)?;
+        if generator.is_infinity() || !fp.is_on_curve(&generator) {
+            return Err(PairingError::InvalidPoint);
+        }
+        // Generator must have exact order q.
+        if !fp.point_mul(&generator, &params.q).is_infinity() {
+            return Err(PairingError::InvalidPoint);
+        }
+        Ok(Self {
+            fp,
+            tate: TatePairing {
+                q: params.q,
+                h: params.h,
+            },
+            generator,
+            params: params.clone(),
+        })
+    }
+
+    /// Generates fresh parameters: a `qbits`-bit prime subgroup inside a
+    /// `pbits`-bit field with `p = q·h − 1`, `12 | h`.
+    pub fn generate<R: RngCore + ?Sized>(
+        rng: &mut R,
+        qbits: u32,
+        pbits: u32,
+    ) -> Result<Self, PairingError> {
+        if qbits < 16 || pbits <= qbits + 8 || pbits > FpW::BITS {
+            return Err(PairingError::BadParameters);
+        }
+        let rounds = MillerRabinRounds(32);
+        let q: FpW = gen_prime(rng, qbits, rounds);
+        // h ranges so that q·h − 1 has exactly pbits bits; h ≡ 0 (mod 12)
+        // forces p ≡ 3 (mod 4) (and keeps the PBC convention 12 | h).
+        let twelve = FpW::from_u64(12);
+        let mut low = FpW::ZERO;
+        low.set_bit(pbits - 1, true);
+        let (h_lo, _) = low.div_rem(&q);
+        let h_span = h_lo; // [h_lo, 2·h_lo) spans one binade
+        let p = loop {
+            let r = random_below(rng, &h_span);
+            let h_raw = h_lo.wrapping_add(&r);
+            // Round down to a multiple of 12.
+            let h = h_raw.wrapping_sub(&h_raw.rem(&twelve));
+            if h.is_zero() {
+                continue;
+            }
+            let (qh, hi) = q.widening_mul(&h);
+            if !hi.is_zero() {
+                continue;
+            }
+            let p = qh.wrapping_sub(&FpW::ONE);
+            if p.bits() != pbits {
+                continue;
+            }
+            debug_assert_eq!(p.as_u64() & 3, 3);
+            if is_prime(&p, rounds, rng) {
+                break p;
+            }
+        };
+        let (h, _) = p.wrapping_add(&FpW::ONE).div_rem(&q);
+        let fp = FpCtx::new(&p);
+        // Generator: cofactor-clear random points until nonzero.
+        let generator = loop {
+            let r = fp.random_curve_point(rng);
+            let g = fp.point_mul(&r, &h);
+            if !g.is_infinity() {
+                debug_assert!(fp.point_mul(&g, &q).is_infinity());
+                break g;
+            }
+        };
+        let params = PairingParams {
+            p,
+            q,
+            h,
+            generator: fp.point_to_bytes(&generator),
+        };
+        Ok(Self {
+            fp,
+            tate: TatePairing { q, h },
+            generator,
+            params,
+        })
+    }
+
+    /// Returns the deterministic named parameter set (cached per process).
+    pub fn named(level: SecurityLevel) -> Self {
+        static TOY: OnceLock<PairingCtx> = OnceLock::new();
+        static LIGHT: OnceLock<PairingCtx> = OnceLock::new();
+        static STANDARD: OnceLock<PairingCtx> = OnceLock::new();
+        let cell = match level {
+            SecurityLevel::Toy => &TOY,
+            SecurityLevel::Light => &LIGHT,
+            SecurityLevel::Standard => &STANDARD,
+        };
+        cell.get_or_init(|| {
+            let (qbits, pbits, seed) = level.shape();
+            let mut rng = HmacDrbg::new(&seed.to_be_bytes(), b"mws-pairing-params");
+            Self::generate(&mut rng, qbits, pbits).expect("sizes are valid")
+        })
+        .clone()
+    }
+
+    /// The raw parameters (for persistence / wire transfer).
+    pub fn params(&self) -> &PairingParams {
+        &self.params
+    }
+
+    /// The field context.
+    pub fn field(&self) -> &FpCtx {
+        &self.fp
+    }
+
+    /// The subgroup generator `P`.
+    pub fn generator(&self) -> Point {
+        self.generator
+    }
+
+    /// The prime subgroup order `q`.
+    pub fn group_order(&self) -> &FpW {
+        &self.tate.q
+    }
+
+    /// The cofactor `h`.
+    pub fn cofactor(&self) -> &FpW {
+        &self.tate.h
+    }
+
+    /// Uniformly random nonzero scalar in `[1, q)`.
+    pub fn random_scalar<R: RngCore + ?Sized>(&self, rng: &mut R) -> FpW {
+        random_nonzero_below(rng, &self.tate.q)
+    }
+
+    /// Scalar multiplication on the curve.
+    pub fn mul(&self, p: &Point, k: &FpW) -> Point {
+        self.fp.point_mul(p, k)
+    }
+
+    /// Point addition.
+    pub fn add(&self, a: &Point, b: &Point) -> Point {
+        self.fp.point_add(a, b)
+    }
+
+    /// The modified Tate pairing.
+    pub fn pairing(&self, p: &Point, q: &Point) -> Fp2 {
+        self.tate.pairing(&self.fp, p, q)
+    }
+
+    /// The modified Tate pairing via the projective Miller loop — same
+    /// values as [`Self::pairing`], different cost profile (D5 ablation).
+    pub fn pairing_projective(&self, p: &Point, q: &Point) -> Fp2 {
+        self.tate.pairing_projective(&self.fp, p, q)
+    }
+
+    /// Hash-to-point (BF `MapToPoint`): see [`crate::maptopoint`].
+    pub fn hash_to_point(&self, msg: &[u8]) -> Point {
+        crate::maptopoint::hash_to_point(self, msg)
+    }
+
+    /// Canonical bytes of a pairing value (for KDF input).
+    pub fn gt_to_bytes(&self, v: &Fp2) -> Vec<u8> {
+        self.fp.fp2_to_bytes(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn toy_params_self_consistent() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let p = c.params();
+        assert_eq!(p.q.bits(), 80);
+        assert_eq!(p.p.bits(), 160);
+        assert_eq!(p.p.as_u64() & 3, 3, "p ≡ 3 (mod 4)");
+        assert!(p.h.rem(&FpW::from_u64(12)).is_zero(), "12 | h");
+        // q·h == p + 1
+        let (qh, hi) = p.q.widening_mul(&p.h);
+        assert!(hi.is_zero());
+        assert_eq!(qh, p.p.wrapping_add(&FpW::ONE));
+        // Generator has order q.
+        assert!(c.mul(&c.generator(), c.group_order()).is_infinity());
+        assert!(!c.generator().is_infinity());
+    }
+
+    #[test]
+    fn named_params_are_deterministic() {
+        let a = PairingCtx::named(SecurityLevel::Toy);
+        let b = PairingCtx::named(SecurityLevel::Toy);
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn from_params_roundtrip() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let rebuilt = PairingCtx::from_params(c.params()).unwrap();
+        assert_eq!(rebuilt.generator(), c.generator());
+        assert_eq!(rebuilt.group_order(), c.group_order());
+    }
+
+    #[test]
+    fn from_params_rejects_corruption() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let good = c.params().clone();
+
+        let mut bad = good.clone();
+        bad.q = bad.q.wrapping_add(&FpW::ONE);
+        assert!(PairingCtx::from_params(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.p = bad.p.wrapping_add(&FpW::from_u64(4)); // keeps 3 mod 4, breaks q·h
+        assert!(PairingCtx::from_params(&bad).is_err());
+
+        let mut bad = good.clone();
+        bad.generator = vec![0x00]; // infinity
+        assert!(PairingCtx::from_params(&bad).is_err());
+
+        let mut bad = good;
+        bad.generator[5] ^= 0xff;
+        assert!(PairingCtx::from_params(&bad).is_err());
+    }
+
+    #[test]
+    fn generate_rejects_bad_shapes() {
+        let mut rng = HmacDrbg::from_u64(1);
+        assert!(PairingCtx::generate(&mut rng, 8, 160).is_err());
+        assert!(PairingCtx::generate(&mut rng, 80, 80).is_err());
+        assert!(PairingCtx::generate(&mut rng, 80, 1024).is_err());
+    }
+
+    #[test]
+    fn fresh_generation_works() {
+        let mut rng = HmacDrbg::from_u64(77);
+        let c = PairingCtx::generate(&mut rng, 32, 96).unwrap();
+        assert_eq!(c.params().q.bits(), 32);
+        assert_eq!(c.params().p.bits(), 96);
+        // Pairing sanity on the fresh curve.
+        let g = c.generator();
+        let e = c.pairing(&g, &g);
+        assert_ne!(e, c.field().fp2_one());
+        assert_eq!(c.field().fp2_pow(&e, c.group_order()), c.field().fp2_one());
+    }
+
+    #[test]
+    fn random_scalars_in_range() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let mut rng = HmacDrbg::from_u64(9);
+        for _ in 0..20 {
+            let s = c.random_scalar(&mut rng);
+            assert!(!s.is_zero());
+            assert!(s < *c.group_order());
+        }
+    }
+}

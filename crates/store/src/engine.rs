@@ -1,0 +1,304 @@
+//! [`KvEngine`] — a log-structured key-value store.
+//!
+//! Architecture: every mutation is appended to a [`Segment`] WAL
+//! (`put` / tombstone frames); the full live state is kept in an in-memory
+//! B-tree (rebuilt by replay on open). Reads never touch storage. Compaction
+//! rewrites the log to contain exactly the live rows.
+//!
+//! This is the "move to a DBMS" the paper's §VIII asks for, scoped to what
+//! the MWS actually needs: point lookups, prefix scans and durable appends.
+
+use crate::segment::Segment;
+use crate::{Result, StoreError};
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+const OP_PUT: u8 = 1;
+const OP_DEL: u8 = 2;
+
+/// Where the engine's WAL lives.
+#[derive(Debug, Clone)]
+pub enum StorageKind {
+    /// Volatile (tests, benchmarks).
+    Memory,
+    /// Durable file at the given path.
+    File(PathBuf),
+}
+
+/// Log-structured KV store with an in-memory materialized state.
+#[derive(Debug)]
+pub struct KvEngine {
+    wal: Segment,
+    kind: StorageKind,
+    map: BTreeMap<Vec<u8>, Vec<u8>>,
+    /// Appends since the last compaction (compaction heuristic input).
+    dead_writes: usize,
+}
+
+impl KvEngine {
+    /// Opens an engine, replaying any existing WAL.
+    pub fn open(kind: StorageKind) -> Result<Self> {
+        let mut wal = match &kind {
+            StorageKind::Memory => Segment::memory(),
+            StorageKind::File(path) => Segment::open_file(path)?,
+        };
+        let mut map = BTreeMap::new();
+        let mut dead_writes = 0usize;
+        for (_, payload) in wal.iter()? {
+            let (op, key, value) = decode_entry(&payload)?;
+            match op {
+                OP_PUT => {
+                    if map.insert(key, value).is_some() {
+                        dead_writes += 1;
+                    }
+                }
+                OP_DEL => {
+                    map.remove(&key);
+                    dead_writes += 1;
+                }
+                _ => return Err(StoreError::Codec("unknown op")),
+            }
+        }
+        Ok(Self {
+            wal,
+            kind,
+            map,
+            dead_writes,
+        })
+    }
+
+    /// Inserts or replaces a row.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.wal.append(&encode_entry(OP_PUT, key, value))?;
+        if self.map.insert(key.to_vec(), value.to_vec()).is_some() {
+            self.dead_writes += 1;
+        }
+        Ok(())
+    }
+
+    /// Removes a row (idempotent).
+    pub fn delete(&mut self, key: &[u8]) -> Result<()> {
+        self.wal.append(&encode_entry(OP_DEL, key, &[]))?;
+        self.map.remove(key);
+        self.dead_writes += 1;
+        Ok(())
+    }
+
+    /// Point lookup.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        Ok(self.map.get(key).cloned())
+    }
+
+    /// True if the key exists.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.map.contains_key(key)
+    }
+
+    /// Number of live rows.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no live rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// All `(key, value)` pairs with the given key prefix, in key order.
+    pub fn scan_prefix(&self, prefix: &[u8]) -> Vec<(Vec<u8>, Vec<u8>)> {
+        self.map
+            .range(prefix.to_vec()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Iterates all live rows in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Vec<u8>, &Vec<u8>)> {
+        self.map.iter()
+    }
+
+    /// Durability point: flush + fsync the WAL (no-op for memory).
+    pub fn sync(&mut self) -> Result<()> {
+        self.wal.sync()
+    }
+
+    /// Fraction of WAL appends that are dead (overwritten or deleted).
+    pub fn garbage_ratio(&self) -> f64 {
+        let total = self.map.len() + self.dead_writes;
+        if total == 0 {
+            0.0
+        } else {
+            self.dead_writes as f64 / total as f64
+        }
+    }
+
+    /// Rewrites the WAL to contain exactly the live rows.
+    ///
+    /// File engines compact via a sibling `.compact` file followed by an
+    /// atomic rename; memory engines rebuild in place.
+    pub fn compact(&mut self) -> Result<()> {
+        match &self.kind {
+            StorageKind::Memory => {
+                let mut fresh = Segment::memory();
+                for (k, v) in &self.map {
+                    fresh.append(&encode_entry(OP_PUT, k, v))?;
+                }
+                self.wal = fresh;
+            }
+            StorageKind::File(path) => {
+                let tmp = path.with_extension("compact");
+                let _ = std::fs::remove_file(&tmp);
+                {
+                    let mut fresh = Segment::open_file(&tmp)?;
+                    for (k, v) in &self.map {
+                        fresh.append(&encode_entry(OP_PUT, k, v))?;
+                    }
+                    fresh.sync()?;
+                }
+                std::fs::rename(&tmp, path)?;
+                self.wal = Segment::open_file(path)?;
+            }
+        }
+        self.dead_writes = 0;
+        Ok(())
+    }
+
+    /// WAL size in bytes (for compaction policy and benchmarks).
+    pub fn wal_bytes(&self) -> u64 {
+        self.wal.len_bytes()
+    }
+}
+
+fn encode_entry(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 4 + key.len() + value.len());
+    out.push(op);
+    out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+    out.extend_from_slice(key);
+    out.extend_from_slice(value);
+    out
+}
+
+fn decode_entry(payload: &[u8]) -> Result<(u8, Vec<u8>, Vec<u8>)> {
+    if payload.len() < 5 {
+        return Err(StoreError::Codec("entry too short"));
+    }
+    let op = payload[0];
+    let klen = u32::from_le_bytes(payload[1..5].try_into().expect("4 bytes")) as usize;
+    if payload.len() < 5 + klen {
+        return Err(StoreError::Codec("key overruns entry"));
+    }
+    let key = payload[5..5 + klen].to_vec();
+    let value = payload[5 + klen..].to_vec();
+    Ok((op, key, value))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_delete() {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        assert!(kv.is_empty());
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert_eq!(kv.len(), 2);
+        kv.put(b"a", b"updated").unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"updated");
+        kv.delete(b"a").unwrap();
+        assert!(kv.get(b"a").unwrap().is_none());
+        assert!(!kv.contains(b"a"));
+        assert!(kv.contains(b"b"));
+        // Deleting a missing key is fine.
+        kv.delete(b"zzz").unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_ordering() {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        for (k, v) in [
+            ("msg/002", "b"),
+            ("msg/001", "a"),
+            ("policy/x", "p"),
+            ("msg/010", "c"),
+        ] {
+            kv.put(k.as_bytes(), v.as_bytes()).unwrap();
+        }
+        let rows = kv.scan_prefix(b"msg/");
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].0, b"msg/001");
+        assert_eq!(rows[1].0, b"msg/002");
+        assert_eq!(rows[2].0, b"msg/010");
+        assert!(kv.scan_prefix(b"nothing/").is_empty());
+        // Empty prefix scans everything.
+        assert_eq!(kv.scan_prefix(b"").len(), 4);
+    }
+
+    #[test]
+    fn replay_rebuilds_state() {
+        let path = std::env::temp_dir().join(format!("mws-kv-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"alive", b"yes").unwrap();
+            kv.put(b"dead", b"soon").unwrap();
+            kv.delete(b"dead").unwrap();
+            kv.put(b"alive", b"still").unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 1);
+        assert_eq!(kv.get(b"alive").unwrap().unwrap(), b"still");
+        assert!(kv.get(b"dead").unwrap().is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compaction_drops_garbage_and_preserves_state() {
+        let path = std::env::temp_dir().join(format!("mws-kvc-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        for i in 0..100u32 {
+            kv.put(b"hot", format!("v{i}").as_bytes()).unwrap();
+        }
+        kv.put(b"cold", b"1").unwrap();
+        let before = kv.wal_bytes();
+        assert!(kv.garbage_ratio() > 0.9);
+        kv.compact().unwrap();
+        assert!(kv.wal_bytes() < before / 10);
+        assert_eq!(kv.garbage_ratio(), 0.0);
+        assert_eq!(kv.get(b"hot").unwrap().unwrap(), b"v99");
+        assert_eq!(kv.get(b"cold").unwrap().unwrap(), b"1");
+        // Reopen after compaction.
+        drop(kv);
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get(b"hot").unwrap().unwrap(), b"v99");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn memory_compaction() {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        for i in 0..50u32 {
+            kv.put(b"k", format!("{i}").as_bytes()).unwrap();
+        }
+        kv.compact().unwrap();
+        assert_eq!(kv.get(b"k").unwrap().unwrap(), b"49");
+        assert_eq!(kv.garbage_ratio(), 0.0);
+    }
+
+    #[test]
+    fn binary_keys_and_values() {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        let key = vec![0u8, 255, 1, 254];
+        let val = (0..=255u8).collect::<Vec<_>>();
+        kv.put(&key, &val).unwrap();
+        assert_eq!(kv.get(&key).unwrap().unwrap(), val);
+        // Empty value is distinct from absent.
+        kv.put(b"empty", b"").unwrap();
+        assert_eq!(kv.get(b"empty").unwrap(), Some(vec![]));
+    }
+}

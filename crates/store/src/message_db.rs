@@ -1,0 +1,346 @@
+//! The Message Database (MD) of Figure 3.
+//!
+//! "Once authenticated, `rP ‖ C ‖ (A ‖ Nonce)` is stored in the Message
+//! Database" (§V.D). Rows keep the IBE component `U = rP`, the symmetric
+//! ciphertext, the attribute string and nonce, plus provenance (depositing
+//! device, logical timestamp). A secondary in-memory index maps attribute →
+//! message ids so the MMS can serve "all records whose attribute field
+//! matches" without a full scan (experiment E8 measures the difference
+//! against the flat-file baseline).
+
+use crate::engine::{KvEngine, StorageKind};
+use crate::tables::{RowReader, RowWriter};
+use crate::{Result, StoreError};
+use std::collections::BTreeMap;
+
+/// Message identifier (monotonically increasing).
+pub type MessageId = u64;
+
+/// One warehoused message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StoredMessage {
+    /// Assigned id.
+    pub id: MessageId,
+    /// The attribute string `A` used for encryption (the MWS stores it in
+    /// the clear — it needs it for access mapping; §V.A).
+    pub attribute: String,
+    /// Per-message nonce.
+    pub nonce: Vec<u8>,
+    /// Compressed encoding of `U = rP`.
+    pub u: Vec<u8>,
+    /// Symmetric cipher id (see `mws_ibe::CipherAlgo::wire_id`).
+    pub algo: u8,
+    /// The sealed symmetric ciphertext `C`.
+    pub sealed: Vec<u8>,
+    /// Identity of the depositing smart device.
+    pub sd_id: String,
+    /// Logical deposit timestamp.
+    pub timestamp: u64,
+}
+
+/// The message table plus its attribute index.
+#[derive(Debug)]
+pub struct MessageDb {
+    kv: KvEngine,
+    next_id: MessageId,
+    by_attribute: BTreeMap<String, Vec<MessageId>>,
+}
+
+fn key_of(id: MessageId) -> Vec<u8> {
+    let mut k = b"m/".to_vec();
+    k.extend_from_slice(&id.to_be_bytes());
+    k
+}
+
+fn encode(msg: &StoredMessage) -> Vec<u8> {
+    let mut w = RowWriter::new();
+    w.u64(msg.id)
+        .string(&msg.attribute)
+        .bytes(&msg.nonce)
+        .bytes(&msg.u)
+        .u8(msg.algo)
+        .bytes(&msg.sealed)
+        .string(&msg.sd_id)
+        .u64(msg.timestamp);
+    w.finish()
+}
+
+fn decode(row: &[u8]) -> Result<StoredMessage> {
+    let mut r = RowReader::new(row);
+    let msg = StoredMessage {
+        id: r.u64()?,
+        attribute: r.string()?,
+        nonce: r.bytes()?,
+        u: r.bytes()?,
+        algo: r.u8()?,
+        sealed: r.bytes()?,
+        sd_id: r.string()?,
+        timestamp: r.u64()?,
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+impl MessageDb {
+    /// Opens the table, rebuilding the attribute index by replay.
+    pub fn open(kind: StorageKind) -> Result<Self> {
+        let kv = KvEngine::open(kind)?;
+        let mut next_id = 0;
+        let mut by_attribute: BTreeMap<String, Vec<MessageId>> = BTreeMap::new();
+        for (_, row) in kv.iter() {
+            let msg = decode(row)?;
+            next_id = next_id.max(msg.id + 1);
+            by_attribute.entry(msg.attribute).or_default().push(msg.id);
+        }
+        for ids in by_attribute.values_mut() {
+            ids.sort_unstable();
+        }
+        Ok(Self {
+            kv,
+            next_id,
+            by_attribute,
+        })
+    }
+
+    /// Inserts a message, assigning and returning its id.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert(
+        &mut self,
+        attribute: &str,
+        nonce: &[u8],
+        u: &[u8],
+        algo: u8,
+        sealed: &[u8],
+        sd_id: &str,
+        timestamp: u64,
+    ) -> Result<MessageId> {
+        let id = self.next_id;
+        let msg = StoredMessage {
+            id,
+            attribute: attribute.to_string(),
+            nonce: nonce.to_vec(),
+            u: u.to_vec(),
+            algo,
+            sealed: sealed.to_vec(),
+            sd_id: sd_id.to_string(),
+            timestamp,
+        };
+        self.kv.put(&key_of(id), &encode(&msg))?;
+        self.next_id += 1;
+        self.by_attribute.entry(msg.attribute).or_default().push(id);
+        Ok(id)
+    }
+
+    /// Fetches one message.
+    pub fn get(&self, id: MessageId) -> Result<StoredMessage> {
+        match self.kv.get(&key_of(id))? {
+            Some(row) => decode(&row),
+            None => Err(StoreError::NotFound),
+        }
+    }
+
+    /// All messages carrying exactly this attribute, oldest first.
+    pub fn by_attribute(&self, attribute: &str) -> Result<Vec<StoredMessage>> {
+        let Some(ids) = self.by_attribute.get(attribute) else {
+            return Ok(Vec::new());
+        };
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// Union over several attributes, deduplicated, oldest first.
+    pub fn by_attributes(&self, attributes: &[String]) -> Result<Vec<StoredMessage>> {
+        let mut ids: Vec<MessageId> = attributes
+            .iter()
+            .filter_map(|a| self.by_attribute.get(a))
+            .flatten()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids.iter().map(|&id| self.get(id)).collect()
+    }
+
+    /// Messages newer than a logical timestamp for one attribute.
+    pub fn by_attribute_since(&self, attribute: &str, since: u64) -> Result<Vec<StoredMessage>> {
+        Ok(self
+            .by_attribute(attribute)?
+            .into_iter()
+            .filter(|m| m.timestamp >= since)
+            .collect())
+    }
+
+    /// Deletes every message with `timestamp < before` (retention sweep).
+    /// Returns how many rows were removed. Compacts the WAL when the sweep
+    /// leaves a majority of dead appends behind.
+    pub fn purge_before(&mut self, before: u64) -> Result<usize> {
+        let victims: Vec<(MessageId, String)> = self
+            .kv
+            .iter()
+            .map(|(_, row)| decode(row))
+            .collect::<Result<Vec<_>>>()?
+            .into_iter()
+            .filter(|m| m.timestamp < before)
+            .map(|m| (m.id, m.attribute))
+            .collect();
+        for (id, attribute) in &victims {
+            self.kv.delete(&key_of(*id))?;
+            if let Some(ids) = self.by_attribute.get_mut(attribute) {
+                ids.retain(|x| x != id);
+                if ids.is_empty() {
+                    self.by_attribute.remove(attribute);
+                }
+            }
+        }
+        if self.kv.garbage_ratio() > 0.5 {
+            self.kv.compact()?;
+        }
+        Ok(victims.len())
+    }
+
+    /// Number of stored messages.
+    pub fn len(&self) -> usize {
+        self.kv.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.kv.is_empty()
+    }
+
+    /// Distinct attributes present.
+    pub fn attributes(&self) -> Vec<String> {
+        self.by_attribute.keys().cloned().collect()
+    }
+
+    /// Durability point.
+    pub fn sync(&mut self) -> Result<()> {
+        self.kv.sync()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(db: &mut MessageDb, attr: &str, sd: &str, ts: u64) -> MessageId {
+        db.insert(attr, b"n", b"\x02u-bytes", 3, b"sealed", sd, ts)
+            .unwrap()
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        let id = db
+            .insert(
+                "ELECTRIC-APT-SV-CA",
+                b"nonce9",
+                b"\x02abc",
+                1,
+                b"ciphertext",
+                "meter-7",
+                42,
+            )
+            .unwrap();
+        let msg = db.get(id).unwrap();
+        assert_eq!(msg.attribute, "ELECTRIC-APT-SV-CA");
+        assert_eq!(msg.nonce, b"nonce9");
+        assert_eq!(msg.algo, 1);
+        assert_eq!(msg.sd_id, "meter-7");
+        assert_eq!(msg.timestamp, 42);
+        assert!(matches!(db.get(id + 1), Err(StoreError::NotFound)));
+    }
+
+    #[test]
+    fn attribute_index() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        mk(&mut db, "ELECTRIC", "m1", 1);
+        mk(&mut db, "WATER", "m2", 2);
+        mk(&mut db, "ELECTRIC", "m3", 3);
+        let elec = db.by_attribute("ELECTRIC").unwrap();
+        assert_eq!(elec.len(), 2);
+        assert!(elec[0].timestamp < elec[1].timestamp);
+        assert_eq!(db.by_attribute("GAS").unwrap().len(), 0);
+        assert_eq!(db.attributes(), vec!["ELECTRIC", "WATER"]);
+    }
+
+    #[test]
+    fn multi_attribute_union_dedups() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        mk(&mut db, "A", "m", 1);
+        mk(&mut db, "B", "m", 2);
+        mk(&mut db, "A", "m", 3);
+        let got = db
+            .by_attributes(&["A".into(), "B".into(), "A".into()])
+            .unwrap();
+        assert_eq!(got.len(), 3);
+        assert_eq!(got.iter().map(|m| m.id).collect::<Vec<_>>(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn since_filter() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        for ts in 1..=5 {
+            mk(&mut db, "A", "m", ts);
+        }
+        assert_eq!(db.by_attribute_since("A", 3).unwrap().len(), 3);
+        assert_eq!(db.by_attribute_since("A", 6).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn purge_before_sweeps_and_reindexes() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        for ts in 1..=10 {
+            mk(&mut db, if ts % 2 == 0 { "EVEN" } else { "ODD" }, "m", ts);
+        }
+        assert_eq!(db.purge_before(6).unwrap(), 5);
+        assert_eq!(db.len(), 5);
+        // Index reflects the sweep.
+        assert_eq!(db.by_attribute("ODD").unwrap().len(), 2); // ts 7, 9
+        assert_eq!(db.by_attribute("EVEN").unwrap().len(), 3); // ts 6, 8, 10
+                                                               // Idempotent.
+        assert_eq!(db.purge_before(6).unwrap(), 0);
+        // Purging everything clears the attribute index.
+        assert_eq!(db.purge_before(u64::MAX).unwrap(), 5);
+        assert!(db.attributes().is_empty());
+        // Ids are not reused after a purge.
+        let id = mk(&mut db, "NEW", "m", 99);
+        assert_eq!(id, 10);
+    }
+
+    #[test]
+    fn purge_survives_reopen() {
+        let path = std::env::temp_dir().join(format!("mws-mdp-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+            for ts in 1..=6 {
+                mk(&mut db, "A", "m", ts);
+            }
+            assert_eq!(db.purge_before(4).unwrap(), 3);
+            db.sync().unwrap();
+        }
+        let db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.by_attribute("A").unwrap().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn reopen_rebuilds_index_and_ids() {
+        let path = std::env::temp_dir().join(format!("mws-md-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+            mk(&mut db, "A", "m1", 1);
+            mk(&mut db, "B", "m2", 2);
+            db.sync().unwrap();
+        }
+        let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.by_attribute("A").unwrap().len(), 1);
+        // New ids continue after the persisted maximum.
+        let id = mk(&mut db, "A", "m3", 3);
+        assert_eq!(id, 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

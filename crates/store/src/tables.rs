@@ -1,0 +1,173 @@
+//! A minimal length-prefixed record codec for the typed tables.
+//!
+//! Field encoding (little-endian lengths): `u32 len ‖ bytes` for variable
+//! fields, fixed-width integers otherwise. Deliberately simple — the wire
+//! protocol has its own codec in `mws-wire`; this one is only for rows at
+//! rest.
+
+use crate::{Result, StoreError};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Record writer.
+#[derive(Debug, Default)]
+pub struct RowWriter {
+    buf: BytesMut,
+}
+
+impl RowWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a variable-length byte field.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Appends a string field.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Appends a single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Finishes the row.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Record reader.
+#[derive(Debug)]
+pub struct RowReader {
+    buf: Bytes,
+}
+
+impl RowReader {
+    /// Wraps a stored row.
+    pub fn new(data: &[u8]) -> Self {
+        Self {
+            buf: Bytes::copy_from_slice(data),
+        }
+    }
+
+    /// Reads a variable-length byte field.
+    pub fn bytes(&mut self) -> Result<Vec<u8>> {
+        if self.buf.remaining() < 4 {
+            return Err(StoreError::Codec("missing length"));
+        }
+        let len = self.buf.get_u32_le() as usize;
+        if self.buf.remaining() < len {
+            return Err(StoreError::Codec("field overruns row"));
+        }
+        Ok(self.buf.copy_to_bytes(len).to_vec())
+    }
+
+    /// Reads a UTF-8 string field.
+    pub fn string(&mut self) -> Result<String> {
+        String::from_utf8(self.bytes()?).map_err(|_| StoreError::Codec("invalid utf-8"))
+    }
+
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Result<u64> {
+        if self.buf.remaining() < 8 {
+            return Err(StoreError::Codec("missing u64"));
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Result<u32> {
+        if self.buf.remaining() < 4 {
+            return Err(StoreError::Codec("missing u32"));
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Reads a byte.
+    pub fn u8(&mut self) -> Result<u8> {
+        if self.buf.remaining() < 1 {
+            return Err(StoreError::Codec("missing u8"));
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Asserts the row was fully consumed.
+    pub fn finish(self) -> Result<()> {
+        if self.buf.has_remaining() {
+            Err(StoreError::Codec("trailing bytes in row"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_mixed_row() {
+        let mut w = RowWriter::new();
+        w.u64(42).string("ELECTRIC").bytes(&[1, 2, 3]).u32(7).u8(9);
+        let row = w.finish();
+        let mut r = RowReader::new(&row);
+        assert_eq!(r.u64().unwrap(), 42);
+        assert_eq!(r.string().unwrap(), "ELECTRIC");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(r.u32().unwrap(), 7);
+        assert_eq!(r.u8().unwrap(), 9);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn truncated_rows_rejected() {
+        let mut w = RowWriter::new();
+        w.string("hello").u64(1);
+        let row = w.finish();
+        for cut in 0..row.len() {
+            let mut r = RowReader::new(&row[..cut]);
+            let ok = r.string().and_then(|_| r.u64());
+            assert!(ok.is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut w = RowWriter::new();
+        w.u8(1);
+        let mut row = w.finish();
+        row.push(0xff);
+        let mut r = RowReader::new(&row);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+
+    #[test]
+    fn invalid_utf8_rejected() {
+        let mut w = RowWriter::new();
+        w.bytes(&[0xff, 0xfe]);
+        let row = w.finish();
+        let mut r = RowReader::new(&row);
+        assert!(r.string().is_err());
+    }
+}

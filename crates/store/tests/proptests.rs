@@ -1,0 +1,111 @@
+//! Property-based tests: the KvEngine must behave exactly like a model
+//! `BTreeMap` under any operation sequence, including across reopen.
+
+use mws_store::{KvEngine, StorageKind};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Put(Vec<u8>, Vec<u8>),
+    Del(Vec<u8>),
+    Compact,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (prop::collection::vec(any::<u8>(), 1..8), prop::collection::vec(any::<u8>(), 0..24))
+            .prop_map(|(k, v)| Op::Put(k, v)),
+        2 => prop::collection::vec(any::<u8>(), 1..8).prop_map(Op::Del),
+        1 => Just(Op::Compact),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_matches_model(ops in prop::collection::vec(arb_op(), 0..60)) {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for op in &ops {
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    kv.delete(k).unwrap();
+                    model.remove(k);
+                }
+                Op::Compact => kv.compact().unwrap(),
+            }
+            prop_assert_eq!(kv.len(), model.len());
+        }
+        for (k, v) in &model {
+            prop_assert_eq!(kv.get(k).unwrap(), Some(v.clone()));
+        }
+        // Full iteration agrees.
+        let got: Vec<_> = kv.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let want: Vec<_> = model.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn file_engine_reopen_matches_model(ops in prop::collection::vec(arb_op(), 0..40), reopen_at in 0usize..40) {
+        let path = std::env::temp_dir().join(format!(
+            "mws-prop-{}-{:x}.wal",
+            std::process::id(),
+            rand::random::<u64>()
+        ));
+        let _ = std::fs::remove_file(&path);
+        let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        let mut model: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+        for (i, op) in ops.iter().enumerate() {
+            if i == reopen_at {
+                kv.sync().unwrap();
+                drop(kv);
+                kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            }
+            match op {
+                Op::Put(k, v) => {
+                    kv.put(k, v).unwrap();
+                    model.insert(k.clone(), v.clone());
+                }
+                Op::Del(k) => {
+                    kv.delete(k).unwrap();
+                    model.remove(k);
+                }
+                Op::Compact => kv.compact().unwrap(),
+            }
+        }
+        kv.sync().unwrap();
+        drop(kv);
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        prop_assert_eq!(kv.len(), model.len());
+        for (k, v) in &model {
+            prop_assert_eq!(kv.get(k).unwrap(), Some(v.clone()));
+        }
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prefix_scan_matches_model(
+        keys in prop::collection::vec(prop::collection::vec(0u8..4, 1..5), 0..30),
+        prefix in prop::collection::vec(0u8..4, 0..3),
+    ) {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        let mut model = BTreeMap::new();
+        for (i, k) in keys.iter().enumerate() {
+            kv.put(k, &[i as u8]).unwrap();
+            model.insert(k.clone(), vec![i as u8]);
+        }
+        let got = kv.scan_prefix(&prefix);
+        let want: Vec<_> = model
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,183 @@
+//! Primitive field codec: little-endian integers and `u32`-length-prefixed
+//! byte fields.
+
+use crate::WireError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Field writer.
+#[derive(Debug, Default)]
+pub struct WireWriter {
+    buf: BytesMut,
+}
+
+impl WireWriter {
+    /// New empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Length-prefixed bytes.
+    pub fn bytes(&mut self, v: &[u8]) -> &mut Self {
+        self.buf.put_u32_le(v.len() as u32);
+        self.buf.put_slice(v);
+        self
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self, v: &str) -> &mut Self {
+        self.bytes(v.as_bytes())
+    }
+
+    /// Fixed `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.buf.put_u64_le(v);
+        self
+    }
+
+    /// Fixed `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.buf.put_u32_le(v);
+        self
+    }
+
+    /// Fixed `u16`.
+    pub fn u16(&mut self, v: u16) -> &mut Self {
+        self.buf.put_u16_le(v);
+        self
+    }
+
+    /// Single byte.
+    pub fn u8(&mut self, v: u8) -> &mut Self {
+        self.buf.put_u8(v);
+        self
+    }
+
+    /// Finishes and returns the encoded body.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Field reader.
+#[derive(Debug)]
+pub struct WireReader {
+    buf: Bytes,
+}
+
+impl WireReader {
+    /// Wraps an encoded body.
+    pub fn new(data: &[u8]) -> Self {
+        Self {
+            buf: Bytes::copy_from_slice(data),
+        }
+    }
+
+    /// Length-prefixed bytes.
+    pub fn bytes(&mut self) -> Result<Vec<u8>, WireError> {
+        if self.buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        let len = self.buf.get_u32_le() as usize;
+        if len > crate::MAX_BODY || self.buf.remaining() < len {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.copy_to_bytes(len).to_vec())
+    }
+
+    /// Length-prefixed UTF-8 string.
+    pub fn string(&mut self) -> Result<String, WireError> {
+        String::from_utf8(self.bytes()?).map_err(|_| WireError::BadField("utf-8"))
+    }
+
+    /// Fixed `u64`.
+    pub fn u64(&mut self) -> Result<u64, WireError> {
+        if self.buf.remaining() < 8 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Fixed `u32`.
+    pub fn u32(&mut self) -> Result<u32, WireError> {
+        if self.buf.remaining() < 4 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Fixed `u16`.
+    pub fn u16(&mut self) -> Result<u16, WireError> {
+        if self.buf.remaining() < 2 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u16_le())
+    }
+
+    /// Single byte.
+    pub fn u8(&mut self) -> Result<u8, WireError> {
+        if self.buf.remaining() < 1 {
+            return Err(WireError::Truncated);
+        }
+        Ok(self.buf.get_u8())
+    }
+
+    /// Asserts full consumption (rejects trailing bytes).
+    pub fn finish(self) -> Result<(), WireError> {
+        if self.buf.has_remaining() {
+            Err(WireError::BadField("trailing bytes"))
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_field_kinds() {
+        let mut w = WireWriter::new();
+        w.string("id").bytes(&[1, 2]).u64(9).u32(8).u16(7).u8(6);
+        let body = w.finish();
+        let mut r = WireReader::new(&body);
+        assert_eq!(r.string().unwrap(), "id");
+        assert_eq!(r.bytes().unwrap(), vec![1, 2]);
+        assert_eq!(r.u64().unwrap(), 9);
+        assert_eq!(r.u32().unwrap(), 8);
+        assert_eq!(r.u16().unwrap(), 7);
+        assert_eq!(r.u8().unwrap(), 6);
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn every_truncation_point_errors() {
+        let mut w = WireWriter::new();
+        w.string("hello").u64(1).bytes(&[9; 10]);
+        let body = w.finish();
+        for cut in 0..body.len() {
+            let mut r = WireReader::new(&body[..cut]);
+            let result = r.string().and_then(|_| r.u64()).and_then(|_| r.bytes());
+            assert!(result.is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_rejected_without_allocation() {
+        let mut body = u32::MAX.to_le_bytes().to_vec();
+        body.extend_from_slice(&[0; 16]);
+        let mut r = WireReader::new(&body);
+        assert_eq!(r.bytes().unwrap_err(), WireError::Truncated);
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut w = WireWriter::new();
+        w.u8(1);
+        let mut body = w.finish();
+        body.push(0);
+        let mut r = WireReader::new(&body);
+        r.u8().unwrap();
+        assert!(r.finish().is_err());
+    }
+}

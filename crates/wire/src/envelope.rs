@@ -1,0 +1,79 @@
+//! The outer frame: `version(1) ‖ type(1) ‖ len(4, LE) ‖ body`.
+
+use crate::pdu::Pdu;
+use crate::{WireError, MAX_BODY, WIRE_VERSION};
+
+/// Encodes a PDU into a framed message.
+pub fn encode_envelope(pdu: &Pdu) -> Vec<u8> {
+    let body = pdu.encode_body();
+    let mut out = Vec::with_capacity(6 + body.len());
+    out.push(WIRE_VERSION);
+    out.push(pdu.type_byte());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Decodes a framed message, returning the PDU and bytes consumed.
+pub fn decode_envelope(bytes: &[u8]) -> Result<(Pdu, usize), WireError> {
+    if bytes.len() < 6 {
+        return Err(WireError::Truncated);
+    }
+    if bytes[0] != WIRE_VERSION {
+        return Err(WireError::BadVersion(bytes[0]));
+    }
+    let type_byte = bytes[1];
+    let len = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize;
+    if len > MAX_BODY {
+        return Err(WireError::BadLength);
+    }
+    if bytes.len() < 6 + len {
+        return Err(WireError::Truncated);
+    }
+    let pdu = Pdu::decode_body(type_byte, &bytes[6..6 + len])?;
+    Ok((pdu, 6 + len))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let pdu = Pdu::DepositAck { message_id: 5 };
+        let framed = encode_envelope(&pdu);
+        let (decoded, consumed) = decode_envelope(&framed).unwrap();
+        assert_eq!(decoded, pdu);
+        assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn consumed_supports_streaming() {
+        // Two frames back to back decode sequentially.
+        let a = encode_envelope(&Pdu::ParamsRequest);
+        let b = encode_envelope(&Pdu::DepositAck { message_id: 9 });
+        let mut stream = a.clone();
+        stream.extend_from_slice(&b);
+        let (p1, n1) = decode_envelope(&stream).unwrap();
+        assert_eq!(p1, Pdu::ParamsRequest);
+        let (p2, n2) = decode_envelope(&stream[n1..]).unwrap();
+        assert_eq!(p2, Pdu::DepositAck { message_id: 9 });
+        assert_eq!(n1 + n2, stream.len());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_lengths() {
+        let mut framed = encode_envelope(&Pdu::ParamsRequest);
+        framed[0] = 9;
+        assert_eq!(
+            decode_envelope(&framed).unwrap_err(),
+            WireError::BadVersion(9)
+        );
+        // Declared length beyond cap.
+        let mut huge = vec![WIRE_VERSION, 0x30];
+        huge.extend_from_slice(&(u32::MAX).to_le_bytes());
+        assert_eq!(decode_envelope(&huge).unwrap_err(), WireError::BadLength);
+        // Shorter than header.
+        assert_eq!(decode_envelope(&[1, 2]).unwrap_err(), WireError::Truncated);
+    }
+}

@@ -1,0 +1,572 @@
+//! Typed protocol data units for the three protocol phases (§V.D).
+
+use crate::codec::{WireReader, WireWriter};
+use crate::WireError;
+
+/// One warehoused message as delivered to an RC:
+/// `rP ‖ C ‖ (AID ‖ Nonce)` plus bookkeeping.
+///
+/// Note the field the paper stresses: the RC sees the **AID**, never the
+/// attribute string itself.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireMessage {
+    /// Warehouse-assigned message id.
+    pub message_id: u64,
+    /// Compressed `U = rP`.
+    pub u: Vec<u8>,
+    /// Symmetric cipher id.
+    pub algo: u8,
+    /// Sealed ciphertext `C`.
+    pub sealed: Vec<u8>,
+    /// Attribute ID (row id in the Policy Database).
+    pub aid: u64,
+    /// Per-message nonce.
+    pub nonce: Vec<u8>,
+    /// Deposit timestamp.
+    pub timestamp: u64,
+    /// Authenticated associated data the SD bound into the seal.
+    pub aad: Vec<u8>,
+}
+
+/// All protocol messages.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Pdu {
+    // ---- SD – MWS phase ----
+    /// SD deposit: `rP ‖ C ‖ (A ‖ Nonce) ‖ ID_SD ‖ T ‖ MAC`.
+    DepositRequest {
+        /// Depositing device identity.
+        sd_id: String,
+        /// Device timestamp `T`.
+        timestamp: u64,
+        /// Compressed `U = rP`.
+        u: Vec<u8>,
+        /// Symmetric cipher id.
+        algo: u8,
+        /// Sealed ciphertext `C`.
+        sealed: Vec<u8>,
+        /// Attribute string `A`.
+        attribute: String,
+        /// Per-message nonce.
+        nonce: Vec<u8>,
+        /// Deposit authenticator: `HMAC(SecK_SD-MWS, fields)` in shared-key
+        /// mode, or an encoded Cha–Cheon signature in IBS mode (§VIII).
+        mac: Vec<u8>,
+    },
+    /// MWS acknowledgment of a deposit.
+    DepositAck {
+        /// Assigned message id.
+        message_id: u64,
+    },
+
+    // ---- MWS – RC phase ----
+    /// RC retrieval: `ID_RC ‖ E(HashPassword, ID_RC ‖ T ‖ N)`.
+    RetrieveRequest {
+        /// Claimed RC identity (plaintext, checked against the encrypted copy).
+        rc_id: String,
+        /// `E(HashPassword, ID_RC ‖ T ‖ N)`.
+        auth: Vec<u8>,
+        /// Only messages with `timestamp ≥ since` are returned.
+        since: u64,
+        /// Maximum messages per response (0 = server default). Pagination:
+        /// resume with `since = last.timestamp` and client-side id dedup.
+        limit: u32,
+    },
+    /// MWS response: token + matching messages.
+    RetrieveResponse {
+        /// `Token = E(PubK_RC, SecK_RC-PKG ‖ Ticket)`.
+        token: Vec<u8>,
+        /// Messages the policy grants this RC.
+        messages: Vec<WireMessage>,
+    },
+
+    // ---- RC – PKG phase ----
+    /// RC → PKG: `ID_RC ‖ Ticket ‖ Authenticator`.
+    PkgAuthRequest {
+        /// RC identity.
+        rc_id: String,
+        /// `E(SecK_MWS-PKG, AID↦A table ‖ SecK_RC-PKG)`.
+        ticket: Vec<u8>,
+        /// `E(SecK_RC-PKG, ID_RC ‖ T)`.
+        authenticator: Vec<u8>,
+    },
+    /// PKG confirmation establishing a key-request session.
+    PkgAuthResponse {
+        /// Session handle for subsequent [`Pdu::KeyRequest`]s.
+        session_id: u64,
+        /// `E(SecK_RC-PKG, T+1)` — proves the PKG knew the session key.
+        confirmation: Vec<u8>,
+    },
+    /// RC → PKG: `AID ‖ Nonce` for one message's private key.
+    KeyRequest {
+        /// Session handle.
+        session_id: u64,
+        /// Attribute ID from the retrieved message header.
+        aid: u64,
+        /// The message's nonce.
+        nonce: Vec<u8>,
+    },
+    /// PKG → RC: the private key `sI`, encrypted under the session key.
+    KeyResponse {
+        /// `E(SecK_RC-PKG, compressed sI)`.
+        encrypted_key: Vec<u8>,
+    },
+
+    // ---- Administrative ----
+    /// Request for system parameters (paper §VIII: "it would be easier if
+    /// the SD obtains the parameters" from the PKG instead of generating).
+    ParamsRequest,
+    /// System parameters: curve + master public key.
+    ParamsResponse {
+        /// Field prime `p` (big-endian).
+        p: Vec<u8>,
+        /// Group order `q` (big-endian).
+        q: Vec<u8>,
+        /// Cofactor `h` (big-endian).
+        h: Vec<u8>,
+        /// Compressed generator `P`.
+        generator: Vec<u8>,
+        /// Compressed master public key `sP`.
+        mpk: Vec<u8>,
+    },
+
+    // ---- Distribution points (§VIII future work) ----
+    /// Central MWS → ingest point: pull buffered deposits after `after`.
+    RelayPull {
+        /// Resume cursor (sequence number of the last applied entry).
+        after: u64,
+        /// Maximum entries to return.
+        max: u32,
+    },
+    /// Ingest point → central MWS: a batch of edge-verified deposits.
+    RelayBatch {
+        /// Entries in sequence order.
+        entries: Vec<RelayEntry>,
+        /// Cursor to resume from next time.
+        next: u64,
+        /// `HMAC(relay key, canonical batch bytes)` — inter-site integrity.
+        mac: Vec<u8>,
+    },
+
+    /// Error reply usable in any phase.
+    Error {
+        /// Machine-readable code (see `mws-core`'s error taxonomy).
+        code: u16,
+        /// Human-readable detail.
+        detail: String,
+    },
+}
+
+/// One edge-verified deposit relayed toward the central warehouse.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RelayEntry {
+    /// Ingest-point sequence number (monotonic per site).
+    pub seq: u64,
+    /// Depositing device.
+    pub sd_id: String,
+    /// Device timestamp.
+    pub timestamp: u64,
+    /// Compressed `U = rP`.
+    pub u: Vec<u8>,
+    /// Cipher id.
+    pub algo: u8,
+    /// Sealed ciphertext.
+    pub sealed: Vec<u8>,
+    /// Attribute string.
+    pub attribute: String,
+    /// Per-message nonce.
+    pub nonce: Vec<u8>,
+}
+
+impl Pdu {
+    /// Message-type byte for the envelope.
+    pub fn type_byte(&self) -> u8 {
+        match self {
+            Pdu::DepositRequest { .. } => 0x01,
+            Pdu::DepositAck { .. } => 0x02,
+            Pdu::RetrieveRequest { .. } => 0x10,
+            Pdu::RetrieveResponse { .. } => 0x11,
+            Pdu::PkgAuthRequest { .. } => 0x20,
+            Pdu::PkgAuthResponse { .. } => 0x21,
+            Pdu::KeyRequest { .. } => 0x22,
+            Pdu::KeyResponse { .. } => 0x23,
+            Pdu::ParamsRequest => 0x30,
+            Pdu::ParamsResponse { .. } => 0x31,
+            Pdu::RelayPull { .. } => 0x40,
+            Pdu::RelayBatch { .. } => 0x41,
+            Pdu::Error { .. } => 0xff,
+        }
+    }
+
+    /// Encodes the body (without the envelope).
+    pub fn encode_body(&self) -> Vec<u8> {
+        let mut w = WireWriter::new();
+        match self {
+            Pdu::DepositRequest {
+                sd_id,
+                timestamp,
+                u,
+                algo,
+                sealed,
+                attribute,
+                nonce,
+                mac,
+            } => {
+                w.string(sd_id)
+                    .u64(*timestamp)
+                    .bytes(u)
+                    .u8(*algo)
+                    .bytes(sealed)
+                    .string(attribute)
+                    .bytes(nonce)
+                    .bytes(mac);
+            }
+            Pdu::DepositAck { message_id } => {
+                w.u64(*message_id);
+            }
+            Pdu::RetrieveRequest {
+                rc_id,
+                auth,
+                since,
+                limit,
+            } => {
+                w.string(rc_id).bytes(auth).u64(*since).u32(*limit);
+            }
+            Pdu::RetrieveResponse { token, messages } => {
+                w.bytes(token).u32(messages.len() as u32);
+                for m in messages {
+                    w.u64(m.message_id)
+                        .bytes(&m.u)
+                        .u8(m.algo)
+                        .bytes(&m.sealed)
+                        .u64(m.aid)
+                        .bytes(&m.nonce)
+                        .u64(m.timestamp)
+                        .bytes(&m.aad);
+                }
+            }
+            Pdu::PkgAuthRequest {
+                rc_id,
+                ticket,
+                authenticator,
+            } => {
+                w.string(rc_id).bytes(ticket).bytes(authenticator);
+            }
+            Pdu::PkgAuthResponse {
+                session_id,
+                confirmation,
+            } => {
+                w.u64(*session_id).bytes(confirmation);
+            }
+            Pdu::KeyRequest {
+                session_id,
+                aid,
+                nonce,
+            } => {
+                w.u64(*session_id).u64(*aid).bytes(nonce);
+            }
+            Pdu::KeyResponse { encrypted_key } => {
+                w.bytes(encrypted_key);
+            }
+            Pdu::ParamsRequest => {}
+            Pdu::ParamsResponse {
+                p,
+                q,
+                h,
+                generator,
+                mpk,
+            } => {
+                w.bytes(p).bytes(q).bytes(h).bytes(generator).bytes(mpk);
+            }
+            Pdu::RelayPull { after, max } => {
+                w.u64(*after).u32(*max);
+            }
+            Pdu::RelayBatch { entries, next, mac } => {
+                w.u32(entries.len() as u32);
+                for e in entries {
+                    w.u64(e.seq)
+                        .string(&e.sd_id)
+                        .u64(e.timestamp)
+                        .bytes(&e.u)
+                        .u8(e.algo)
+                        .bytes(&e.sealed)
+                        .string(&e.attribute)
+                        .bytes(&e.nonce);
+                }
+                w.u64(*next).bytes(mac);
+            }
+            Pdu::Error { code, detail } => {
+                w.u16(*code).string(detail);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes a body of the given type byte.
+    pub fn decode_body(type_byte: u8, body: &[u8]) -> Result<Self, WireError> {
+        let mut r = WireReader::new(body);
+        let pdu = match type_byte {
+            0x01 => Pdu::DepositRequest {
+                sd_id: r.string()?,
+                timestamp: r.u64()?,
+                u: r.bytes()?,
+                algo: r.u8()?,
+                sealed: r.bytes()?,
+                attribute: r.string()?,
+                nonce: r.bytes()?,
+                mac: r.bytes()?,
+            },
+            0x02 => Pdu::DepositAck {
+                message_id: r.u64()?,
+            },
+            0x10 => Pdu::RetrieveRequest {
+                rc_id: r.string()?,
+                auth: r.bytes()?,
+                since: r.u64()?,
+                limit: r.u32()?,
+            },
+            0x11 => {
+                let token = r.bytes()?;
+                let n = r.u32()? as usize;
+                if n > crate::MAX_BODY / 16 {
+                    return Err(WireError::BadLength);
+                }
+                let mut messages = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    messages.push(WireMessage {
+                        message_id: r.u64()?,
+                        u: r.bytes()?,
+                        algo: r.u8()?,
+                        sealed: r.bytes()?,
+                        aid: r.u64()?,
+                        nonce: r.bytes()?,
+                        timestamp: r.u64()?,
+                        aad: r.bytes()?,
+                    });
+                }
+                Pdu::RetrieveResponse { token, messages }
+            }
+            0x20 => Pdu::PkgAuthRequest {
+                rc_id: r.string()?,
+                ticket: r.bytes()?,
+                authenticator: r.bytes()?,
+            },
+            0x21 => Pdu::PkgAuthResponse {
+                session_id: r.u64()?,
+                confirmation: r.bytes()?,
+            },
+            0x22 => Pdu::KeyRequest {
+                session_id: r.u64()?,
+                aid: r.u64()?,
+                nonce: r.bytes()?,
+            },
+            0x23 => Pdu::KeyResponse {
+                encrypted_key: r.bytes()?,
+            },
+            0x30 => Pdu::ParamsRequest,
+            0x31 => Pdu::ParamsResponse {
+                p: r.bytes()?,
+                q: r.bytes()?,
+                h: r.bytes()?,
+                generator: r.bytes()?,
+                mpk: r.bytes()?,
+            },
+            0x40 => Pdu::RelayPull {
+                after: r.u64()?,
+                max: r.u32()?,
+            },
+            0x41 => {
+                let n = r.u32()? as usize;
+                if n > crate::MAX_BODY / 16 {
+                    return Err(WireError::BadLength);
+                }
+                let mut entries = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    entries.push(RelayEntry {
+                        seq: r.u64()?,
+                        sd_id: r.string()?,
+                        timestamp: r.u64()?,
+                        u: r.bytes()?,
+                        algo: r.u8()?,
+                        sealed: r.bytes()?,
+                        attribute: r.string()?,
+                        nonce: r.bytes()?,
+                    });
+                }
+                Pdu::RelayBatch {
+                    entries,
+                    next: r.u64()?,
+                    mac: r.bytes()?,
+                }
+            }
+            0xff => Pdu::Error {
+                code: r.u16()?,
+                detail: r.string()?,
+            },
+            other => return Err(WireError::UnknownType(other)),
+        };
+        r.finish()?;
+        Ok(pdu)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<Pdu> {
+        vec![
+            Pdu::DepositRequest {
+                sd_id: "meter-7".into(),
+                timestamp: 42,
+                u: vec![2; 65],
+                algo: 3,
+                sealed: vec![9; 40],
+                attribute: "ELECTRIC-APT-SV-CA".into(),
+                nonce: vec![1, 2, 3],
+                mac: vec![7; 32],
+            },
+            Pdu::DepositAck { message_id: 17 },
+            Pdu::RetrieveRequest {
+                rc_id: "C-Services".into(),
+                auth: vec![5; 24],
+                since: 0,
+                limit: 128,
+            },
+            Pdu::RetrieveResponse {
+                token: vec![8; 100],
+                messages: vec![
+                    WireMessage {
+                        message_id: 1,
+                        u: vec![2; 65],
+                        algo: 1,
+                        sealed: vec![3; 48],
+                        aid: 4,
+                        nonce: vec![5],
+                        timestamp: 6,
+                        aad: vec![7, 8],
+                    },
+                    WireMessage {
+                        message_id: 2,
+                        u: vec![],
+                        algo: 0,
+                        sealed: vec![],
+                        aid: 0,
+                        nonce: vec![],
+                        timestamp: 0,
+                        aad: vec![],
+                    },
+                ],
+            },
+            Pdu::PkgAuthRequest {
+                rc_id: "rc".into(),
+                ticket: vec![1; 64],
+                authenticator: vec![2; 32],
+            },
+            Pdu::PkgAuthResponse {
+                session_id: 99,
+                confirmation: vec![3; 16],
+            },
+            Pdu::KeyRequest {
+                session_id: 99,
+                aid: 3,
+                nonce: vec![4; 8],
+            },
+            Pdu::KeyResponse {
+                encrypted_key: vec![5; 80],
+            },
+            Pdu::ParamsRequest,
+            Pdu::ParamsResponse {
+                p: vec![1; 64],
+                q: vec![2; 64],
+                h: vec![3; 64],
+                generator: vec![4; 65],
+                mpk: vec![5; 65],
+            },
+            Pdu::RelayPull {
+                after: 17,
+                max: 100,
+            },
+            Pdu::RelayBatch {
+                entries: vec![
+                    RelayEntry {
+                        seq: 18,
+                        sd_id: "meter-9".into(),
+                        timestamp: 3,
+                        u: vec![2; 65],
+                        algo: 1,
+                        sealed: vec![4; 40],
+                        attribute: "WATER-APT".into(),
+                        nonce: vec![5; 16],
+                    },
+                    RelayEntry {
+                        seq: 19,
+                        sd_id: String::new(),
+                        timestamp: 0,
+                        u: vec![],
+                        algo: 0,
+                        sealed: vec![],
+                        attribute: String::new(),
+                        nonce: vec![],
+                    },
+                ],
+                next: 20,
+                mac: vec![7; 32],
+            },
+            Pdu::Error {
+                code: 404,
+                detail: "no such attribute".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn all_pdus_roundtrip() {
+        for pdu in samples() {
+            let body = pdu.encode_body();
+            let decoded = Pdu::decode_body(pdu.type_byte(), &body).unwrap();
+            assert_eq!(decoded, pdu);
+        }
+    }
+
+    #[test]
+    fn type_bytes_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for pdu in samples() {
+            assert!(seen.insert(pdu.type_byte()), "duplicate type byte");
+        }
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        assert_eq!(
+            Pdu::decode_body(0x77, &[]).unwrap_err(),
+            WireError::UnknownType(0x77)
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut body = Pdu::DepositAck { message_id: 1 }.encode_body();
+        body.push(0);
+        assert!(Pdu::decode_body(0x02, &body).is_err());
+    }
+
+    #[test]
+    fn truncation_never_panics() {
+        for pdu in samples() {
+            let body = pdu.encode_body();
+            for cut in 0..body.len() {
+                let _ = Pdu::decode_body(pdu.type_byte(), &body[..cut]);
+            }
+        }
+    }
+
+    #[test]
+    fn hostile_message_count_bounded() {
+        // A RetrieveResponse declaring 2^32-1 messages must fail fast.
+        let mut w = WireWriter::new();
+        w.bytes(b"token").u32(u32::MAX);
+        let body = w.finish();
+        assert!(Pdu::decode_body(0x11, &body).is_err());
+    }
+}

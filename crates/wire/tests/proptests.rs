@@ -1,0 +1,154 @@
+//! Property-based tests for the wire codec: arbitrary PDUs roundtrip,
+//! arbitrary bytes never panic the decoder.
+
+use mws_wire::{decode_envelope, encode_envelope, Pdu, WireMessage};
+use proptest::prelude::*;
+
+fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
+    prop::collection::vec(any::<u8>(), 0..max)
+}
+
+fn arb_string() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9\\-\\.]{0,40}"
+}
+
+fn arb_wire_message() -> impl Strategy<Value = WireMessage> {
+    (
+        any::<u64>(),
+        arb_bytes(80),
+        any::<u8>(),
+        arb_bytes(120),
+        any::<u64>(),
+        arb_bytes(24),
+        any::<u64>(),
+        arb_bytes(60),
+    )
+        .prop_map(
+            |(message_id, u, algo, sealed, aid, nonce, timestamp, aad)| WireMessage {
+                message_id,
+                u,
+                algo,
+                sealed,
+                aid,
+                nonce,
+                timestamp,
+                aad,
+            },
+        )
+}
+
+fn arb_pdu() -> impl Strategy<Value = Pdu> {
+    prop_oneof![
+        (
+            arb_string(),
+            any::<u64>(),
+            arb_bytes(80),
+            any::<u8>(),
+            arb_bytes(200),
+            arb_string(),
+            arb_bytes(24),
+            arb_bytes(32),
+        )
+            .prop_map(
+                |(sd_id, timestamp, u, algo, sealed, attribute, nonce, mac)| {
+                    Pdu::DepositRequest {
+                        sd_id,
+                        timestamp,
+                        u,
+                        algo,
+                        sealed,
+                        attribute,
+                        nonce,
+                        mac,
+                    }
+                }
+            ),
+        any::<u64>().prop_map(|message_id| Pdu::DepositAck { message_id }),
+        (arb_string(), arb_bytes(100), any::<u64>(), any::<u32>()).prop_map(
+            |(rc_id, auth, since, limit)| Pdu::RetrieveRequest {
+                rc_id,
+                auth,
+                since,
+                limit,
+            }
+        ),
+        (
+            arb_bytes(150),
+            prop::collection::vec(arb_wire_message(), 0..5)
+        )
+            .prop_map(|(token, messages)| Pdu::RetrieveResponse { token, messages }),
+        (arb_string(), arb_bytes(120), arb_bytes(60)).prop_map(|(rc_id, ticket, authenticator)| {
+            Pdu::PkgAuthRequest {
+                rc_id,
+                ticket,
+                authenticator,
+            }
+        }),
+        (any::<u64>(), arb_bytes(40)).prop_map(|(session_id, confirmation)| {
+            Pdu::PkgAuthResponse {
+                session_id,
+                confirmation,
+            }
+        }),
+        (any::<u64>(), any::<u64>(), arb_bytes(24)).prop_map(|(session_id, aid, nonce)| {
+            Pdu::KeyRequest {
+                session_id,
+                aid,
+                nonce,
+            }
+        }),
+        arb_bytes(100).prop_map(|encrypted_key| Pdu::KeyResponse { encrypted_key }),
+        Just(Pdu::ParamsRequest),
+        (
+            arb_bytes(64),
+            arb_bytes(64),
+            arb_bytes(64),
+            arb_bytes(65),
+            arb_bytes(65)
+        )
+            .prop_map(|(p, q, h, generator, mpk)| Pdu::ParamsResponse {
+                p,
+                q,
+                h,
+                generator,
+                mpk
+            }),
+        (any::<u16>(), arb_string()).prop_map(|(code, detail)| Pdu::Error { code, detail }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn every_pdu_roundtrips(pdu in arb_pdu()) {
+        let framed = encode_envelope(&pdu);
+        let (decoded, consumed) = decode_envelope(&framed).unwrap();
+        prop_assert_eq!(decoded, pdu);
+        prop_assert_eq!(consumed, framed.len());
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in arb_bytes(512)) {
+        let _ = decode_envelope(&bytes);
+    }
+
+    #[test]
+    fn truncated_frames_error_cleanly(pdu in arb_pdu(), cut_fraction in 0.0f64..1.0) {
+        let framed = encode_envelope(&pdu);
+        let cut = ((framed.len() as f64) * cut_fraction) as usize;
+        if cut < framed.len() {
+            prop_assert!(decode_envelope(&framed[..cut]).is_err());
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(pdu in arb_pdu(), pos in any::<u32>(), bit in 0u8..8) {
+        let mut framed = encode_envelope(&pdu);
+        let n = framed.len();
+        framed[(pos as usize) % n] ^= 1 << bit;
+        // May decode to a different valid PDU (payload bytes) or error —
+        // but must never panic or over-read.
+        let _ = decode_envelope(&framed);
+    }
+}

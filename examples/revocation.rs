@@ -1,0 +1,73 @@
+//! Access-rights revocation (requirement iii of §III).
+//!
+//! "C-Services may decide to discontinue its service for the apartment
+//! complex. In such a case the messages that arrive from smart devices
+//! belonging to this apartment complex should no longer be accessible to
+//! C-Services."
+//!
+//! The mechanism is the per-message nonce: every deposit is encrypted under
+//! a *fresh* `I = H(A ‖ Nonce)`, so the PKG mints a fresh private key per
+//! message — and mints it only while the policy row maps the RC to the
+//! attribute. Revocation therefore needs **no change on any smart device**.
+//!
+//! Run with: `cargo run --example revocation`
+
+use mws::core::{Deployment, DeploymentConfig};
+
+fn main() {
+    let mut dep = Deployment::new(DeploymentConfig::test_default());
+    let attr = "ELECTRIC-APT.COMPLEX-SV-CA";
+
+    dep.register_device("meter-1");
+    dep.register_client("C-Services", "pw", &[attr]);
+    dep.register_client("Electric&Gas", "pw2", &[attr]);
+
+    let mut meter = dep.device("meter-1");
+    meter
+        .deposit(attr, b"reading #1 (before revocation)")
+        .unwrap();
+
+    let mut c_services = dep.client("C-Services", "pw");
+    let before = c_services.retrieve_and_decrypt(0).unwrap();
+    println!(
+        "before revocation: C-Services sees {} message(s)",
+        before.len()
+    );
+    assert_eq!(before.len(), 1);
+
+    // C-Services is dropped; the device is never told.
+    println!("\n-- MWS revokes C-Services' mapping to {attr} --\n");
+    dep.mws().revoke("C-Services", attr).unwrap();
+
+    meter
+        .deposit(attr, b"reading #2 (after revocation)")
+        .unwrap();
+    meter
+        .deposit(attr, b"reading #3 (after revocation)")
+        .unwrap();
+
+    let after = c_services.retrieve_and_decrypt(0).unwrap();
+    println!(
+        "after revocation:  C-Services sees {} message(s)",
+        after.len()
+    );
+    assert_eq!(after.len(), 0, "no access to any message, old or new");
+
+    // The other company is untouched and sees everything.
+    let mut eg = dep.client("Electric&Gas", "pw2");
+    let eg_msgs = eg.retrieve_and_decrypt(0).unwrap();
+    println!("Electric&Gas still sees {} message(s)", eg_msgs.len());
+    assert_eq!(eg_msgs.len(), 3);
+
+    // Audit trail records the revocation.
+    let revocations = dep
+        .mws()
+        .audit_events()
+        .iter()
+        .filter(|(_, e)| matches!(e, mws::core::audit::AuditEvent::Revoked { .. }))
+        .count();
+    println!("\naudit log: {revocations} revocation event(s) recorded");
+    assert_eq!(revocations, 1);
+
+    println!("\nOK — revocation took effect without touching the device.");
+}

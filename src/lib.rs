@@ -1,0 +1,41 @@
+//! `mws` — End-to-end confidential message warehousing with
+//! Identity-Based Encryption.
+//!
+//! Reproduction of *Karabulut et al., "End-to-End Confidentiality for a
+//! Message Warehousing Service Using Identity-Based Encryption"* (ICDE
+//! Workshops 2010). This facade crate re-exports the whole workspace:
+//!
+//! * [`core`] — the MWS protocol and all Figure 3 components.
+//! * [`ibe`] — Boneh–Franklin IBE, threshold PKG, pairing-based signatures.
+//! * [`pairing`] — the supersingular curve + Tate pairing substrate.
+//! * [`crypto`] — hashes, MACs, symmetric ciphers, DRBG, RSA baseline.
+//! * [`bigint`] — fixed-width big-integer arithmetic.
+//! * [`store`] — the embedded storage engine (message/policy/user tables).
+//! * [`wire`] — the binary protocol codec.
+//! * [`net`] — the deterministic in-process transport.
+//!
+//! See `examples/quickstart.rs` for the fastest end-to-end tour, and
+//! `DESIGN.md` / `EXPERIMENTS.md` for the reproduction methodology.
+//!
+//! ```
+//! use mws::core::{Deployment, DeploymentConfig};
+//!
+//! let mut dep = Deployment::new(DeploymentConfig::test_default());
+//! dep.register_device("water-meter-1");
+//! dep.register_client("water-co", "secret", &["WATER-APT-3"]);
+//! let mut meter = dep.device("water-meter-1");
+//! meter.deposit("WATER-APT-3", b"m3=1.7").unwrap();
+//! let mut rc = dep.client("water-co", "secret");
+//! assert_eq!(rc.retrieve_and_decrypt(0).unwrap()[0].plaintext, b"m3=1.7");
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use mws_bigint as bigint;
+pub use mws_core as core;
+pub use mws_crypto as crypto;
+pub use mws_ibe as ibe;
+pub use mws_net as net;
+pub use mws_pairing as pairing;
+pub use mws_store as store;
+pub use mws_wire as wire;

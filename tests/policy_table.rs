@@ -1,0 +1,92 @@
+//! Integration: the paper's Table 1 — identity–attribute mapping —
+//! regenerated through the public service API.
+
+use mws::core::{Deployment, DeploymentConfig};
+
+/// Builds the exact population of Table 1 through the service API.
+fn table1_deployment() -> Deployment {
+    let mut dep = Deployment::new(DeploymentConfig::test_default());
+    dep.register_client("IDRC1", "p1", &["A1", "A2"]);
+    dep.register_client("IDRC2", "p2", &["A1"]);
+    dep.register_client("IDRC3", "p3", &["A3"]);
+    dep.register_client("IDRC4", "p4", &["A4"]);
+    dep
+}
+
+#[test]
+fn exact_table1_reproduction() {
+    let dep = table1_deployment();
+    let rows = dep.mws().policy_table();
+    let expect: [(&str, &str, u64); 5] = [
+        ("IDRC1", "A1", 1),
+        ("IDRC1", "A2", 2),
+        ("IDRC2", "A1", 3),
+        ("IDRC3", "A3", 4),
+        ("IDRC4", "A4", 5),
+    ];
+    assert_eq!(rows.len(), 5);
+    for (row, (identity, attribute, aid)) in rows.iter().zip(expect) {
+        assert_eq!(row.identity, identity);
+        assert_eq!(row.attribute, attribute);
+        assert_eq!(row.attribute_id, aid);
+    }
+}
+
+#[test]
+fn shared_attribute_distinct_aids_end_to_end() {
+    // IDRC1 and IDRC2 both read A1 but through different AIDs; both decrypt
+    // the same warehoused message.
+    let mut dep = table1_deployment();
+    dep.register_device("sd");
+    let mut sd = dep.device("sd");
+    sd.deposit("A1", b"shared reading").unwrap();
+
+    let mut rc1 = dep.client("IDRC1", "p1");
+    let mut rc2 = dep.client("IDRC2", "p2");
+    let (_, m1) = rc1.retrieve(0).unwrap();
+    let (_, m2) = rc2.retrieve(0).unwrap();
+    assert_eq!(m1[0].message_id, m2[0].message_id, "same stored message");
+    assert_eq!(m1[0].aid, 1);
+    assert_eq!(m2[0].aid, 3, "different AID for the same attribute");
+
+    assert_eq!(
+        rc1.retrieve_and_decrypt(0).unwrap()[0].plaintext,
+        b"shared reading"
+    );
+    assert_eq!(
+        rc2.retrieve_and_decrypt(0).unwrap()[0].plaintext,
+        b"shared reading"
+    );
+}
+
+#[test]
+fn aids_survive_revocation_without_reuse() {
+    let mut dep = table1_deployment();
+    dep.mws().revoke("IDRC1", "A1").unwrap();
+    dep.register_client("IDRC5", "p5", &["A5"]);
+    let rows = dep.mws().policy_table();
+    // Row with AID 1 is gone; the new grant takes AID 6, never recycling 1.
+    assert!(!rows.iter().any(|r| r.attribute_id == 1));
+    assert!(rows
+        .iter()
+        .any(|r| r.identity == "IDRC5" && r.attribute_id == 6));
+}
+
+#[test]
+fn printed_table_matches_paper_format() {
+    let dep = table1_deployment();
+    let mut out = String::from("Identity Attribute Attribute ID\n");
+    for row in dep.mws().policy_table() {
+        out.push_str(&format!(
+            "{} {} {}\n",
+            row.identity, row.attribute, row.attribute_id
+        ));
+    }
+    let expect = "Identity Attribute Attribute ID\n\
+                  IDRC1 A1 1\n\
+                  IDRC1 A2 2\n\
+                  IDRC2 A1 3\n\
+                  IDRC3 A3 4\n\
+                  IDRC4 A4 5\n";
+    assert_eq!(out, expect);
+}
