@@ -143,9 +143,12 @@ mod tests {
 
     #[test]
     fn unknown_code_maps_to_internal() {
-        match CoreError::from_wire_error(777, "?".into()) {
-            CoreError::Remote { code, .. } => assert_eq!(code, ErrorCode::Internal),
-            _ => panic!(),
-        }
+        assert!(matches!(
+            CoreError::from_wire_error(777, "?".into()),
+            CoreError::Remote {
+                code: ErrorCode::Internal,
+                ..
+            }
+        ));
     }
 }

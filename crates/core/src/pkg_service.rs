@@ -350,15 +350,15 @@ mod tests {
         let (svc, ibe, _, _) = pkg();
         let mut handler = svc.as_service();
         let reply = handler.handle(Pdu::ParamsRequest);
-        let Pdu::ParamsResponse {
-            p,
-            q,
-            generator,
-            mpk,
-            ..
-        } = reply
-        else {
-            panic!("expected ParamsResponse");
+        let (p, q, generator, mpk) = match reply {
+            Pdu::ParamsResponse {
+                p,
+                q,
+                generator,
+                mpk,
+                ..
+            } => (p, q, generator, mpk),
+            other => panic!("expected ParamsResponse, got {other:?}"),
         };
         assert_eq!(p, ibe.pairing().params().p.to_be_bytes());
         assert_eq!(q, ibe.pairing().params().q.to_be_bytes());
@@ -447,12 +447,12 @@ mod tests {
             ticket,
             authenticator,
         });
-        let Pdu::PkgAuthResponse {
-            session_id,
-            confirmation,
-        } = reply
-        else {
-            panic!("expected auth response");
+        let (session_id, confirmation) = match reply {
+            Pdu::PkgAuthResponse {
+                session_id,
+                confirmation,
+            } => (session_id, confirmation),
+            other => panic!("expected PkgAuthResponse, got {other:?}"),
         };
         // Confirmation decrypts to T+1 under the session key.
         let body = open_blob(&session_key, CONFIRM_LABEL, &confirmation).unwrap();
@@ -465,8 +465,9 @@ mod tests {
             aid: 7,
             nonce: b"n1".to_vec(),
         });
-        let Pdu::KeyResponse { encrypted_key } = reply else {
-            panic!("expected key response");
+        let encrypted_key = match reply {
+            Pdu::KeyResponse { encrypted_key } => encrypted_key,
+            other => panic!("expected KeyResponse, got {other:?}"),
         };
         let sk_bytes = open_blob(&session_key, KEY_LABEL, &encrypted_key).unwrap();
         assert!(ibe.sk_from_bytes(&sk_bytes).is_ok());

@@ -19,7 +19,7 @@ use crate::sda::{DeviceAuthVerifier, SdAuthenticator, SD_IDENTITY_PREFIX};
 use crate::token::{TicketContent, TokenGenerator};
 use mws_crypto::{HmacDrbg, RsaKeyPair, RsaPublicKey};
 use mws_ibe::{CipherAlgo, IbeSystem};
-use mws_net::{FaultConfig, Network};
+use mws_net::{Client, FaultConfig, Network};
 use mws_pairing::SecurityLevel;
 use mws_store::{PolicyRow, StorageKind};
 use mws_wire::{Pdu, WireMessage};
@@ -566,6 +566,22 @@ impl Deployment {
 
     /// Mints a device handle (bootstraps parameters from the PKG).
     pub fn device(&mut self, sd_id: &str) -> SmartDevice {
+        let mws = self.network.client("mws");
+        let pkg = self.network.client("pkg");
+        self.device_with(sd_id, mws, &pkg)
+            .expect("bootstrap against live PKG")
+    }
+
+    /// Mints a device handle over explicit transports — e.g. `mws-server`
+    /// TCP clients pointed at remote MMS and PKG daemons — instead of the
+    /// deployment's in-process bus. Fails if the PKG is unreachable during
+    /// parameter bootstrap.
+    pub fn device_with(
+        &mut self,
+        sd_id: &str,
+        mws: Client,
+        pkg: &Client,
+    ) -> Result<SmartDevice, CoreError> {
         let credential = self
             .device_keys
             .get(sd_id)
@@ -577,14 +593,29 @@ impl Deployment {
             self.config.algo,
             self.clock.clone(),
             self.rng.next_u64(),
-            self.network.client("mws"),
-            &self.network.client("pkg"),
+            mws,
+            pkg,
         )
-        .expect("bootstrap against live PKG")
     }
 
     /// Mints a client handle.
     pub fn client(&mut self, rc_id: &str, password: &str) -> ReceivingClient {
+        let mws = self.network.client("mws");
+        let pkg = self.network.client("pkg");
+        self.client_with(rc_id, password, mws, pkg)
+    }
+
+    /// Mints a client handle over explicit transports (see
+    /// [`Self::device_with`]). In the four-server topology the `mws` client
+    /// points at the Gatekeeper front door, which authenticates and relays
+    /// to the warehouse.
+    pub fn client_with(
+        &mut self,
+        rc_id: &str,
+        password: &str,
+        mws: Client,
+        pkg: Client,
+    ) -> ReceivingClient {
         let rsa = self
             .client_keys
             .get(rc_id)
@@ -597,8 +628,8 @@ impl Deployment {
             self.ibe.clone(),
             self.clock.clone(),
             self.rng.next_u64(),
-            self.network.client("mws"),
-            self.network.client("pkg"),
+            mws,
+            pkg,
         )
     }
 

@@ -105,7 +105,11 @@ impl CtrMode {
         // blocks the counter is 32-bit: 2³² blocks = 32 GiB, far above any
         // protocol message.
         let mut counter = 0u64;
-        let counter_max = if half >= 8 { u64::MAX } else { (1u64 << (8 * half)) - 1 };
+        let counter_max = if half >= 8 {
+            u64::MAX
+        } else {
+            (1u64 << (8 * half)) - 1
+        };
         #[allow(clippy::explicit_counter_loop)] // counter has width-checked overflow semantics
         for chunk in data.chunks_mut(C::BLOCK_SIZE) {
             let mut block = vec![0u8; C::BLOCK_SIZE];

@@ -2,6 +2,7 @@
 
 use crate::fault::{FaultConfig, FaultState};
 use crate::metrics::LinkMetrics;
+use crate::transport::{BusTransport, Transport};
 use crate::NetError;
 use mws_wire::{decode_envelope, encode_envelope, Pdu};
 use parking_lot::Mutex;
@@ -73,10 +74,7 @@ impl Network {
 
     /// A client handle for the named endpoint.
     pub fn client(&self, name: &str) -> Client {
-        Client {
-            network: self.clone(),
-            target: name.to_string(),
-        }
+        Client::from_transport(BusTransport::new(self.clone(), name).into_dyn())
     }
 
     /// Snapshot of an endpoint's metrics.
@@ -84,8 +82,8 @@ impl Network {
         self.state.lock().endpoints.get(name).map(|e| e.metrics)
     }
 
-    /// Dispatches one framed request; internal to [`Client::call`].
-    fn dispatch(&self, target: &str, frame: Vec<u8>) -> Result<Vec<u8>, NetError> {
+    /// Dispatches one framed request; internal to [`BusTransport`].
+    pub(crate) fn dispatch(&self, target: &str, frame: &[u8]) -> Result<Vec<u8>, NetError> {
         let mut state = self.state.lock();
         let ep = state
             .endpoints
@@ -100,7 +98,7 @@ impl Network {
         }
         ep.metrics.bytes_in += frame.len() as u64;
         ep.metrics.requests += 1;
-        let (request, _) = decode_envelope(&frame)?;
+        let (request, _) = decode_envelope(frame)?;
         let reply = ep.service.handle(request);
         let reply_frame = encode_envelope(&reply);
 
@@ -115,39 +113,49 @@ impl Network {
     }
 }
 
-/// A client handle for one endpoint.
+/// A client handle for one endpoint, over any [`Transport`].
+///
+/// Constructed via [`Network::client`] (in-process bus) or
+/// [`Client::from_transport`] (e.g. a TCP transport from `mws-server`).
+/// Clones share the underlying transport.
 #[derive(Clone)]
 pub struct Client {
-    network: Network,
-    target: String,
+    transport: Arc<dyn Transport>,
 }
 
 impl Client {
+    /// Wraps an arbitrary transport in the stock client.
+    pub fn from_transport(transport: Arc<dyn Transport>) -> Self {
+        Self { transport }
+    }
+
     /// Sends a request and waits for the reply.
     pub fn call(&self, request: &Pdu) -> Result<Pdu, NetError> {
         let frame = encode_envelope(request);
-        let reply_frame = self.network.dispatch(&self.target, frame)?;
+        let reply_frame = self.transport.round_trip(&frame)?;
         let (reply, _) = decode_envelope(&reply_frame)?;
         Ok(reply)
     }
 
-    /// Like [`Self::call`] but retries after fault-injected drops, up to
-    /// `attempts` times — the retransmission loop a real deployment runs.
+    /// Like [`Self::call`] but retries transient failures (fault-injected
+    /// drops, socket timeouts and I/O errors), up to `attempts` times — the
+    /// retransmission loop a real deployment runs. Permanent failures
+    /// (unknown endpoint, codec) surface immediately.
     pub fn call_with_retry(&self, request: &Pdu, attempts: u32) -> Result<Pdu, NetError> {
         let mut last = NetError::Dropped;
         for _ in 0..attempts {
             match self.call(request) {
                 Ok(reply) => return Ok(reply),
-                Err(NetError::Dropped) => last = NetError::Dropped,
+                Err(e @ (NetError::Dropped | NetError::Timeout | NetError::Io(_))) => last = e,
                 Err(other) => return Err(other),
             }
         }
         Err(last)
     }
 
-    /// Target endpoint name.
-    pub fn target(&self) -> &str {
-        &self.target
+    /// Peer identity: endpoint name on the bus, socket address over TCP.
+    pub fn target(&self) -> String {
+        self.transport.peer()
     }
 }
 

@@ -24,11 +24,13 @@ pub mod bus;
 pub mod endpoint;
 pub mod fault;
 pub mod metrics;
+pub mod transport;
 
 pub use bus::{Client, Network, Service};
 pub use endpoint::ThreadedEndpoint;
 pub use fault::{FaultConfig, LatencyModel};
 pub use metrics::LinkMetrics;
+pub use transport::{BusTransport, Transport};
 
 /// Transport-layer errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -41,6 +43,10 @@ pub enum NetError {
     Codec(mws_wire::WireError),
     /// The endpoint's worker thread is gone.
     Disconnected,
+    /// A socket operation exceeded its deadline.
+    Timeout,
+    /// A socket operation failed (connect refused, reset, ...).
+    Io(String),
 }
 
 impl core::fmt::Display for NetError {
@@ -50,6 +56,8 @@ impl core::fmt::Display for NetError {
             NetError::Dropped => write!(f, "message dropped by fault injection"),
             NetError::Codec(e) => write!(f, "codec failure: {e}"),
             NetError::Disconnected => write!(f, "endpoint thread disconnected"),
+            NetError::Timeout => write!(f, "network operation timed out"),
+            NetError::Io(detail) => write!(f, "socket error: {detail}"),
         }
     }
 }

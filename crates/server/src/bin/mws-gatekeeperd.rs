@@ -1,0 +1,6 @@
+//! The standalone Gatekeeper daemon: authenticates RCs and relays their
+//! retrievals to the warehouse (default 127.0.0.1:7103 → 127.0.0.1:7101).
+
+fn main() {
+    mws_server::daemon::run(mws_server::daemon::Role::Gatekeeper)
+}

@@ -1,0 +1,6 @@
+//! The warehouse daemon: SDA + MMS + Gatekeeper + Token Generator behind
+//! one TCP listener (default 127.0.0.1:7101).
+
+fn main() {
+    mws_server::daemon::run(mws_server::daemon::Role::Mms)
+}

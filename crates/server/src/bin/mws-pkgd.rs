@@ -1,0 +1,5 @@
+//! The Private Key Generator daemon (default 127.0.0.1:7102).
+
+fn main() {
+    mws_server::daemon::run(mws_server::daemon::Role::Pkg)
+}

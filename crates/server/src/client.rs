@@ -1,0 +1,219 @@
+//! Socket-backed [`Transport`]: the client side of the TCP deployment.
+//!
+//! A [`TcpClient`] holds one persistent connection per peer (lazily opened,
+//! transparently reopened after failures) and implements the `mws-net`
+//! [`Transport`] trait, so `Client::from_transport(Arc::new(tcp))` yields
+//! the same [`mws_net::Client`] the in-process bus hands out — device and
+//! RC logic in `mws-core` runs over real sockets unchanged.
+
+use crate::framing::{read_raw_frame, write_raw_frame};
+use mws_net::{NetError, Transport};
+use parking_lot::Mutex;
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Timeouts and retry budget for a [`TcpClient`].
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Deadline for each request/response exchange (applied as the socket
+    /// read and write timeout).
+    pub request_timeout: Duration,
+    /// Total attempts per round trip (1 = no retry). Only transport
+    /// failures (timeout, connect/reset) are retried, on a fresh
+    /// connection; protocol and framing errors surface immediately.
+    pub attempts: u32,
+    /// Backoff before the first retry; doubles per subsequent retry.
+    pub backoff: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        Self {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(2),
+            attempts: 3,
+            backoff: Duration::from_millis(25),
+        }
+    }
+}
+
+/// A persistent-connection TCP transport to one MWS daemon.
+///
+/// Note on retries: a timed-out request may have been executed by the
+/// server even though no reply arrived. The MWS protocol absorbs this —
+/// deposits carry nonces, so a replayed retry is answered with a 409
+/// rather than stored twice.
+pub struct TcpClient {
+    addr: SocketAddr,
+    config: ClientConfig,
+    conn: Mutex<Option<TcpStream>>,
+}
+
+impl TcpClient {
+    /// A transport to `addr` with default timeouts.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_config(addr, ClientConfig::default())
+    }
+
+    /// A transport with explicit timeouts/retry budget.
+    pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        Self {
+            addr,
+            config,
+            conn: Mutex::new(None),
+        }
+    }
+
+    /// Wraps this transport in the stock PDU client.
+    pub fn into_client(self) -> mws_net::Client {
+        mws_net::Client::from_transport(Arc::new(self))
+    }
+
+    /// One exchange on the cached connection (opening it if needed). Any
+    /// failure poisons the cached connection so the next attempt redials.
+    fn attempt(&self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        let mut guard = self.conn.lock();
+        if guard.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+                .map_err(|e| NetError::Io(format!("connect {}: {e}", self.addr)))?;
+            stream
+                .set_read_timeout(Some(self.config.request_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(self.config.request_timeout)))
+                .map_err(|e| NetError::Io(e.to_string()))?;
+            let _ = stream.set_nodelay(true);
+            *guard = Some(stream);
+        }
+        let stream = guard.as_mut().expect("connection just ensured");
+        let result = write_raw_frame(stream, frame)
+            .and_then(|()| read_raw_frame(stream))
+            .map_err(NetError::from);
+        if result.is_err() {
+            // Even a timeout leaves the stream desynchronized (the late
+            // reply would be mistaken for the next response): drop it.
+            *guard = None;
+        }
+        result
+    }
+
+    fn retryable(e: &NetError) -> bool {
+        matches!(e, NetError::Timeout | NetError::Io(_))
+    }
+}
+
+impl Transport for TcpClient {
+    fn round_trip(&self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        let attempts = self.config.attempts.max(1);
+        let mut backoff = self.config.backoff;
+        let mut last = NetError::Timeout;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(backoff);
+                backoff = backoff.saturating_mul(2);
+            }
+            match self.attempt(frame) {
+                Ok(reply) => return Ok(reply),
+                Err(e) if Self::retryable(&e) => last = e,
+                Err(fatal) => return Err(fatal),
+            }
+        }
+        Err(last)
+    }
+
+    fn peer(&self) -> String {
+        self.addr.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{ServerConfig, TcpServer};
+    use mws_wire::Pdu;
+
+    fn echo_server() -> TcpServer {
+        TcpServer::spawn(ServerConfig::default(), || |req: Pdu| req).unwrap()
+    }
+
+    #[test]
+    fn pdu_roundtrip_and_reuse_of_connection() {
+        let server = echo_server();
+        let client = TcpClient::new(server.local_addr()).into_client();
+        for id in 0..3 {
+            let req = Pdu::DepositAck { message_id: id };
+            assert_eq!(client.call(&req).unwrap(), req);
+        }
+        assert_eq!(client.target(), server.local_addr().to_string());
+    }
+
+    #[test]
+    fn connection_refused_is_retryable_io_error() {
+        // Bind-then-drop guarantees a dead port.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let client = TcpClient::with_config(
+            addr,
+            ClientConfig {
+                attempts: 2,
+                backoff: Duration::from_millis(1),
+                ..ClientConfig::default()
+            },
+        );
+        assert!(matches!(
+            client.round_trip(&mws_wire::encode_envelope(&Pdu::ParamsRequest)),
+            Err(NetError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn reconnects_after_server_restart_on_same_port() {
+        let mut server = echo_server();
+        let addr = server.local_addr();
+        let client = TcpClient::with_config(
+            addr,
+            ClientConfig {
+                attempts: 5,
+                backoff: Duration::from_millis(10),
+                ..ClientConfig::default()
+            },
+        )
+        .into_client();
+        assert!(client.call(&Pdu::ParamsRequest).is_ok());
+        server.shutdown();
+        // Restart a fresh server on the very same port.
+        let _server2 =
+            TcpServer::spawn(ServerConfig::listen(&addr.to_string()), || |req: Pdu| req).unwrap();
+        // The cached connection is dead; retry must redial and succeed.
+        assert!(client.call_with_retry(&Pdu::ParamsRequest, 5).is_ok());
+    }
+
+    #[test]
+    fn request_timeout_surfaces_as_timeout() {
+        // A raw listener that accepts but never replies.
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let hold = std::thread::spawn(move || {
+            let (_conn, _) = listener.accept().unwrap();
+            std::thread::sleep(Duration::from_millis(500));
+        });
+        let client = TcpClient::with_config(
+            addr,
+            ClientConfig {
+                request_timeout: Duration::from_millis(50),
+                attempts: 1,
+                ..ClientConfig::default()
+            },
+        );
+        let t0 = std::time::Instant::now();
+        let err = client
+            .round_trip(&mws_wire::encode_envelope(&Pdu::ParamsRequest))
+            .unwrap_err();
+        assert_eq!(err, NetError::Timeout);
+        assert!(t0.elapsed() < Duration::from_millis(400), "bounded wait");
+        hold.join().unwrap();
+    }
+}

@@ -1,0 +1,412 @@
+//! Daemon plumbing shared by `mws-mmsd`, `mws-pkgd` and `mws-gatekeeperd`.
+//!
+//! The paper ran its prototype as four cooperating servers on one host with
+//! "all ports and IP addresses hardcoded" (§VI.C). These daemons keep the
+//! fixed default ports (7101 MMS, 7102 PKG, 7103 Gatekeeper) but make them
+//! flags, and replace the hardcoded key material with something better:
+//! **seed-deterministic provisioning**. Every daemon given the same
+//! `--seed` and the same `--device`/`--client` list (in the same order)
+//! derives bit-identical master keys, device MAC keys and RC keypairs from
+//! its own local [`Deployment`], so no key ever crosses the network at
+//! setup time — the multi-process analogue of the paper's pre-shared keys.
+
+use crate::client::TcpClient;
+use crate::gateway::GatekeeperFrontdoor;
+use crate::server::{ServerConfig, TcpServer};
+use mws_core::protocol::{Deployment, DeploymentConfig};
+
+/// Which of the topology's servers a daemon hosts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Role {
+    /// The warehouse (SDA + MMS + Gatekeeper + Token Generator).
+    Mms,
+    /// The Private Key Generator.
+    Pkg,
+    /// The standalone Gatekeeper front door relaying to the MMS.
+    Gatekeeper,
+}
+
+impl Role {
+    /// The §VI.C-style fixed default port for this server.
+    pub fn default_port(self) -> u16 {
+        match self {
+            Role::Mms => 7101,
+            Role::Pkg => 7102,
+            Role::Gatekeeper => 7103,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Role::Mms => "mws-mmsd",
+            Role::Pkg => "mws-pkgd",
+            Role::Gatekeeper => "mws-gatekeeperd",
+        }
+    }
+
+    fn title(self) -> &'static str {
+        match self {
+            Role::Mms => "message warehouse daemon",
+            Role::Pkg => "private key generator daemon",
+            Role::Gatekeeper => "gatekeeper front-door daemon",
+        }
+    }
+}
+
+/// A command-line parse outcome that stops the daemon before serving.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FlagError {
+    /// `--help` was requested: print the usage text and exit 0.
+    Help(String),
+    /// A flag was malformed or unknown: print the message and exit 2.
+    Bad(String),
+}
+
+/// One `--client` provisioning entry: `rc_id:password[:attr1,attr2,...]`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ClientSpec {
+    /// RC identity.
+    pub rc_id: String,
+    /// Gatekeeper password.
+    pub password: String,
+    /// Initial attribute grants.
+    pub attributes: Vec<String>,
+}
+
+impl ClientSpec {
+    fn parse(spec: &str) -> Result<Self, String> {
+        let mut parts = spec.splitn(3, ':');
+        let rc_id = parts.next().filter(|s| !s.is_empty());
+        let password = parts.next().filter(|s| !s.is_empty());
+        let (Some(rc_id), Some(password)) = (rc_id, password) else {
+            return Err(format!(
+                "--client expects rc_id:password[:attr,attr], got '{spec}'"
+            ));
+        };
+        let attributes = parts
+            .next()
+            .map(|attrs| {
+                attrs
+                    .split(',')
+                    .filter(|a| !a.is_empty())
+                    .map(str::to_string)
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(Self {
+            rc_id: rc_id.to_string(),
+            password: password.to_string(),
+            attributes,
+        })
+    }
+}
+
+/// Parsed daemon command line.
+#[derive(Clone, Debug)]
+pub struct DaemonOpts {
+    /// Listen address.
+    pub listen: String,
+    /// Deployment master seed (must match across all daemons).
+    pub seed: u64,
+    /// Worker pool size.
+    pub workers: usize,
+    /// Devices to provision, in registration order.
+    pub devices: Vec<String>,
+    /// Clients to provision, in registration order.
+    pub clients: Vec<ClientSpec>,
+    /// Upstream MMS address (gatekeeper role only).
+    pub upstream: String,
+}
+
+impl DaemonOpts {
+    /// Defaults for a role: its fixed port, seed 42, 4 workers.
+    pub fn defaults_for(role: Role) -> Self {
+        Self {
+            listen: format!("127.0.0.1:{}", role.default_port()),
+            seed: 42,
+            workers: 4,
+            devices: Vec::new(),
+            clients: Vec::new(),
+            upstream: format!("127.0.0.1:{}", Role::Mms.default_port()),
+        }
+    }
+}
+
+/// Flag summary for `--help` / parse errors.
+pub fn usage(role: Role) -> String {
+    let extra = if role == Role::Gatekeeper {
+        "\n  --upstream <addr>       MMS address to relay to (default 127.0.0.1:7101)"
+    } else {
+        ""
+    };
+    format!(
+        "{name} — MWS {title}\n\
+         \n\
+         USAGE: {name} [flags]\n\
+         \n\
+         FLAGS:\n\
+         \x20 --listen <addr>         listen address (default 127.0.0.1:{port})\n\
+         \x20 --seed <u64>            deployment master seed, identical across daemons (default 42)\n\
+         \x20 --workers <n>           worker threads (default 4)\n\
+         \x20 --device <sd_id>        provision a smart device (repeatable, order matters)\n\
+         \x20 --client <id:pw[:a,b]>  provision an RC with attribute grants (repeatable, order matters){extra}\n\
+         \x20 --help                  print this help",
+        name = role.name(),
+        title = role.title(),
+        port = role.default_port(),
+    )
+}
+
+/// Parses daemon flags (exclusive of `argv[0]`).
+pub fn parse_args<I>(role: Role, args: I) -> Result<DaemonOpts, FlagError>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut opts = DaemonOpts::defaults_for(role);
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .ok_or_else(|| FlagError::Bad(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--listen" => opts.listen = value("--listen")?,
+            "--seed" => {
+                let v = value("--seed")?;
+                opts.seed = v
+                    .parse()
+                    .map_err(|_| FlagError::Bad(format!("--seed expects a u64, got '{v}'")))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = v
+                    .parse()
+                    .map_err(|_| FlagError::Bad(format!("--workers expects a count, got '{v}'")))?;
+            }
+            "--device" => opts.devices.push(value("--device")?),
+            "--client" => opts
+                .clients
+                .push(ClientSpec::parse(&value("--client")?).map_err(FlagError::Bad)?),
+            "--upstream" if role == Role::Gatekeeper => opts.upstream = value("--upstream")?,
+            "--help" | "-h" => return Err(FlagError::Help(usage(role))),
+            other => {
+                return Err(FlagError::Bad(format!(
+                    "unknown flag '{other}'\n\n{}",
+                    usage(role)
+                )))
+            }
+        }
+    }
+    Ok(opts)
+}
+
+/// Builds this daemon's deterministic [`Deployment`] replica: same seed +
+/// same provisioning order ⇒ same keys as every other daemon.
+pub fn provision(opts: &DaemonOpts) -> Deployment {
+    let mut dep = Deployment::new(DeploymentConfig {
+        seed: opts.seed,
+        ..DeploymentConfig::test_default()
+    });
+    for sd_id in &opts.devices {
+        dep.register_device(sd_id);
+    }
+    for c in &opts.clients {
+        let attrs: Vec<&str> = c.attributes.iter().map(String::as_str).collect();
+        dep.register_client(&c.rc_id, &c.password, &attrs);
+    }
+    dep
+}
+
+/// Binds the role's service from `dep` onto a TCP listener.
+pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result<TcpServer> {
+    let cfg = ServerConfig {
+        addr: opts.listen.clone(),
+        workers: opts.workers,
+        ..ServerConfig::default()
+    };
+    match role {
+        Role::Mms => {
+            let mws = dep.mws().clone();
+            TcpServer::spawn(cfg, || mws.as_service())
+        }
+        Role::Pkg => {
+            let pkg = dep.pkg().clone();
+            TcpServer::spawn(cfg, || pkg.as_service())
+        }
+        Role::Gatekeeper => {
+            let upstream_addr = opts.upstream.parse().map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidInput,
+                    format!("--upstream '{}': {e}", opts.upstream),
+                )
+            })?;
+            let upstream = TcpClient::new(upstream_addr).into_client();
+            let front = GatekeeperFrontdoor::new(
+                dep.clock().clone(),
+                mws_core::clock::ReplayPolicy::standard(),
+                upstream,
+            );
+            for c in &opts.clients {
+                let public_key = dep
+                    .mws()
+                    .client_public_key(&c.rc_id)
+                    .expect("client provisioned in this replica");
+                front.register(&c.rc_id, &c.password, &public_key);
+            }
+            TcpServer::spawn(cfg, || front.as_service())
+        }
+    }
+}
+
+/// Binary entry point: parse `std::env::args`, provision, serve, block.
+/// Exits the process on flag errors; runs until killed otherwise.
+pub fn run(role: Role) -> ! {
+    let opts = match parse_args(role, std::env::args().skip(1)) {
+        Ok(opts) => opts,
+        Err(FlagError::Help(text)) => {
+            // Tolerate a closed pipe (e.g. `mws-mmsd --help | head`).
+            use std::io::Write;
+            let _ = writeln!(std::io::stdout(), "{text}");
+            std::process::exit(0);
+        }
+        Err(FlagError::Bad(msg)) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let dep = provision(&opts);
+    let server = match serve(role, &dep, &opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("{}: cannot serve on {}: {e}", role.name(), opts.listen);
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "{}: listening on {} (seed {}, {} devices, {} clients)",
+        role.name(),
+        server.local_addr(),
+        opts.seed,
+        opts.devices.len(),
+        opts.clients.len()
+    );
+    loop {
+        std::thread::park();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_use_fixed_ports() {
+        let opts = parse_args(Role::Mms, argv(&[])).unwrap();
+        assert_eq!(opts.listen, "127.0.0.1:7101");
+        assert_eq!(
+            parse_args(Role::Pkg, argv(&[])).unwrap().listen,
+            "127.0.0.1:7102"
+        );
+        assert_eq!(
+            parse_args(Role::Gatekeeper, argv(&[])).unwrap().listen,
+            "127.0.0.1:7103"
+        );
+    }
+
+    #[test]
+    fn full_flag_set_parses() {
+        let opts = parse_args(
+            Role::Gatekeeper,
+            argv(&[
+                "--listen",
+                "0.0.0.0:9000",
+                "--seed",
+                "7",
+                "--workers",
+                "2",
+                "--device",
+                "meter-1",
+                "--client",
+                "utility:pw:ELECTRIC-APT9,WATER-APT9",
+                "--client",
+                "auditor:secret",
+                "--upstream",
+                "10.0.0.1:7101",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opts.listen, "0.0.0.0:9000");
+        assert_eq!(opts.seed, 7);
+        assert_eq!(opts.workers, 2);
+        assert_eq!(opts.devices, vec!["meter-1"]);
+        assert_eq!(opts.clients.len(), 2);
+        assert_eq!(opts.clients[0].rc_id, "utility");
+        assert_eq!(
+            opts.clients[0].attributes,
+            vec!["ELECTRIC-APT9", "WATER-APT9"]
+        );
+        assert!(opts.clients[1].attributes.is_empty());
+        assert_eq!(opts.upstream, "10.0.0.1:7101");
+    }
+
+    #[test]
+    fn bad_flags_rejected() {
+        assert!(parse_args(Role::Mms, argv(&["--seed", "banana"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--client", "no-password"])).is_err());
+        assert!(
+            parse_args(Role::Mms, argv(&["--upstream", "x"])).is_err(),
+            "MMS has no upstream"
+        );
+        assert!(
+            parse_args(Role::Mms, argv(&["--listen"])).is_err(),
+            "missing value"
+        );
+        assert!(parse_args(Role::Mms, argv(&["--frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn help_is_not_a_flag_error() {
+        assert!(matches!(
+            parse_args(Role::Pkg, argv(&["--help"])),
+            Err(FlagError::Help(text)) if text.contains("mws-pkgd")
+        ));
+        assert!(matches!(
+            parse_args(Role::Pkg, argv(&["--frobnicate"])),
+            Err(FlagError::Bad(msg)) if msg.contains("unknown flag")
+        ));
+    }
+
+    #[test]
+    fn identical_seeds_derive_identical_key_material() {
+        let opts = parse_args(
+            Role::Mms,
+            argv(&["--seed", "1234", "--device", "m", "--client", "rc:pw:A"]),
+        )
+        .unwrap();
+        // Two independent replicas — as two daemon processes would build.
+        let a = provision(&opts);
+        let b = provision(&opts);
+        assert_eq!(
+            a.mws().client_public_key("rc").unwrap(),
+            b.mws().client_public_key("rc").unwrap(),
+            "same seed + same provisioning order must derive the same RSA key"
+        );
+    }
+
+    #[test]
+    fn divergent_seeds_diverge() {
+        let mk = |seed: &str| {
+            provision(
+                &parse_args(Role::Mms, argv(&["--seed", seed, "--client", "rc:pw:A"])).unwrap(),
+            )
+        };
+        assert_ne!(
+            mk("1").mws().client_public_key("rc").unwrap(),
+            mk("2").mws().client_public_key("rc").unwrap()
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Real TCP deployment of the MWS four-server topology.
+//!
+//! The paper evaluated its prototype as four cooperating TCP servers on one
+//! host (§VI.C): the warehouse (MMS), the Private Key Generator, the
+//! Gatekeeper, and the client side. The rest of this workspace runs that
+//! topology over a deterministic in-process bus; this crate puts it on real
+//! sockets without changing a line of protocol logic:
+//!
+//! * [`framing`] — envelope frames on byte streams (the `mws-wire` envelope
+//!   is self-delimiting, so stream framing is just concatenated frames),
+//!   tolerant of arbitrary split reads via `mws_wire::StreamDecoder`.
+//! * [`server`] — [`TcpServer`]: accept loop + bounded worker pool +
+//!   per-connection timeouts + graceful join-everything shutdown.
+//! * [`client`] — [`TcpClient`]: a persistent-connection socket
+//!   implementation of the `mws-net` [`Transport`](mws_net::Transport)
+//!   trait with connect/request timeouts and bounded retry-with-backoff.
+//! * [`gateway`] — [`GatekeeperFrontdoor`]: the standalone Gatekeeper
+//!   server that authenticates RCs and relays to the warehouse.
+//! * [`daemon`] — flag parsing and seed-deterministic provisioning for the
+//!   `mws-mmsd`, `mws-pkgd` and `mws-gatekeeperd` binaries.
+//!
+//! Everything is built on `std::net` + threads; no async runtime and no
+//! dependencies beyond the workspace's existing ones.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod daemon;
+pub mod framing;
+pub mod gateway;
+pub mod server;
+
+pub use client::{ClientConfig, TcpClient};
+pub use daemon::{DaemonOpts, FlagError, Role};
+pub use gateway::GatekeeperFrontdoor;
+pub use server::{ServerConfig, TcpServer};

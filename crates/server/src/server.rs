@@ -1,0 +1,352 @@
+//! The TCP service host: accept loop + bounded worker pool.
+//!
+//! One [`TcpServer`] hosts one MWS role (warehouse, PKG, or gatekeeper
+//! front door) on one listening socket — the process shape of the paper's
+//! §VI.C deployment. Connections are handed from a dedicated accept thread
+//! to a bounded pool of workers over a bounded channel, so a connection
+//! flood backpressures at the listener instead of spawning unbounded
+//! threads.
+//!
+//! Shutdown is graceful and complete: a shared flag stops new work, a
+//! self-connection wakes the accept loop out of `accept(2)`, dropping the
+//! channel sender drains the workers, and every thread is joined before
+//! [`TcpServer::shutdown`] returns.
+
+use crate::framing::{is_timeout, write_frame};
+use crossbeam::channel;
+use mws_net::Service;
+use mws_wire::{Pdu, StreamDecoder};
+use std::io::Read;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning for a [`TcpServer`].
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Listen address; port 0 binds an ephemeral port (tests).
+    pub addr: String,
+    /// Worker threads — the maximum number of concurrently served
+    /// connections (clients hold persistent connections).
+    pub workers: usize,
+    /// Accepted-but-unserved connection backlog; `accept` blocks when full.
+    pub queue_depth: usize,
+    /// Per-connection read timeout. Doubles as the shutdown poll interval:
+    /// a worker blocked reading an idle connection notices the shutdown
+    /// flag within this bound.
+    pub read_poll: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".into(),
+            workers: 4,
+            queue_depth: 64,
+            read_poll: Duration::from_millis(50),
+            write_timeout: Duration::from_secs(2),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// A config listening on `addr` with defaults otherwise.
+    pub fn listen(addr: &str) -> Self {
+        Self {
+            addr: addr.into(),
+            ..Self::default()
+        }
+    }
+}
+
+/// A running TCP service host.
+pub struct TcpServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    conn_tx: Option<channel::Sender<TcpStream>>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl TcpServer {
+    /// Binds the listener and starts the accept loop plus `workers` worker
+    /// threads. `factory` is called once per worker; the returned services
+    /// typically share state internally (e.g. clones of one `MwsService`).
+    pub fn spawn<S, F>(cfg: ServerConfig, mut factory: F) -> std::io::Result<Self>
+    where
+        S: Service + 'static,
+        F: FnMut() -> S,
+    {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let local_addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
+
+        let accept = {
+            let tx = tx.clone();
+            let shutdown = shutdown.clone();
+            std::thread::Builder::new()
+                .name(format!("mws-accept-{local_addr}"))
+                .spawn(move || accept_loop(listener, tx, &shutdown))?
+        };
+
+        let mut workers = Vec::with_capacity(cfg.workers.max(1));
+        for i in 0..cfg.workers.max(1) {
+            let rx = rx.clone();
+            let shutdown = shutdown.clone();
+            let mut service = factory();
+            let read_poll = cfg.read_poll;
+            let write_timeout = cfg.write_timeout;
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mws-worker-{i}"))
+                    .spawn(move || {
+                        while let Ok(stream) = rx.recv() {
+                            if shutdown.load(Ordering::SeqCst) {
+                                break;
+                            }
+                            serve_conn(stream, &mut service, &shutdown, read_poll, write_timeout);
+                        }
+                    })?,
+            );
+        }
+
+        Ok(Self {
+            local_addr,
+            shutdown,
+            conn_tx: Some(tx),
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Signals shutdown, wakes every blocked thread, and joins them all.
+    /// Returns the number of threads joined (accept + workers); idempotent
+    /// — a second call returns 0.
+    pub fn shutdown(&mut self) -> usize {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // accept(2) has no timeout: a throwaway self-connection forces the
+        // accept loop around its loop where it observes the flag.
+        let _ = TcpStream::connect(self.local_addr);
+        let mut joined = 0;
+        if let Some(h) = self.accept.take() {
+            if h.join().is_ok() {
+                joined += 1;
+            }
+        }
+        // With the accept thread gone this drops the last sender, so
+        // workers blocked in recv() observe the disconnect and exit.
+        self.conn_tx.take();
+        for h in self.workers.drain(..) {
+            if h.join().is_ok() {
+                joined += 1;
+            }
+        }
+        joined
+    }
+}
+
+impl Drop for TcpServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, tx: channel::Sender<TcpStream>, shutdown: &AtomicBool) {
+    for conn in listener.incoming() {
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match conn {
+            Ok(stream) => {
+                if tx.send(stream).is_err() {
+                    break;
+                }
+            }
+            // Transient accept failures (EMFILE, aborted handshake) must
+            // not kill the listener.
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Serves one connection until the peer closes, the stream corrupts, or
+/// shutdown is signalled. Frames may arrive in arbitrary splits; the
+/// [`StreamDecoder`] reassembles them.
+fn serve_conn<S: Service>(
+    mut stream: TcpStream,
+    service: &mut S,
+    shutdown: &AtomicBool,
+    read_poll: Duration,
+    write_timeout: Duration,
+) {
+    if stream.set_read_timeout(Some(read_poll)).is_err()
+        || stream.set_write_timeout(Some(write_timeout)).is_err()
+    {
+        return;
+    }
+    let _ = stream.set_nodelay(true);
+    let mut decoder = StreamDecoder::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        loop {
+            match decoder.next_pdu() {
+                Ok(Some(request)) => {
+                    let reply = service.handle(request);
+                    if write_frame(&mut stream, &reply).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) => break,
+                Err(wire_err) => {
+                    // Desynchronized stream: tell the peer why, then drop.
+                    let _ = write_frame(
+                        &mut stream,
+                        &Pdu::Error {
+                            code: 400,
+                            detail: wire_err.to_string(),
+                        },
+                    );
+                    let _ = stream.shutdown(Shutdown::Both);
+                    return;
+                }
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // clean close
+            Ok(n) => decoder.feed(&buf[..n]),
+            Err(ref e) if is_timeout(e) => continue, // poll the shutdown flag
+            Err(_) => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mws_wire::{decode_envelope, encode_envelope};
+    use std::io::Write;
+
+    fn echo_server() -> TcpServer {
+        TcpServer::spawn(ServerConfig::default(), || |req: Pdu| req).unwrap()
+    }
+
+    fn call(addr: SocketAddr, pdu: &Pdu) -> Pdu {
+        let mut s = TcpStream::connect(addr).unwrap();
+        s.write_all(&encode_envelope(pdu)).unwrap();
+        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+        decode_envelope(&frame).unwrap().0
+    }
+
+    #[test]
+    fn echo_roundtrip_over_socket() {
+        let server = echo_server();
+        let req = Pdu::DepositAck { message_id: 99 };
+        assert_eq!(call(server.local_addr(), &req), req);
+    }
+
+    #[test]
+    fn split_writes_reassembled() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let frame = encode_envelope(&Pdu::Error {
+            code: 1,
+            detail: "split into single bytes".into(),
+        });
+        for b in &frame {
+            s.write_all(&[*b]).unwrap();
+            s.flush().unwrap();
+        }
+        let reply = crate::framing::read_raw_frame(&mut s).unwrap();
+        assert_eq!(reply, frame);
+    }
+
+    #[test]
+    fn pipelined_requests_on_one_connection() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        for id in 0..5u64 {
+            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+        }
+        s.write_all(&wire).unwrap();
+        for id in 0..5u64 {
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            assert_eq!(
+                decode_envelope(&frame).unwrap().0,
+                Pdu::DepositAck { message_id: id }
+            );
+        }
+    }
+
+    #[test]
+    fn garbage_gets_error_then_close() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+        assert!(matches!(
+            decode_envelope(&frame).unwrap().0,
+            Pdu::Error { code: 400, .. }
+        ));
+        // Connection is then closed by the server.
+        let mut rest = Vec::new();
+        assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
+    }
+
+    #[test]
+    fn shutdown_joins_every_thread() {
+        let mut server = TcpServer::spawn(
+            ServerConfig {
+                workers: 3,
+                ..ServerConfig::default()
+            },
+            || |req: Pdu| req,
+        )
+        .unwrap();
+        // Park a live connection on a worker so shutdown must interrupt a
+        // mid-connection read, not just idle recv()s.
+        let _held = TcpStream::connect(server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(server.shutdown(), 4, "accept + 3 workers all joined");
+        assert_eq!(server.shutdown(), 0, "idempotent");
+        assert!(
+            TcpStream::connect(server.local_addr()).is_err(),
+            "listener is down"
+        );
+    }
+
+    #[test]
+    fn stateful_worker_services_share_state_via_clones() {
+        use parking_lot::Mutex;
+        let counter = Arc::new(Mutex::new(0u64));
+        let server = TcpServer::spawn(ServerConfig::default(), || {
+            let counter = counter.clone();
+            move |_req: Pdu| {
+                let mut c = counter.lock();
+                *c += 1;
+                Pdu::DepositAck { message_id: *c }
+            }
+        })
+        .unwrap();
+        let ids: Vec<u64> = (0..3)
+            .map(|_| match call(server.local_addr(), &Pdu::ParamsRequest) {
+                Pdu::DepositAck { message_id } => message_id,
+                other => panic!("unexpected reply {other:?}"),
+            })
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -280,6 +280,77 @@ mod tests {
     }
 
     #[test]
+    fn torn_wal_tail_recovers_valid_prefix() {
+        let path = std::env::temp_dir().join(format!("mws-kv-torn-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.put(b"b", b"2").unwrap();
+            kv.sync().unwrap();
+        }
+        let durable_len = std::fs::metadata(&path).unwrap().len();
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"c", b"3-never-fully-written").unwrap();
+            kv.sync().unwrap();
+        }
+        // Crash mid-append: cut the file partway through the last frame.
+        let full_len = std::fs::metadata(&path).unwrap().len();
+        assert!(full_len > durable_len);
+        let f = std::fs::OpenOptions::new().write(true).open(&path).unwrap();
+        f.set_len(durable_len + (full_len - durable_len) / 2)
+            .unwrap();
+        drop(f);
+
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 2, "torn record discarded, prefix intact");
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+        assert!(kv.get(b"c").unwrap().is_none());
+
+        // The engine keeps working: new appends overwrite the torn tail
+        // and survive the next replay.
+        let mut kv = kv;
+        kv.put(b"c", b"3").unwrap();
+        kv.sync().unwrap();
+        drop(kv);
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 3);
+        assert_eq!(kv.get(b"c").unwrap().unwrap(), b"3");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corrupt_crc_in_tail_discards_only_the_tail() {
+        let path = std::env::temp_dir().join(format!("mws-kv-crc-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"good", b"kept").unwrap();
+            kv.sync().unwrap();
+        }
+        let prefix_len = std::fs::metadata(&path).unwrap().len() as usize;
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"bad", b"bit-rotted").unwrap();
+            kv.sync().unwrap();
+        }
+        // Flip a payload byte of the last record: its CRC no longer matches.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 1, "corrupt record dropped at the CRC check");
+        assert_eq!(kv.get(b"good").unwrap().unwrap(), b"kept");
+        assert!(kv.get(b"bad").unwrap().is_none());
+        assert_eq!(kv.wal_bytes() as usize, prefix_len);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn memory_compaction() {
         let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
         for i in 0..50u32 {

@@ -18,6 +18,8 @@
 //! * [`codec`] — primitive readers/writers (length-prefixed fields).
 //! * [`pdu`] — typed protocol data units with symmetric encode/decode.
 //! * [`envelope`] — the outer frame: `version ‖ type ‖ len ‖ body`.
+//! * [`stream`] — incremental decoding of envelopes arriving in arbitrary
+//!   split chunks (TCP transports).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,10 +27,12 @@
 pub mod codec;
 pub mod envelope;
 pub mod pdu;
+pub mod stream;
 
 pub use codec::{WireReader, WireWriter};
 pub use envelope::{decode_envelope, encode_envelope};
 pub use pdu::{Pdu, RelayEntry, WireMessage};
+pub use stream::StreamDecoder;
 
 /// Protocol version carried in every envelope.
 pub const WIRE_VERSION: u8 = 1;

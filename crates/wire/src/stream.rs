@@ -1,0 +1,200 @@
+//! Incremental envelope decoding for byte-stream transports.
+//!
+//! [`decode_envelope`](crate::decode_envelope) needs a complete frame in one
+//! contiguous slice; a TCP connection delivers bytes in arbitrary split
+//! chunks. [`StreamDecoder`] buffers fed bytes and yields each PDU as soon
+//! as its frame completes, validating the header fields (version, declared
+//! length) as early as they arrive so a poisoned stream fails fast instead
+//! of waiting for `MAX_BODY` bytes that will never come.
+//!
+//! ```
+//! use mws_wire::{encode_envelope, Pdu, StreamDecoder};
+//!
+//! let frame = encode_envelope(&Pdu::DepositAck { message_id: 7 });
+//! let mut dec = StreamDecoder::new();
+//! dec.feed(&frame[..3]); // partial delivery
+//! assert!(dec.next_pdu().unwrap().is_none());
+//! dec.feed(&frame[3..]);
+//! assert_eq!(dec.next_pdu().unwrap(), Some(Pdu::DepositAck { message_id: 7 }));
+//! ```
+
+use crate::envelope::decode_envelope;
+use crate::pdu::Pdu;
+use crate::{WireError, MAX_BODY, WIRE_VERSION};
+
+/// Envelope header size: `version(1) ‖ type(1) ‖ len(4)`.
+const HEADER: usize = 6;
+
+/// An incremental decoder over a stream of envelope frames.
+#[derive(Debug, Default)]
+pub struct StreamDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by decoded frames.
+    pos: usize,
+    max_body: usize,
+}
+
+impl StreamDecoder {
+    /// A decoder enforcing the protocol-wide [`MAX_BODY`] bound.
+    pub fn new() -> Self {
+        Self::with_max_body(MAX_BODY)
+    }
+
+    /// A decoder with a custom body bound (servers may enforce a tighter
+    /// per-connection limit than the protocol maximum).
+    pub fn with_max_body(max_body: usize) -> Self {
+        Self {
+            buf: Vec::new(),
+            pos: 0,
+            max_body: max_body.min(MAX_BODY),
+        }
+    }
+
+    /// Appends received bytes (any split: single bytes up to whole frames).
+    pub fn feed(&mut self, bytes: &[u8]) {
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a decoded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Decodes the next complete PDU, if one is buffered.
+    ///
+    /// Returns `Ok(None)` when more bytes are needed. Errors are sticky in
+    /// practice: a framing error means the stream has lost sync and the
+    /// connection should be dropped.
+    pub fn next_pdu(&mut self) -> Result<Option<Pdu>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.is_empty() {
+            self.compact(true);
+            return Ok(None);
+        }
+        // Validate header fields as soon as they arrive.
+        if avail[0] != WIRE_VERSION {
+            return Err(WireError::BadVersion(avail[0]));
+        }
+        if avail.len() < HEADER {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(avail[2..6].try_into().expect("4 bytes")) as usize;
+        if len > self.max_body {
+            return Err(WireError::BadLength);
+        }
+        if avail.len() < HEADER + len {
+            return Ok(None);
+        }
+        let (pdu, consumed) = decode_envelope(avail)?;
+        self.pos += consumed;
+        self.compact(false);
+        Ok(Some(pdu))
+    }
+
+    /// Reclaims consumed prefix space. Forced on an empty buffer; otherwise
+    /// only once the dead prefix dominates, to keep feeds amortized O(1).
+    fn compact(&mut self, force: bool) {
+        if self.pos == 0 {
+            return;
+        }
+        if force || self.pos >= self.buf.len() || self.pos * 2 >= self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode_envelope;
+
+    fn sample_frames() -> Vec<u8> {
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&encode_envelope(&Pdu::ParamsRequest));
+        stream.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: 42 }));
+        stream.extend_from_slice(&encode_envelope(&Pdu::Error {
+            code: 404,
+            detail: "missing".into(),
+        }));
+        stream
+    }
+
+    fn drain(dec: &mut StreamDecoder) -> Vec<Pdu> {
+        let mut out = Vec::new();
+        while let Some(pdu) = dec.next_pdu().unwrap() {
+            out.push(pdu);
+        }
+        out
+    }
+
+    #[test]
+    fn byte_at_a_time_delivery() {
+        let stream = sample_frames();
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(&[*b]);
+            got.extend(drain(&mut dec));
+        }
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1], Pdu::DepositAck { message_id: 42 });
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn whole_stream_at_once() {
+        let stream = sample_frames();
+        let mut dec = StreamDecoder::new();
+        dec.feed(&stream);
+        assert_eq!(drain(&mut dec).len(), 3);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn bad_version_fails_on_first_byte() {
+        let mut dec = StreamDecoder::new();
+        dec.feed(&[9]);
+        assert_eq!(dec.next_pdu().unwrap_err(), WireError::BadVersion(9));
+    }
+
+    #[test]
+    fn hostile_length_fails_before_body_arrives() {
+        let mut dec = StreamDecoder::new();
+        let mut header = vec![WIRE_VERSION, 0x30];
+        header.extend_from_slice(&u32::MAX.to_le_bytes());
+        dec.feed(&header);
+        assert_eq!(dec.next_pdu().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn tighter_custom_bound_enforced() {
+        let frame = encode_envelope(&Pdu::Error {
+            code: 1,
+            detail: "x".repeat(100),
+        });
+        let mut dec = StreamDecoder::with_max_body(16);
+        dec.feed(&frame);
+        assert_eq!(dec.next_pdu().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn interleaved_feed_and_decode() {
+        let a = encode_envelope(&Pdu::DepositAck { message_id: 1 });
+        let b = encode_envelope(&Pdu::DepositAck { message_id: 2 });
+        let mut dec = StreamDecoder::new();
+        // Feed all of a plus half of b, decode, then the rest.
+        dec.feed(&a);
+        dec.feed(&b[..b.len() / 2]);
+        assert_eq!(
+            dec.next_pdu().unwrap(),
+            Some(Pdu::DepositAck { message_id: 1 })
+        );
+        assert_eq!(dec.next_pdu().unwrap(), None);
+        dec.feed(&b[b.len() / 2..]);
+        assert_eq!(
+            dec.next_pdu().unwrap(),
+            Some(Pdu::DepositAck { message_id: 2 })
+        );
+    }
+}

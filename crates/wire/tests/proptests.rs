@@ -1,7 +1,7 @@
 //! Property-based tests for the wire codec: arbitrary PDUs roundtrip,
 //! arbitrary bytes never panic the decoder.
 
-use mws_wire::{decode_envelope, encode_envelope, Pdu, WireMessage};
+use mws_wire::{decode_envelope, encode_envelope, Pdu, StreamDecoder, WireMessage};
 use proptest::prelude::*;
 
 fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
@@ -150,5 +150,36 @@ proptest! {
         // May decode to a different valid PDU (payload bytes) or error —
         // but must never panic or over-read.
         let _ = decode_envelope(&framed);
+    }
+
+    #[test]
+    fn pdu_sequences_survive_arbitrary_stream_chunking(
+        pdus in prop::collection::vec(arb_pdu(), 1..8),
+        chunk_sizes in prop::collection::vec(1usize..17, 1..48),
+    ) {
+        // Concatenate the framed PDUs into one byte stream, then deliver it
+        // to the incremental decoder in arbitrary chunks — the splits land
+        // anywhere, including mid-header and mid-body — the way a TCP
+        // receive loop would see it.
+        let stream: Vec<u8> = pdus.iter().flat_map(encode_envelope).collect();
+
+        let mut decoder = StreamDecoder::new();
+        let mut decoded = Vec::new();
+        let mut offset = 0;
+        let mut turn = 0;
+        while offset < stream.len() {
+            let take = chunk_sizes[turn % chunk_sizes.len()].min(stream.len() - offset);
+            decoder.feed(&stream[offset..offset + take]);
+            offset += take;
+            turn += 1;
+            while let Some(pdu) = decoder.next_pdu().unwrap() {
+                decoded.push(pdu);
+            }
+        }
+
+        prop_assert_eq!(decoded, pdus);
+        // The stream ended on a frame boundary, so nothing may linger.
+        prop_assert_eq!(decoder.buffered(), 0);
+        prop_assert_eq!(decoder.next_pdu().unwrap(), None);
     }
 }

@@ -55,10 +55,7 @@ fn main() {
         dep.mws().message_count()
     );
     println!("policy table (paper Table 1 format):");
-    println!(
-        "  {:<14} {:<28} {}",
-        "Identity", "Attribute", "Attribute ID"
-    );
+    println!("  Identity       Attribute                    Attribute ID");
     for row in dep.mws().policy_table() {
         println!(
             "  {:<14} {:<28} {}",

@@ -75,7 +75,7 @@ fn main() {
     assert!(matrix["Electric&Gas"].iter().all(|r| !r.contains("m3=")));
 
     println!("\npolicy table (Table 1 shape):");
-    println!("{:<18} {:<30} {}", "Identity", "Attribute", "AID");
+    println!("Identity           Attribute                      AID");
     for row in dep.mws().policy_table() {
         println!(
             "{:<18} {:<30} {}",

@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Offline development check: patch the stub crates in, build and run the
+# offline-safe test suite, then unpatch — even on failure.
+#
+# Use this inside a container with no crates.io access. The proptest-based
+# test files and criterion benches cannot compile against the (empty)
+# proptest/criterion stubs, so this targets --lib and the non-property
+# integration tests; CI runs the full suite via scripts/tier1.sh instead.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+# Never touch the network: the stub patch satisfies every crates-io
+# dependency from local paths, so resolution must not consult the index.
+export CARGO_NET_OFFLINE=true
+
+if grep -q "OFFLINE STUB PATCH" Cargo.toml; then
+  echo "Cargo.toml is already patched; refusing to double-patch" >&2
+  exit 1
+fi
+
+cleanup() {
+  # Strip the patch block (exact markers written by stubs/patch.toml) and
+  # the lockfile it produced.
+  sed -i '/--- OFFLINE STUB PATCH/,/--- END OFFLINE STUB PATCH/d' Cargo.toml
+  # Trim a trailing blank line left behind, if any.
+  sed -i -e :a -e '/^\n*$/{$d;N;ba' -e '}' Cargo.toml
+  rm -f Cargo.lock
+}
+trap cleanup EXIT
+
+cat stubs/patch.toml >> Cargo.toml
+
+echo "==> offline build"
+cargo build --workspace --exclude mws-bench
+
+echo "==> offline lib tests"
+cargo test -q -p mws-bigint -p mws-crypto -p mws-pairing -p mws-ibe \
+  -p mws-store -p mws-wire -p mws-net -p mws-core -p mws-server --lib
+
+echo "==> offline integration tests (non-property)"
+cargo test -q -p mws \
+  --test architecture --test confidentiality --test config_matrix \
+  --test distribution_points --test persistence --test policy_table \
+  --test protocol_flow --test revocation --test tcp_deployment \
+  --test utility_scenario
+
+echo "==> offline check passed (stubs unpatch on exit)"

@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must be green before a merge.
+# Run from the repository root: scripts/tier1.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --all-targets -- -D warnings"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> tier-1 gate passed"

@@ -1,0 +1,1 @@
+//! Empty offline resolution stub — see stubs/README.md.

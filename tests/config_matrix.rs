@@ -45,7 +45,10 @@ fn replay_policy_matrix() {
     for replay in [
         ReplayPolicy::Off,
         ReplayPolicy::standard(),
-        ReplayPolicy::Window { window: 1, cache: 4 },
+        ReplayPolicy::Window {
+            window: 1,
+            cache: 4,
+        },
     ] {
         let config = DeploymentConfig {
             replay: replay.clone(),
@@ -93,8 +96,14 @@ fn modeled_wan_latency_accumulates() {
     let pkg = dep.network().metrics("pkg").unwrap();
     // Each request crosses two legs; the deposit + retrieve hit the MWS,
     // bootstrap/params + auth + key fetch hit the PKG.
-    assert!(mws.virtual_us >= 2 * 10_000 * mws.requests, "mws virtual clock");
-    assert!(pkg.virtual_us >= 2 * 5_000 * pkg.requests, "pkg virtual clock");
+    assert!(
+        mws.virtual_us >= 2 * 10_000 * mws.requests,
+        "mws virtual clock"
+    );
+    assert!(
+        pkg.virtual_us >= 2 * 5_000 * pkg.requests,
+        "pkg virtual clock"
+    );
     // The modeled time is bookkeeping, not wall time: the test itself ran
     // far faster than the ~60 modeled milliseconds.
 }

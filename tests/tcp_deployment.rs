@@ -1,0 +1,135 @@
+//! Acceptance test for the TCP deployment: the paper's four-server
+//! topology (§VI.C) on real loopback sockets, in one test process.
+//!
+//! Three daemons — MMS, PKG, and the Gatekeeper front door — each run a
+//! `TcpServer` on an ephemeral port. The smart device and receiving client
+//! are minted with socket-backed transports (`TcpClient`), so every PDU of
+//! the deposit → ticket → key-issue → retrieve flow crosses a real TCP
+//! connection. Shutdown must join every server thread.
+
+use mws_core::clock::ReplayPolicy;
+use mws_core::protocol::{Deployment, DeploymentConfig};
+use mws_server::{GatekeeperFrontdoor, ServerConfig, TcpClient, TcpServer};
+
+/// The three servers plus the provisioning authority behind them.
+struct TcpTopology {
+    dep: Deployment,
+    mms: TcpServer,
+    pkg: TcpServer,
+    gatekeeper: TcpServer,
+}
+
+fn spawn_topology() -> TcpTopology {
+    let mut dep = Deployment::new(DeploymentConfig::test_default());
+    dep.register_device("meter-1");
+    dep.register_client("utility", "pw", &["ELECTRIC-APT9"]);
+
+    let mms = {
+        let service = dep.mws().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms")
+    };
+    let pkg = {
+        let service = dep.pkg().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind pkg")
+    };
+    let gatekeeper = {
+        // The front door dials the MMS daemon over TCP, like its own
+        // process would, and holds its own replica of the user table.
+        let upstream = TcpClient::new(mms.local_addr()).into_client();
+        let front =
+            GatekeeperFrontdoor::new(dep.clock().clone(), ReplayPolicy::standard(), upstream);
+        front.register(
+            "utility",
+            "pw",
+            &dep.mws().client_public_key("utility").expect("registered"),
+        );
+        TcpServer::spawn(ServerConfig::default(), || front.as_service()).expect("bind gatekeeper")
+    };
+    TcpTopology {
+        dep,
+        mms,
+        pkg,
+        gatekeeper,
+    }
+}
+
+#[test]
+fn four_server_flow_over_real_sockets() {
+    let mut topo = spawn_topology();
+
+    // SD side: deposits go directly to the warehouse (§V.D phase 1).
+    let mut meter = topo
+        .dep
+        .device_with(
+            "meter-1",
+            TcpClient::new(topo.mms.local_addr()).into_client(),
+            &TcpClient::new(topo.pkg.local_addr()).into_client(),
+        )
+        .expect("bootstrap IBE params over TCP");
+    let id1 = meter.deposit("ELECTRIC-APT9", b"kwh=42.7").unwrap();
+    let id2 = meter.deposit("ELECTRIC-APT9", b"kwh=43.1").unwrap();
+    assert_ne!(id1, id2);
+
+    // RC side: retrievals enter through the Gatekeeper front door, which
+    // authenticates and relays to the MMS; key issuance goes to the PKG
+    // with the warehouse-minted ticket (phases 2 and 3).
+    let mut rc = topo.dep.client_with(
+        "utility",
+        "pw",
+        TcpClient::new(topo.gatekeeper.local_addr()).into_client(),
+        TcpClient::new(topo.pkg.local_addr()).into_client(),
+    );
+    let msgs = rc.retrieve_and_decrypt(0).unwrap();
+    assert_eq!(msgs.len(), 2);
+    let mut plaintexts: Vec<&[u8]> = msgs.iter().map(|m| m.plaintext.as_slice()).collect();
+    plaintexts.sort();
+    assert_eq!(plaintexts, vec![b"kwh=42.7".as_slice(), b"kwh=43.1"]);
+
+    // Wrong password dies at the front door; the warehouse never sees it.
+    let mut intruder = topo.dep.client_with(
+        "utility",
+        "wrong",
+        TcpClient::new(topo.gatekeeper.local_addr()).into_client(),
+        TcpClient::new(topo.pkg.local_addr()).into_client(),
+    );
+    assert!(matches!(
+        intruder.retrieve_and_decrypt(0).unwrap_err(),
+        mws_core::CoreError::Remote {
+            code: mws_core::ErrorCode::AuthFailed,
+            ..
+        }
+    ));
+    assert_eq!(topo.dep.mws().rejection_count(), 0);
+
+    // Graceful shutdown joins every thread of every server: accept loop +
+    // default 4 workers each, even with the clients' persistent
+    // connections still open.
+    let expected = 1 + ServerConfig::default().workers;
+    assert_eq!(topo.mms.shutdown(), expected);
+    assert_eq!(topo.pkg.shutdown(), expected);
+    assert_eq!(topo.gatekeeper.shutdown(), expected);
+}
+
+#[test]
+fn deposit_replay_rejected_over_tcp() {
+    let mut topo = spawn_topology();
+    let mws = TcpClient::new(topo.mms.local_addr()).into_client();
+    let mut meter = topo
+        .dep
+        .device_with(
+            "meter-1",
+            mws.clone(),
+            &TcpClient::new(topo.pkg.local_addr()).into_client(),
+        )
+        .unwrap();
+    let pdu = meter.compose_deposit("ELECTRIC-APT9", b"reading");
+    assert!(matches!(
+        mws.call(&pdu).unwrap(),
+        mws_wire::Pdu::DepositAck { .. }
+    ));
+    // An attacker replaying the captured frame is refused.
+    assert!(matches!(
+        mws.call(&pdu).unwrap(),
+        mws_wire::Pdu::Error { code: 409, .. }
+    ));
+}
