@@ -81,23 +81,37 @@ impl ReplayGuard {
     /// Checks freshness of `(timestamp, nonce)` against `now`, recording the
     /// nonce. Returns `false` when the message must be rejected as a replay.
     pub fn check_and_record(&mut self, now: u64, timestamp: u64, nonce: &[u8]) -> bool {
+        if !self.check(now, timestamp, nonce) {
+            return false;
+        }
+        self.record(nonce);
+        true
+    }
+
+    /// Checks freshness of `(timestamp, nonce)` without recording anything.
+    ///
+    /// Split from [`Self::check_and_record`] so a service can defer the
+    /// recording until *after* the guarded operation durably succeeded: a
+    /// nonce recorded before a failed store would turn the device's honest
+    /// retransmission into a "replay" and lose the deposit forever.
+    pub fn check(&self, now: u64, timestamp: u64, nonce: &[u8]) -> bool {
         match self.policy {
             ReplayPolicy::Off => true,
-            ReplayPolicy::Window { window, cache } => {
+            ReplayPolicy::Window { window, .. } => {
                 let fresh = timestamp <= now.saturating_add(window)
                     && timestamp.saturating_add(window) >= now;
-                if !fresh {
-                    return false;
-                }
-                if self.seen.iter().any(|n| n == nonce) {
-                    return false;
-                }
-                if self.seen.len() == cache {
-                    self.seen.pop_front();
-                }
-                self.seen.push_back(nonce.to_vec());
-                true
+                fresh && !self.seen.iter().any(|n| n == nonce)
             }
+        }
+    }
+
+    /// Records a nonce as seen (second half of [`Self::check_and_record`]).
+    pub fn record(&mut self, nonce: &[u8]) {
+        if let ReplayPolicy::Window { cache, .. } = self.policy {
+            if self.seen.len() == cache {
+                self.seen.pop_front();
+            }
+            self.seen.push_back(nonce.to_vec());
         }
     }
 }

@@ -184,6 +184,57 @@ impl SmartDevice {
         }
     }
 
+    /// Deposits one message reliably over a lossy transport: composes the
+    /// PDU once (fixed nonce) and retransmits the identical frame up to
+    /// `attempts` times until the warehouse acknowledges.
+    ///
+    /// Returns `Ok(Some(id))` on a fresh or deduplicated ack, and
+    /// `Ok(None)` when the warehouse answers 409 Replay — which, given the
+    /// MWS's store-then-record ordering, means the deposit is already
+    /// warehoused but the original ack (with its id) was lost in transit.
+    /// Either way the message is durably stored exactly once.
+    pub fn deposit_reliable(
+        &mut self,
+        attribute: &str,
+        payload: &[u8],
+        attempts: u32,
+    ) -> Result<Option<u64>, CoreError> {
+        let pdu = self.compose_deposit(attribute, payload);
+        let mut last = CoreError::UnexpectedReply;
+        for _ in 0..attempts.max(1) {
+            match self.mws.call(&pdu) {
+                Ok(Pdu::DepositAck { message_id }) => return Ok(Some(message_id)),
+                Ok(Pdu::Error { code, detail }) => {
+                    let err = CoreError::from_wire_error(code, detail);
+                    match err {
+                        CoreError::Remote {
+                            code: crate::ErrorCode::Replay,
+                            ..
+                        } => return Ok(None),
+                        // 500 (e.g. a failed store write or fsync) is
+                        // retryable: the MWS has not recorded the nonce.
+                        CoreError::Remote {
+                            code: crate::ErrorCode::Internal,
+                            ..
+                        } => last = err,
+                        other => return Err(other),
+                    }
+                }
+                Ok(_) => return Err(CoreError::UnexpectedReply),
+                Err(e) => match e {
+                    // Transient transport faults: retry the same frame.
+                    mws_net::NetError::Dropped
+                    | mws_net::NetError::Timeout
+                    | mws_net::NetError::Io(_)
+                    | mws_net::NetError::Disconnected
+                    | mws_net::NetError::CircuitOpen => last = CoreError::Net(e),
+                    other => return Err(CoreError::Net(other)),
+                },
+            }
+        }
+        Err(last)
+    }
+
     /// Deposits a multi-segment message (§VIII segmentation): each segment
     /// goes to its own attribute so different providers read different
     /// parts. Returns the warehouse ids in segment order.

@@ -46,6 +46,25 @@ impl MessageManagementSystem {
             .insert(attribute, nonce, u, algo, sealed, sd_id, timestamp)
     }
 
+    /// Stores an authenticated deposit idempotently per `(sd_id, nonce)`
+    /// origin: a retransmission of an already-warehoused deposit (e.g. the
+    /// device never saw the ack) returns the original id with `false`
+    /// instead of storing a duplicate.
+    #[allow(clippy::too_many_arguments)]
+    pub fn store_message_idempotent(
+        &mut self,
+        attribute: &str,
+        nonce: &[u8],
+        u: &[u8],
+        algo: u8,
+        sealed: &[u8],
+        sd_id: &str,
+        timestamp: u64,
+    ) -> StoreResult<(MessageId, bool)> {
+        self.messages
+            .insert_dedup(attribute, nonce, u, algo, sealed, sd_id, timestamp)
+    }
+
     /// Grants `identity` access to a literal attribute (Table 1 row).
     pub fn grant(&mut self, identity: &str, attribute: &str) -> StoreResult<AttributeId> {
         self.policy.grant(identity, attribute)

@@ -149,6 +149,11 @@ impl PkgInner {
                 aid,
                 nonce,
             } => self.handle_key(session_id, aid, nonce),
+            Pdu::HealthRequest => Pdu::HealthResponse {
+                role: "pkg".into(),
+                ready: true,
+                detail: format!("{} live sessions", self.sessions.len()),
+            },
             _ => err(400, "unexpected PDU at PKG"),
         }
     }

@@ -21,7 +21,7 @@ use mws_crypto::{HmacDrbg, RsaKeyPair, RsaPublicKey};
 use mws_ibe::{CipherAlgo, IbeSystem};
 use mws_net::{Client, FaultConfig, Network};
 use mws_pairing::SecurityLevel;
-use mws_store::{PolicyRow, StorageKind};
+use mws_store::{FaultPlan, PolicyRow, StorageKind};
 use mws_wire::{Pdu, WireMessage};
 use parking_lot::Mutex;
 use rand::RngCore;
@@ -237,6 +237,11 @@ impl MwsInner {
                 since,
                 limit,
             } => self.handle_retrieve(rc_id, auth, since, limit),
+            Pdu::HealthRequest => Pdu::HealthResponse {
+                role: "mms".into(),
+                ready: true,
+                detail: format!("{} messages warehoused", self.mms.messages().len()),
+            },
             _ => err(400, "unexpected PDU at MWS"),
         }
     }
@@ -254,7 +259,7 @@ impl MwsInner {
         mac: Vec<u8>,
     ) -> Pdu {
         let now = self.clock.now();
-        if let Err(reject) = self.sda.verify(
+        if let Err(reject) = self.sda.verify_fresh(
             now, &sd_id, timestamp, &u, &sealed, &attribute, &nonce, &mac,
         ) {
             // "the message is discarded and optionally an alert is sent".
@@ -271,17 +276,27 @@ impl MwsInner {
             };
             return err(code, &reject.to_string());
         }
-        match self
+        // Store → sync → record, in that order. A failure anywhere before
+        // the nonce is recorded leaves the replay guard untouched, so the
+        // device's honest retransmission is accepted (idempotently, via the
+        // origin index) instead of being misread as a replay — an acked
+        // deposit is durable, a failed one is retryable.
+        let (message_id, stored) = match self
             .mms
-            .store_message(&attribute, &nonce, &u, algo, &sealed, &sd_id, timestamp)
+            .store_message_idempotent(&attribute, &nonce, &u, algo, &sealed, &sd_id, timestamp)
         {
-            Ok(message_id) => {
-                self.audit
-                    .record(now, AuditEvent::DepositAccepted { sd_id, message_id });
-                Pdu::DepositAck { message_id }
-            }
-            Err(_) => err(500, "storage failure"),
+            Ok(pair) => pair,
+            Err(_) => return err(500, "storage failure"),
+        };
+        if self.mms.sync().is_err() {
+            return err(500, "storage failure");
         }
+        self.sda.record_deposit(&sd_id, &nonce);
+        if stored {
+            self.audit
+                .record(now, AuditEvent::DepositAccepted { sd_id, message_id });
+        }
+        Pdu::DepositAck { message_id }
     }
 
     fn handle_retrieve(&mut self, rc_id: String, auth: Vec<u8>, since: u64, limit: u32) -> Pdu {
@@ -394,6 +409,9 @@ pub struct DeploymentConfig {
     pub mws_fault: FaultConfig,
     /// Fault injection on the PKG endpoint.
     pub pkg_fault: FaultConfig,
+    /// Injected-failure schedule for the message store (chaos testing);
+    /// the caller keeps a clone of the plan to steer it.
+    pub message_store_faults: Option<FaultPlan>,
 }
 
 impl DeploymentConfig {
@@ -412,13 +430,18 @@ impl DeploymentConfig {
             session_ttl: 1000,
             mws_fault: FaultConfig::default(),
             pkg_fault: FaultConfig::default(),
+            message_store_faults: None,
         }
     }
 
     fn storage(&self, name: &str) -> StorageKind {
-        match &self.storage_dir {
+        let base = match &self.storage_dir {
             None => StorageKind::Memory,
             Some(dir) => StorageKind::File(dir.join(format!("{name}.wal"))),
+        };
+        match (&self.message_store_faults, name) {
+            (Some(plan), "messages") => base.with_faults(plan.clone()),
+            _ => base,
         }
     }
 }
@@ -739,6 +762,53 @@ mod tests {
             mws.call(&pdu).unwrap(),
             Pdu::Error { code: 409, .. }
         ));
+    }
+
+    #[test]
+    fn deposit_retries_through_injected_storage_failure() {
+        // A failed store write returns 500 WITHOUT recording the nonce, so
+        // the device's retransmission of the identical frame succeeds
+        // instead of bouncing off the replay guard.
+        let plan = FaultPlan::default();
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_store_faults: Some(plan.clone()),
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["A"]);
+        let mut meter = dep.device("m");
+        plan.fail_append(plan.appends());
+        let id = meter.deposit_reliable("A", b"durable reading", 3).unwrap();
+        assert!(id.is_some(), "acked after retry");
+        assert_eq!(dep.mws().message_count(), 1, "stored exactly once");
+        let mut rc = dep.client("rc", "pw");
+        let msgs = rc.retrieve_and_decrypt(0).unwrap();
+        assert_eq!(msgs.len(), 1);
+        assert_eq!(msgs[0].plaintext, b"durable reading");
+    }
+
+    #[test]
+    fn health_pdu_served_by_mws_and_pkg() {
+        let mut dep = deployment();
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["A"]);
+        dep.device("m").deposit("A", b"x").unwrap();
+        let mws = dep.network().client("mws");
+        match mws.call(&Pdu::HealthRequest).unwrap() {
+            Pdu::HealthResponse { role, ready, .. } => {
+                assert_eq!(role, "mms");
+                assert!(ready);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        let pkg = dep.network().client("pkg");
+        match pkg.call(&Pdu::HealthRequest).unwrap() {
+            Pdu::HealthResponse { role, ready, .. } => {
+                assert_eq!(role, "pkg");
+                assert!(ready);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]

@@ -164,10 +164,32 @@ impl SdAuthenticator {
     }
 
     /// Verifies a deposit's authenticator (MAC or IBS, per the configured
-    /// mode) and freshness.
+    /// mode) and freshness, recording the nonce on success.
     #[allow(clippy::too_many_arguments)]
     pub fn verify(
         &mut self,
+        now: u64,
+        sd_id: &str,
+        timestamp: u64,
+        u: &[u8],
+        sealed: &[u8],
+        attribute: &str,
+        nonce: &[u8],
+        mac: &[u8],
+    ) -> Result<(), SdaReject> {
+        self.verify_fresh(now, sd_id, timestamp, u, sealed, attribute, nonce, mac)?;
+        self.record_deposit(sd_id, nonce);
+        Ok(())
+    }
+
+    /// Verifies authenticator + freshness WITHOUT recording the nonce.
+    ///
+    /// The MWS records via [`Self::record_deposit`] only after the message is
+    /// durably stored; recording earlier would make an honest retransmission
+    /// after a storage failure look like a replay, losing the deposit.
+    #[allow(clippy::too_many_arguments)]
+    pub fn verify_fresh(
+        &self,
         now: u64,
         sd_id: &str,
         timestamp: u64,
@@ -201,15 +223,25 @@ impl SdAuthenticator {
                     .map_err(|_| SdaReject::BadMac)?;
             }
         }
-        // Replay key: the device's (id, nonce) pair.
-        let mut replay_key = sd_id.as_bytes().to_vec();
-        replay_key.push(0);
-        replay_key.extend_from_slice(nonce);
-        if !self.replay.check_and_record(now, timestamp, &replay_key) {
+        if !self.replay.check(now, timestamp, &replay_key(sd_id, nonce)) {
             return Err(SdaReject::Replay);
         }
         Ok(())
     }
+
+    /// Records a successfully stored deposit's nonce so later retransmissions
+    /// are flagged as replays.
+    pub fn record_deposit(&mut self, sd_id: &str, nonce: &[u8]) {
+        self.replay.record(&replay_key(sd_id, nonce));
+    }
+}
+
+/// Replay key: the device's (id, nonce) pair, unambiguously delimited.
+fn replay_key(sd_id: &str, nonce: &[u8]) -> Vec<u8> {
+    let mut key = sd_id.as_bytes().to_vec();
+    key.push(0);
+    key.extend_from_slice(nonce);
+    key
 }
 
 #[cfg(test)]

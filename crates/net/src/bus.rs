@@ -1,6 +1,6 @@
 //! The in-process request/response bus.
 
-use crate::fault::{FaultConfig, FaultState};
+use crate::fault::{FaultAction, FaultConfig, FaultState};
 use crate::metrics::LinkMetrics;
 use crate::transport::{BusTransport, Transport};
 use crate::NetError;
@@ -92,21 +92,58 @@ impl Network {
 
         // Request leg.
         ep.metrics.virtual_us += ep.latency.cost_us(frame.len());
-        if ep.faults.should_drop() {
-            ep.metrics.dropped += 1;
-            return Err(NetError::Dropped);
+        let mut duplicated = false;
+        match ep.faults.next_action() {
+            FaultAction::Drop => {
+                ep.metrics.dropped += 1;
+                return Err(NetError::Dropped);
+            }
+            FaultAction::Reset => {
+                // The service processes the request, then the link dies
+                // before the reply — the caller cannot tell whether the
+                // request took effect.
+                ep.metrics.resets += 1;
+                ep.metrics.bytes_in += frame.len() as u64;
+                ep.metrics.requests += 1;
+                let (request, _) = decode_envelope(frame)?;
+                let _ = ep.service.handle(request);
+                return Err(NetError::Io(
+                    "connection reset by fault injection mid-exchange".into(),
+                ));
+            }
+            FaultAction::Duplicate => duplicated = true,
+            FaultAction::Deliver => {}
         }
         ep.metrics.bytes_in += frame.len() as u64;
         ep.metrics.requests += 1;
         let (request, _) = decode_envelope(frame)?;
         let reply = ep.service.handle(request);
+        if duplicated {
+            // A late retransmission: the service handles the same frame a
+            // second time; only the first reply travels back.
+            ep.metrics.duplicates += 1;
+            ep.metrics.bytes_in += frame.len() as u64;
+            ep.metrics.requests += 1;
+            let (request, _) = decode_envelope(frame)?;
+            let _ = ep.service.handle(request);
+        }
         let reply_frame = encode_envelope(&reply);
 
         // Response leg.
         ep.metrics.virtual_us += ep.latency.cost_us(reply_frame.len());
-        if ep.faults.should_drop() {
-            ep.metrics.dropped += 1;
-            return Err(NetError::Dropped);
+        match ep.faults.next_action() {
+            FaultAction::Drop => {
+                ep.metrics.dropped += 1;
+                return Err(NetError::Dropped);
+            }
+            FaultAction::Reset => {
+                ep.metrics.resets += 1;
+                return Err(NetError::Io(
+                    "connection reset by fault injection mid-exchange".into(),
+                ));
+            }
+            // A duplicated reply is invisible to request/response callers.
+            FaultAction::Duplicate | FaultAction::Deliver => {}
         }
         ep.metrics.bytes_out += reply_frame.len() as u64;
         Ok(reply_frame)

@@ -30,7 +30,7 @@ pub use bus::{Client, Network, Service};
 pub use endpoint::ThreadedEndpoint;
 pub use fault::{FaultConfig, LatencyModel};
 pub use metrics::LinkMetrics;
-pub use transport::{BusTransport, Transport};
+pub use transport::{BusTransport, FaultyTransport, Transport};
 
 /// Transport-layer errors.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -47,6 +47,10 @@ pub enum NetError {
     Timeout,
     /// A socket operation failed (connect refused, reset, ...).
     Io(String),
+    /// The client's circuit breaker is open: recent consecutive transport
+    /// failures exceeded the threshold, so the call fails fast without
+    /// touching the network until the cooldown elapses.
+    CircuitOpen,
 }
 
 impl core::fmt::Display for NetError {
@@ -58,6 +62,7 @@ impl core::fmt::Display for NetError {
             NetError::Disconnected => write!(f, "endpoint thread disconnected"),
             NetError::Timeout => write!(f, "network operation timed out"),
             NetError::Io(detail) => write!(f, "socket error: {detail}"),
+            NetError::CircuitOpen => write!(f, "circuit breaker open; failing fast"),
         }
     }
 }

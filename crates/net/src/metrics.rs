@@ -13,6 +13,11 @@ pub struct LinkMetrics {
     pub bytes_out: u64,
     /// Modeled network time accumulated on the virtual clock (µs).
     pub virtual_us: u64,
+    /// Messages delivered twice by fault injection.
+    pub duplicates: u64,
+    /// Exchanges reset mid-flight by fault injection (request delivered,
+    /// reply lost).
+    pub resets: u64,
 }
 
 impl LinkMetrics {
@@ -34,6 +39,7 @@ mod tests {
             bytes_in: 10,
             bytes_out: 30,
             virtual_us: 5,
+            ..Default::default()
         };
         assert_eq!(m.bytes_total(), 40);
         assert_eq!(LinkMetrics::default().bytes_total(), 0);

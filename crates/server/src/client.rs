@@ -5,15 +5,29 @@
 //! [`Transport`] trait, so `Client::from_transport(Arc::new(tcp))` yields
 //! the same [`mws_net::Client`] the in-process bus hands out — device and
 //! RC logic in `mws-core` runs over real sockets unchanged.
+//!
+//! Degradation machinery (all deterministic given [`ClientConfig::seed`]):
+//!
+//! * **Decorrelated-jitter backoff** — each retry sleeps a seeded-random
+//!   duration in `[backoff, min(backoff_cap, 3 × previous)]`, so a fleet of
+//!   clients recovering from the same outage does not retry in lockstep.
+//! * **Per-request deadline** — one wall-clock budget spans every attempt,
+//!   backoff sleep and socket timeout of a round trip; a slow chain of
+//!   retries cannot exceed it.
+//! * **Circuit breaker** — after `breaker_threshold` consecutive transport
+//!   failures the client fails fast with [`NetError::CircuitOpen`] instead
+//!   of hammering a dead peer; once the (jittered, growing) cooldown lapses
+//!   a single half-open probe decides between closing and re-opening.
 
 use crate::framing::{read_raw_frame, write_raw_frame};
+use mws_crypto::HmacDrbg;
 use mws_net::{NetError, Transport};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
-/// Timeouts and retry budget for a [`TcpClient`].
+/// Timeouts, retry budget and degradation policy for a [`TcpClient`].
 #[derive(Clone, Debug)]
 pub struct ClientConfig {
     /// TCP connect deadline.
@@ -25,8 +39,21 @@ pub struct ClientConfig {
     /// failures (timeout, connect/reset) are retried, on a fresh
     /// connection; protocol and framing errors surface immediately.
     pub attempts: u32,
-    /// Backoff before the first retry; doubles per subsequent retry.
+    /// Minimum backoff before a retry (the decorrelated-jitter floor).
     pub backoff: Duration,
+    /// Upper bound on any single backoff sleep.
+    pub backoff_cap: Duration,
+    /// Wall-clock budget for one round trip across *all* attempts and
+    /// backoff sleeps; `None` removes the bound.
+    pub deadline: Option<Duration>,
+    /// Consecutive transport failures that open the circuit breaker;
+    /// 0 disables the breaker.
+    pub breaker_threshold: u32,
+    /// Initial breaker cooldown; failed half-open probes grow it (with
+    /// decorrelated jitter, capped at 64×).
+    pub breaker_cooldown: Duration,
+    /// Seed for backoff and cooldown jitter — same seed, same schedule.
+    pub seed: u64,
 }
 
 impl Default for ClientConfig {
@@ -36,20 +63,55 @@ impl Default for ClientConfig {
             request_timeout: Duration::from_secs(2),
             attempts: 3,
             backoff: Duration::from_millis(25),
+            backoff_cap: Duration::from_secs(1),
+            deadline: Some(Duration::from_secs(10)),
+            breaker_threshold: 8,
+            breaker_cooldown: Duration::from_millis(100),
+            seed: 0,
         }
     }
+}
+
+/// Circuit-breaker state (classic three-state machine).
+#[derive(Debug)]
+enum Breaker {
+    /// Normal operation, counting consecutive failures.
+    Closed { failures: u32 },
+    /// Failing fast until `until`; `cooldown` is the span that was chosen.
+    Open { until: Instant, cooldown: Duration },
+    /// Cooldown lapsed: one probe in flight decides the next state.
+    HalfOpen { cooldown: Duration },
+}
+
+/// Seeded retry state shared by all attempts through one client.
+struct RetryState {
+    breaker: Breaker,
+    rng: HmacDrbg,
+    last_backoff: Duration,
 }
 
 /// A persistent-connection TCP transport to one MWS daemon.
 ///
 /// Note on retries: a timed-out request may have been executed by the
 /// server even though no reply arrived. The MWS protocol absorbs this —
-/// deposits carry nonces, so a replayed retry is answered with a 409
-/// rather than stored twice.
+/// deposits carry nonces, so a replayed retry is answered idempotently (or
+/// with a 409) rather than stored twice.
 pub struct TcpClient {
     addr: SocketAddr,
     config: ClientConfig,
     conn: Mutex<Option<TcpStream>>,
+    state: Mutex<RetryState>,
+}
+
+/// A seeded draw in `[lo, hi]` (nanosecond granularity).
+fn jittered(rng: &mut HmacDrbg, lo: Duration, hi: Duration) -> Duration {
+    if hi <= lo {
+        return lo;
+    }
+    let span = (hi - lo).as_nanos() as u64;
+    let mut b = [0u8; 8];
+    rng.generate(&mut b);
+    lo + Duration::from_nanos(u64::from_be_bytes(b) % (span + 1))
 }
 
 impl TcpClient {
@@ -60,10 +122,16 @@ impl TcpClient {
 
     /// A transport with explicit timeouts/retry budget.
     pub fn with_config(addr: SocketAddr, config: ClientConfig) -> Self {
+        let rng = HmacDrbg::new(&config.seed.to_be_bytes(), b"mws-tcp-client");
         Self {
             addr,
             config,
             conn: Mutex::new(None),
+            state: Mutex::new(RetryState {
+                breaker: Breaker::Closed { failures: 0 },
+                rng,
+                last_backoff: Duration::ZERO,
+            }),
         }
     }
 
@@ -74,22 +142,24 @@ impl TcpClient {
 
     /// One exchange on the cached connection (opening it if needed). Any
     /// failure poisons the cached connection so the next attempt redials.
-    fn attempt(&self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+    /// `io_timeout` is this attempt's socket deadline (the per-exchange
+    /// timeout already clamped to the remaining request deadline).
+    fn attempt(&self, frame: &[u8], io_timeout: Duration) -> Result<Vec<u8>, NetError> {
         let mut guard = self.conn.lock();
         if guard.is_none() {
-            let stream = TcpStream::connect_timeout(&self.addr, self.config.connect_timeout)
+            let connect = self.config.connect_timeout.min(io_timeout);
+            let stream = TcpStream::connect_timeout(&self.addr, connect)
                 .map_err(|e| NetError::Io(format!("connect {}: {e}", self.addr)))?;
-            stream
-                .set_read_timeout(Some(self.config.request_timeout))
-                .and_then(|()| stream.set_write_timeout(Some(self.config.request_timeout)))
-                .map_err(|e| NetError::Io(e.to_string()))?;
             let _ = stream.set_nodelay(true);
             *guard = Some(stream);
         }
         let stream = guard.as_mut().expect("connection just ensured");
-        let result = write_raw_frame(stream, frame)
-            .and_then(|()| read_raw_frame(stream))
-            .map_err(NetError::from);
+        let result = stream
+            .set_read_timeout(Some(io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+            .map_err(|e| NetError::Io(e.to_string()))
+            .and_then(|()| write_raw_frame(stream, frame).map_err(NetError::from))
+            .and_then(|()| read_raw_frame(stream).map_err(NetError::from));
         if result.is_err() {
             // Even a timeout leaves the stream desynchronized (the late
             // reply would be mistaken for the next response): drop it.
@@ -101,21 +171,111 @@ impl TcpClient {
     fn retryable(e: &NetError) -> bool {
         matches!(e, NetError::Timeout | NetError::Io(_))
     }
+
+    /// Gate before an attempt: fail fast while the breaker is open, flip to
+    /// half-open once the cooldown has lapsed.
+    fn breaker_admit(&self) -> Result<(), NetError> {
+        if self.config.breaker_threshold == 0 {
+            return Ok(());
+        }
+        let mut st = self.state.lock();
+        if let Breaker::Open { until, cooldown } = st.breaker {
+            if Instant::now() < until {
+                return Err(NetError::CircuitOpen);
+            }
+            st.breaker = Breaker::HalfOpen { cooldown };
+        }
+        Ok(())
+    }
+
+    fn record_success(&self) {
+        let mut st = self.state.lock();
+        st.breaker = Breaker::Closed { failures: 0 };
+        st.last_backoff = Duration::ZERO;
+    }
+
+    fn record_failure(&self) {
+        let threshold = self.config.breaker_threshold;
+        if threshold == 0 {
+            return;
+        }
+        let mut st = self.state.lock();
+        let base = self.config.breaker_cooldown.max(Duration::from_millis(1));
+        let reopen_from = match st.breaker {
+            Breaker::Closed { ref mut failures } => {
+                *failures += 1;
+                if *failures < threshold {
+                    return;
+                }
+                base
+            }
+            // A failed probe re-opens with a grown cooldown.
+            Breaker::HalfOpen { cooldown } => cooldown,
+            Breaker::Open { .. } => return,
+        };
+        let cooldown = jittered(&mut st.rng, base, (reopen_from * 3).min(base * 64));
+        st.breaker = Breaker::Open {
+            until: Instant::now() + cooldown,
+            cooldown,
+        };
+    }
+
+    /// The next decorrelated-jitter backoff sleep.
+    fn next_backoff(&self) -> Duration {
+        let mut st = self.state.lock();
+        let base = self.config.backoff;
+        let prev = if st.last_backoff.is_zero() {
+            base
+        } else {
+            st.last_backoff
+        };
+        let hi = (prev * 3).min(self.config.backoff_cap).max(base);
+        let sleep = jittered(&mut st.rng, base, hi);
+        st.last_backoff = sleep;
+        sleep
+    }
+
+    /// Time left before `deadline` (`None` = unbounded).
+    fn remaining(deadline: Option<Instant>) -> Option<Duration> {
+        deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
 }
 
 impl Transport for TcpClient {
     fn round_trip(&self, frame: &[u8]) -> Result<Vec<u8>, NetError> {
+        let deadline = self.config.deadline.map(|d| Instant::now() + d);
         let attempts = self.config.attempts.max(1);
-        let mut backoff = self.config.backoff;
         let mut last = NetError::Timeout;
         for attempt in 0..attempts {
+            self.breaker_admit()?;
             if attempt > 0 {
-                std::thread::sleep(backoff);
-                backoff = backoff.saturating_mul(2);
+                let mut sleep = self.next_backoff();
+                if let Some(left) = Self::remaining(deadline) {
+                    if left <= sleep {
+                        // Sleeping would eat the whole budget: give up with
+                        // the failure that got us here.
+                        return Err(last);
+                    }
+                    sleep = sleep.min(left);
+                }
+                std::thread::sleep(sleep);
             }
-            match self.attempt(frame) {
-                Ok(reply) => return Ok(reply),
-                Err(e) if Self::retryable(&e) => last = e,
+            let mut io_timeout = self.config.request_timeout;
+            if let Some(left) = Self::remaining(deadline) {
+                if left.is_zero() {
+                    return Err(last);
+                }
+                io_timeout = io_timeout.min(left);
+            }
+            match self.attempt(frame, io_timeout) {
+                Ok(reply) => {
+                    self.record_success();
+                    return Ok(reply);
+                }
+                Err(e) if Self::retryable(&e) => {
+                    self.record_failure();
+                    last = e;
+                }
                 Err(fatal) => return Err(fatal),
             }
         }
@@ -137,6 +297,12 @@ mod tests {
         TcpServer::spawn(ServerConfig::default(), || |req: Pdu| req).unwrap()
     }
 
+    /// Bind-then-drop guarantees a dead port.
+    fn dead_addr() -> SocketAddr {
+        let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    }
+
     #[test]
     fn pdu_roundtrip_and_reuse_of_connection() {
         let server = echo_server();
@@ -150,13 +316,8 @@ mod tests {
 
     #[test]
     fn connection_refused_is_retryable_io_error() {
-        // Bind-then-drop guarantees a dead port.
-        let addr = {
-            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
-            l.local_addr().unwrap()
-        };
         let client = TcpClient::with_config(
-            addr,
+            dead_addr(),
             ClientConfig {
                 attempts: 2,
                 backoff: Duration::from_millis(1),
@@ -215,5 +376,130 @@ mod tests {
         assert_eq!(err, NetError::Timeout);
         assert!(t0.elapsed() < Duration::from_millis(400), "bounded wait");
         hold.join().unwrap();
+    }
+
+    #[test]
+    fn deadline_bounds_the_whole_retry_chain() {
+        // Unlimited attempts against a dead port, but a short deadline: the
+        // call must return within the budget, not after `attempts` retries.
+        let client = TcpClient::with_config(
+            dead_addr(),
+            ClientConfig {
+                attempts: 1000,
+                backoff: Duration::from_millis(5),
+                backoff_cap: Duration::from_millis(10),
+                deadline: Some(Duration::from_millis(150)),
+                breaker_threshold: 0,
+                ..ClientConfig::default()
+            },
+        );
+        let t0 = Instant::now();
+        let err = client
+            .round_trip(&mws_wire::encode_envelope(&Pdu::ParamsRequest))
+            .unwrap_err();
+        assert!(TcpClient::retryable(&err), "transport error, got {err:?}");
+        assert!(
+            t0.elapsed() < Duration::from_millis(600),
+            "deadline enforced, took {:?}",
+            t0.elapsed()
+        );
+    }
+
+    #[test]
+    fn breaker_opens_after_consecutive_failures_and_recovers() {
+        let addr = dead_addr();
+        let client = TcpClient::with_config(
+            addr,
+            ClientConfig {
+                attempts: 1,
+                backoff: Duration::from_millis(1),
+                breaker_threshold: 3,
+                breaker_cooldown: Duration::from_millis(40),
+                seed: 7,
+                ..ClientConfig::default()
+            },
+        );
+        let frame = mws_wire::encode_envelope(&Pdu::ParamsRequest);
+        // Three consecutive failures trip the breaker...
+        for _ in 0..3 {
+            assert!(matches!(
+                client.round_trip(&frame),
+                Err(NetError::Io(_) | NetError::Timeout)
+            ));
+        }
+        // ...after which calls fail fast without touching the socket.
+        let t0 = Instant::now();
+        assert!(matches!(
+            client.round_trip(&frame),
+            Err(NetError::CircuitOpen)
+        ));
+        assert!(t0.elapsed() < Duration::from_millis(20), "fast fail");
+        // A server appears on the port; once the cooldown lapses, the
+        // half-open probe succeeds and the breaker closes again.
+        let server =
+            TcpServer::spawn(ServerConfig::listen(&addr.to_string()), || |req: Pdu| req).unwrap();
+        let recovered = (0..100).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            client.round_trip(&frame).is_ok()
+        });
+        assert!(recovered, "breaker never recovered");
+        // Closed again: the very next call succeeds directly.
+        assert!(client.round_trip(&frame).is_ok());
+        drop(server);
+    }
+
+    #[test]
+    fn failed_probe_grows_the_cooldown() {
+        let client = TcpClient::with_config(
+            dead_addr(),
+            ClientConfig {
+                attempts: 1,
+                backoff: Duration::from_millis(1),
+                breaker_threshold: 1,
+                breaker_cooldown: Duration::from_millis(10),
+                seed: 3,
+                ..ClientConfig::default()
+            },
+        );
+        let frame = mws_wire::encode_envelope(&Pdu::ParamsRequest);
+        assert!(client.round_trip(&frame).is_err()); // trips immediately
+        let mut cooldowns = Vec::new();
+        for _ in 0..4 {
+            // Wait out the current cooldown, then probe (which fails).
+            loop {
+                std::thread::sleep(Duration::from_millis(5));
+                match client.round_trip(&frame) {
+                    Err(NetError::CircuitOpen) => continue,
+                    Err(_) => break, // half-open probe went to the socket
+                    Ok(_) => unreachable!("dead port cannot answer"),
+                }
+            }
+            let st = client.state.lock();
+            if let Breaker::Open { cooldown, .. } = st.breaker {
+                cooldowns.push(cooldown);
+            }
+        }
+        assert!(!cooldowns.is_empty());
+        assert!(
+            cooldowns.iter().all(|c| *c >= Duration::from_millis(10)),
+            "cooldown never below base: {cooldowns:?}"
+        );
+        assert!(
+            cooldowns.last().unwrap() > cooldowns.first().unwrap(),
+            "cooldown grew across failed probes: {cooldowns:?}"
+        );
+    }
+
+    #[test]
+    fn jitter_schedule_is_seed_deterministic() {
+        let mut a = HmacDrbg::new(&9u64.to_be_bytes(), b"mws-tcp-client");
+        let mut b = HmacDrbg::new(&9u64.to_be_bytes(), b"mws-tcp-client");
+        let lo = Duration::from_millis(10);
+        let hi = Duration::from_millis(100);
+        for _ in 0..32 {
+            let x = jittered(&mut a, lo, hi);
+            assert_eq!(x, jittered(&mut b, lo, hi));
+            assert!(x >= lo && x <= hi);
+        }
     }
 }

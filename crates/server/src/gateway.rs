@@ -70,6 +70,13 @@ impl GatekeeperFrontdoor {
 
 impl FrontdoorInner {
     fn handle(&mut self, request: Pdu) -> Pdu {
+        if matches!(request, Pdu::HealthRequest) {
+            return Pdu::HealthResponse {
+                role: "gatekeeper".into(),
+                ready: true,
+                detail: format!("relaying to {}", self.upstream.target()),
+            };
+        }
         let Pdu::RetrieveRequest {
             ref rc_id,
             ref auth,

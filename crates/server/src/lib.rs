@@ -13,9 +13,14 @@
 //!   per-connection timeouts + graceful join-everything shutdown.
 //! * [`client`] — [`TcpClient`]: a persistent-connection socket
 //!   implementation of the `mws-net` [`Transport`](mws_net::Transport)
-//!   trait with connect/request timeouts and bounded retry-with-backoff.
+//!   trait with connect/request timeouts, seeded decorrelated-jitter
+//!   retry backoff, a per-request wall-clock deadline and a circuit
+//!   breaker that fails fast while a peer is down.
 //! * [`gateway`] — [`GatekeeperFrontdoor`]: the standalone Gatekeeper
 //!   server that authenticates RCs and relays to the warehouse.
+//! * [`chaos`] — [`ChaosProxy`]: a seed-deterministic chaos TCP relay
+//!   injecting stalls, mid-frame truncation and connection resets between
+//!   real sockets (the transport half of the chaos harness).
 //! * [`daemon`] — flag parsing and seed-deterministic provisioning for the
 //!   `mws-mmsd`, `mws-pkgd` and `mws-gatekeeperd` binaries.
 //!
@@ -25,12 +30,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod client;
 pub mod daemon;
 pub mod framing;
 pub mod gateway;
 pub mod server;
 
+pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientConfig, TcpClient};
 pub use daemon::{DaemonOpts, FlagError, Role};
 pub use gateway::GatekeeperFrontdoor;

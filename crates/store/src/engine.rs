@@ -8,10 +8,11 @@
 //! This is the "move to a DBMS" the paper's §VIII asks for, scoped to what
 //! the MWS actually needs: point lookups, prefix scans and durable appends.
 
+use crate::fault::FaultPlan;
 use crate::segment::Segment;
 use crate::{Result, StoreError};
 use std::collections::BTreeMap;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 const OP_PUT: u8 = 1;
 const OP_DEL: u8 = 2;
@@ -23,6 +24,47 @@ pub enum StorageKind {
     Memory,
     /// Durable file at the given path.
     File(PathBuf),
+    /// Any of the above with an injected-failure schedule attached — the
+    /// `FaultStore` flavor used by the chaos harness. The shared
+    /// [`FaultPlan`] handle steers which appends/syncs fail or tear.
+    Faulty {
+        /// The real storage underneath.
+        base: Box<StorageKind>,
+        /// The shared fault schedule.
+        plan: FaultPlan,
+    },
+}
+
+impl StorageKind {
+    /// Wraps this kind with a fault-injection schedule.
+    pub fn with_faults(self, plan: FaultPlan) -> Self {
+        StorageKind::Faulty {
+            base: Box::new(self),
+            plan,
+        }
+    }
+
+    /// The file path behind this kind, if it is file-backed.
+    fn file_path(&self) -> Option<&Path> {
+        match self {
+            StorageKind::Memory => None,
+            StorageKind::File(p) => Some(p),
+            StorageKind::Faulty { base, .. } => base.file_path(),
+        }
+    }
+
+    /// Opens the segment this kind describes, attaching any fault plan.
+    fn open_segment(&self) -> Result<Segment> {
+        match self {
+            StorageKind::Memory => Ok(Segment::memory()),
+            StorageKind::File(path) => Segment::open_file(path),
+            StorageKind::Faulty { base, plan } => {
+                let mut seg = base.open_segment()?;
+                seg.attach_faults(plan.clone());
+                Ok(seg)
+            }
+        }
+    }
 }
 
 /// Log-structured KV store with an in-memory materialized state.
@@ -38,10 +80,12 @@ pub struct KvEngine {
 impl KvEngine {
     /// Opens an engine, replaying any existing WAL.
     pub fn open(kind: StorageKind) -> Result<Self> {
-        let mut wal = match &kind {
-            StorageKind::Memory => Segment::memory(),
-            StorageKind::File(path) => Segment::open_file(path)?,
-        };
+        if let Some(path) = kind.file_path() {
+            // A sibling `.compact` file is debris from a compaction that
+            // crashed before its atomic rename; the WAL is still the truth.
+            let _ = std::fs::remove_file(path.with_extension("compact"));
+        }
+        let mut wal = kind.open_segment()?;
         let mut map = BTreeMap::new();
         let mut dead_writes = 0usize;
         for (_, payload) in wal.iter()? {
@@ -138,15 +182,19 @@ impl KvEngine {
     /// File engines compact via a sibling `.compact` file followed by an
     /// atomic rename; memory engines rebuild in place.
     pub fn compact(&mut self) -> Result<()> {
-        match &self.kind {
-            StorageKind::Memory => {
+        match self.kind.file_path() {
+            None => {
+                // The rewrite itself runs fault-free (it is a rebuild from
+                // the in-memory truth, not a client write); the reopened WAL
+                // keeps any attached fault schedule for subsequent appends.
                 let mut fresh = Segment::memory();
                 for (k, v) in &self.map {
                     fresh.append(&encode_entry(OP_PUT, k, v))?;
                 }
                 self.wal = fresh;
             }
-            StorageKind::File(path) => {
+            Some(path) => {
+                let path = path.to_path_buf();
                 let tmp = path.with_extension("compact");
                 let _ = std::fs::remove_file(&tmp);
                 {
@@ -157,7 +205,7 @@ impl KvEngine {
                     fresh.sync()?;
                 }
                 std::fs::rename(&tmp, path)?;
-                self.wal = Segment::open_file(path)?;
+                self.wal = self.kind.open_segment()?;
             }
         }
         self.dead_writes = 0;
@@ -348,6 +396,125 @@ mod tests {
         assert!(kv.get(b"bad").unwrap().is_none());
         assert_eq!(kv.wal_bytes() as usize, prefix_len);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Seeds a file engine with live rows `a=1, b=2` plus garbage, returning
+    /// the WAL path.
+    fn seeded_wal(tag: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("mws-kv-{tag}-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let _ = std::fs::remove_file(path.with_extension("compact"));
+        let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        kv.put(b"a", b"1").unwrap();
+        kv.put(b"doomed", b"x").unwrap();
+        kv.delete(b"doomed").unwrap();
+        kv.put(b"b", b"2").unwrap();
+        kv.sync().unwrap();
+        path
+    }
+
+    fn assert_consistent(path: &PathBuf) {
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 2, "exactly the live rows");
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+        assert!(kv.get(b"doomed").unwrap().is_none());
+    }
+
+    #[test]
+    fn compact_interrupted_before_swap_recovers_from_wal() {
+        // Crash model: the compaction wrote (part of) the .compact sibling
+        // but died before the atomic rename. The original WAL is untouched,
+        // so reopening must serve the same state and clear the debris.
+        let path = seeded_wal("precswap");
+        let tmp = path.with_extension("compact");
+        // A half-written rewrite, torn mid-frame for good measure.
+        std::fs::write(&tmp, [0xa7u8, 0xff, 0x00, 0x00]).unwrap();
+
+        assert_consistent(&path);
+        assert!(
+            !tmp.exists(),
+            "stale .compact debris removed on open, not left to shadow later compactions"
+        );
+        // The next compaction proceeds normally despite the earlier crash.
+        let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        kv.compact().unwrap();
+        assert_consistent(&path);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn compact_interrupted_after_swap_recovers_from_new_wal() {
+        // Crash model: the rename landed (the WAL *is* the compacted file)
+        // but the process died before reopening it. A fresh open must see
+        // the compacted state — nothing refers to the old log anymore.
+        let path = seeded_wal("postswap");
+        {
+            let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            // Run the same rewrite compact() performs, then "crash": drop
+            // everything without reopening the swapped file.
+            let tmp = path.with_extension("compact");
+            let mut fresh = Segment::open_file(&tmp).unwrap();
+            for (k, v) in kv.iter() {
+                fresh.append(&encode_entry(OP_PUT, k, v)).unwrap();
+            }
+            fresh.sync().unwrap();
+            drop(fresh);
+            std::fs::rename(&tmp, &path).unwrap();
+        }
+        assert_consistent(&path);
+        // And the compacted log accepts new writes across another restart.
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            kv.put(b"c", b"3").unwrap();
+            kv.sync().unwrap();
+        }
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_append_failure_leaves_state_unchanged() {
+        let plan = crate::FaultPlan::new();
+        let mut kv = KvEngine::open(StorageKind::Memory.with_faults(plan.clone())).unwrap();
+        kv.put(b"a", b"1").unwrap();
+        plan.fail_append(plan.appends());
+        assert!(matches!(kv.put(b"b", b"2"), Err(StoreError::Io(_))));
+        assert!(kv.get(b"b").unwrap().is_none(), "failed put not applied");
+        // The engine keeps working after the fault.
+        kv.put(b"b", b"2").unwrap();
+        assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");
+    }
+
+    #[test]
+    fn injected_torn_append_discarded_on_reopen() {
+        let path = std::env::temp_dir().join(format!("mws-kv-fault-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = crate::FaultPlan::new();
+        {
+            let kind = StorageKind::File(path.clone()).with_faults(plan.clone());
+            let mut kv = KvEngine::open(kind).unwrap();
+            kv.put(b"a", b"1").unwrap();
+            kv.sync().unwrap();
+            plan.tear_append(plan.appends());
+            assert!(matches!(kv.put(b"b", b"2"), Err(StoreError::Io(_))));
+            // Crash here: the torn frame is on disk past the valid prefix.
+        }
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 1, "torn append discarded by recovery scan");
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn injected_sync_failure_surfaces() {
+        let plan = crate::FaultPlan::new();
+        let mut kv = KvEngine::open(StorageKind::Memory.with_faults(plan.clone())).unwrap();
+        kv.put(b"a", b"1").unwrap();
+        plan.fail_sync(plan.syncs());
+        assert!(matches!(kv.sync(), Err(StoreError::Io(_))));
+        kv.sync().unwrap();
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   compaction.
 //! * [`tables`] — a tiny length-prefixed record codec shared by the typed
 //!   tables.
+//! * [`fault`] — deterministic fault injection ([`FaultPlan`]): fail or
+//!   tear the Nth append, fail the Nth fsync — so WAL recovery is
+//!   exercised by injection rather than hand-crafted files.
 //! * [`message_db`] / [`policy_db`] / [`user_db`] — the three databases of
 //!   the paper's Figure 3 (Message Database, Policy Database with the
 //!   Table 1 identity–attribute mapping, User Database).
@@ -34,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod engine;
+pub mod fault;
 pub mod flatfile;
 pub mod message_db;
 pub mod policy_db;
@@ -42,6 +46,7 @@ pub mod tables;
 pub mod user_db;
 
 pub use engine::{KvEngine, StorageKind};
+pub use fault::FaultPlan;
 pub use flatfile::FlatFileStore;
 pub use message_db::{MessageDb, MessageId, StoredMessage};
 pub use policy_db::{AttributeId, PolicyDb, PolicyRow};

@@ -44,11 +44,24 @@ pub struct MessageDb {
     kv: KvEngine,
     next_id: MessageId,
     by_attribute: BTreeMap<String, Vec<MessageId>>,
+    /// Deposit origin `(sd_id, nonce)` → id, for idempotent retransmission
+    /// handling. Rebuilt from the message rows on open, so it is exactly as
+    /// durable as the messages themselves.
+    by_origin: BTreeMap<Vec<u8>, MessageId>,
 }
 
 fn key_of(id: MessageId) -> Vec<u8> {
     let mut k = b"m/".to_vec();
     k.extend_from_slice(&id.to_be_bytes());
+    k
+}
+
+/// Deduplication key for a deposit's origin `(sd_id, nonce)`.
+/// Length-prefixed so no `(sd_id, nonce)` pair can collide with another.
+fn origin_key(sd_id: &str, nonce: &[u8]) -> Vec<u8> {
+    let mut k = (sd_id.len() as u32).to_le_bytes().to_vec();
+    k.extend_from_slice(sd_id.as_bytes());
+    k.extend_from_slice(nonce);
     k
 }
 
@@ -87,9 +100,11 @@ impl MessageDb {
         let kv = KvEngine::open(kind)?;
         let mut next_id = 0;
         let mut by_attribute: BTreeMap<String, Vec<MessageId>> = BTreeMap::new();
+        let mut by_origin = BTreeMap::new();
         for (_, row) in kv.iter() {
             let msg = decode(row)?;
             next_id = next_id.max(msg.id + 1);
+            by_origin.insert(origin_key(&msg.sd_id, &msg.nonce), msg.id);
             by_attribute.entry(msg.attribute).or_default().push(msg.id);
         }
         for ids in by_attribute.values_mut() {
@@ -99,6 +114,7 @@ impl MessageDb {
             kv,
             next_id,
             by_attribute,
+            by_origin,
         })
     }
 
@@ -127,8 +143,33 @@ impl MessageDb {
         };
         self.kv.put(&key_of(id), &encode(&msg))?;
         self.next_id += 1;
+        self.by_origin.insert(origin_key(sd_id, nonce), id);
         self.by_attribute.entry(msg.attribute).or_default().push(id);
         Ok(id)
+    }
+
+    /// Like [`Self::insert`], but idempotent on the deposit origin
+    /// `(sd_id, nonce)`: a retransmission of an already-stored deposit —
+    /// even one from before a crash and restart — returns the original id
+    /// with `fresh = false` instead of storing a second copy. The origin
+    /// index is rebuilt from the message rows on open, so the guarantee is
+    /// exactly as durable as the message itself.
+    #[allow(clippy::too_many_arguments)]
+    pub fn insert_dedup(
+        &mut self,
+        attribute: &str,
+        nonce: &[u8],
+        u: &[u8],
+        algo: u8,
+        sealed: &[u8],
+        sd_id: &str,
+        timestamp: u64,
+    ) -> Result<(MessageId, bool)> {
+        if let Some(&id) = self.by_origin.get(&origin_key(sd_id, nonce)) {
+            return Ok((id, false));
+        }
+        let id = self.insert(attribute, nonce, u, algo, sealed, sd_id, timestamp)?;
+        Ok((id, true))
     }
 
     /// Fetches one message.
@@ -173,21 +214,21 @@ impl MessageDb {
     /// Returns how many rows were removed. Compacts the WAL when the sweep
     /// leaves a majority of dead appends behind.
     pub fn purge_before(&mut self, before: u64) -> Result<usize> {
-        let victims: Vec<(MessageId, String)> = self
+        let victims: Vec<StoredMessage> = self
             .kv
             .iter()
             .map(|(_, row)| decode(row))
             .collect::<Result<Vec<_>>>()?
             .into_iter()
             .filter(|m| m.timestamp < before)
-            .map(|m| (m.id, m.attribute))
             .collect();
-        for (id, attribute) in &victims {
-            self.kv.delete(&key_of(*id))?;
-            if let Some(ids) = self.by_attribute.get_mut(attribute) {
-                ids.retain(|x| x != id);
+        for msg in &victims {
+            self.kv.delete(&key_of(msg.id))?;
+            self.by_origin.remove(&origin_key(&msg.sd_id, &msg.nonce));
+            if let Some(ids) = self.by_attribute.get_mut(&msg.attribute) {
+                ids.retain(|x| *x != msg.id);
                 if ids.is_empty() {
-                    self.by_attribute.remove(attribute);
+                    self.by_attribute.remove(&msg.attribute);
                 }
             }
         }
@@ -322,6 +363,53 @@ mod tests {
         let db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
         assert_eq!(db.len(), 3);
         assert_eq!(db.by_attribute("A").unwrap().len(), 3);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn insert_dedup_is_idempotent_per_origin() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        let (id, fresh) = db
+            .insert_dedup("A", b"nonce-1", b"\x02u", 1, b"c", "meter", 5)
+            .unwrap();
+        assert!(fresh);
+        // Retransmission of the same deposit: same id, nothing stored.
+        let (again, fresh) = db
+            .insert_dedup("A", b"nonce-1", b"\x02u", 1, b"c", "meter", 5)
+            .unwrap();
+        assert_eq!(again, id);
+        assert!(!fresh);
+        assert_eq!(db.len(), 1);
+        // Same nonce from a *different* device is a different origin.
+        let (other, fresh) = db
+            .insert_dedup("A", b"nonce-1", b"\x02u", 1, b"c", "meter-2", 5)
+            .unwrap();
+        assert!(fresh);
+        assert_ne!(other, id);
+    }
+
+    #[test]
+    fn insert_dedup_survives_reopen() {
+        // The crash-between-store-and-ack case: the deposit is on disk, the
+        // ack was lost, the warehouse restarted, and the device retransmits.
+        let path = std::env::temp_dir().join(format!("mws-md-dedup-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let id = {
+            let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+            let (id, fresh) = db
+                .insert_dedup("A", b"nonce-9", b"\x02u", 1, b"c", "meter", 5)
+                .unwrap();
+            assert!(fresh);
+            db.sync().unwrap();
+            id
+        };
+        let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+        let (again, fresh) = db
+            .insert_dedup("A", b"nonce-9", b"\x02u", 1, b"c", "meter", 5)
+            .unwrap();
+        assert_eq!(again, id, "retransmit after restart maps to the stored row");
+        assert!(!fresh);
+        assert_eq!(db.len(), 1);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -14,6 +14,7 @@
 //! discarded (single-writer, crash-consistent append model — the same
 //! contract as a WAL tail).
 
+use crate::fault::{injected_io, AppendFault, FaultPlan};
 use crate::{Result, StoreError};
 use mws_crypto::crc32;
 use std::fs::{File, OpenOptions};
@@ -41,6 +42,8 @@ pub struct Segment {
     storage: SegmentStorage,
     /// Logical end-of-log (bytes of valid frames).
     len: u64,
+    /// Injected-failure schedule (chaos testing); `None` in production.
+    faults: Option<FaultPlan>,
 }
 
 impl Segment {
@@ -49,6 +52,7 @@ impl Segment {
         Self {
             storage: SegmentStorage::Memory(Vec::new()),
             len: 0,
+            faults: None,
         }
     }
 
@@ -63,11 +67,19 @@ impl Segment {
         let mut seg = Self {
             storage: SegmentStorage::File(file),
             len: 0,
+            faults: None,
         };
         // Find the valid prefix by replaying.
         let bytes = seg.read_all()?;
         seg.len = valid_prefix_len(&bytes);
         Ok(seg)
+    }
+
+    /// Attaches a fault-injection schedule; subsequent appends and syncs
+    /// consult it. The handle is shared — the caller keeps a clone to steer
+    /// the schedule.
+    pub fn attach_faults(&mut self, plan: FaultPlan) {
+        self.faults = Some(plan);
     }
 
     /// Total bytes of valid frames.
@@ -98,6 +110,30 @@ impl Segment {
         frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
         frame.extend_from_slice(&crc32(payload).to_le_bytes());
         frame.extend_from_slice(payload);
+        match self.faults.as_ref().map(|f| f.on_append()) {
+            Some(Some(AppendFault::Fail)) => {
+                return Err(injected_io("append failed before write"));
+            }
+            Some(Some(AppendFault::Tear)) => {
+                // Crash mid-write: a partial frame lands on the medium, the
+                // logical length does NOT advance, and the caller sees an
+                // error. A later reopen must discard this torn tail.
+                let torn = &frame[..HEADER.min(frame.len() - 1).max(1)];
+                match &mut self.storage {
+                    SegmentStorage::Memory(buf) => {
+                        buf.truncate(self.len as usize);
+                        buf.extend_from_slice(torn);
+                    }
+                    SegmentStorage::File(f) => {
+                        f.seek(SeekFrom::Start(self.len))?;
+                        f.write_all(torn)?;
+                        f.flush()?;
+                    }
+                }
+                return Err(injected_io("append torn mid-frame"));
+            }
+            _ => {}
+        }
         match &mut self.storage {
             SegmentStorage::Memory(buf) => {
                 buf.truncate(self.len as usize); // drop any torn tail
@@ -114,6 +150,11 @@ impl Segment {
 
     /// Flushes file-backed storage to the OS (durability point).
     pub fn sync(&mut self) -> Result<()> {
+        if let Some(f) = &self.faults {
+            if f.on_sync() {
+                return Err(injected_io("fsync failed"));
+            }
+        }
         if let SegmentStorage::File(f) = &mut self.storage {
             f.flush()?;
             f.sync_data()?;

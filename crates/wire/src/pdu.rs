@@ -147,6 +147,21 @@ pub enum Pdu {
         mac: Vec<u8>,
     },
 
+    // ---- Operations ----
+    /// Liveness/readiness probe; every daemon answers it without
+    /// authentication (it carries no message data).
+    HealthRequest,
+    /// Daemon health report.
+    HealthResponse {
+        /// Which daemon answered ("mms", "pkg", "gatekeeper").
+        role: String,
+        /// True when the daemon can serve protocol traffic (stores open,
+        /// upstreams provisioned) — not merely that the socket accepted.
+        ready: bool,
+        /// Human-readable detail (version, store state, ...).
+        detail: String,
+    },
+
     /// Error reply usable in any phase.
     Error {
         /// Machine-readable code (see `mws-core`'s error taxonomy).
@@ -193,6 +208,8 @@ impl Pdu {
             Pdu::ParamsResponse { .. } => 0x31,
             Pdu::RelayPull { .. } => 0x40,
             Pdu::RelayBatch { .. } => 0x41,
+            Pdu::HealthRequest => 0x50,
+            Pdu::HealthResponse { .. } => 0x51,
             Pdu::Error { .. } => 0xff,
         }
     }
@@ -293,6 +310,14 @@ impl Pdu {
                         .bytes(&e.nonce);
                 }
                 w.u64(*next).bytes(mac);
+            }
+            Pdu::HealthRequest => {}
+            Pdu::HealthResponse {
+                role,
+                ready,
+                detail,
+            } => {
+                w.string(role).u8(u8::from(*ready)).string(detail);
             }
             Pdu::Error { code, detail } => {
                 w.u16(*code).string(detail);
@@ -398,6 +423,12 @@ impl Pdu {
                     mac: r.bytes()?,
                 }
             }
+            0x50 => Pdu::HealthRequest,
+            0x51 => Pdu::HealthResponse {
+                role: r.string()?,
+                ready: r.u8()? != 0,
+                detail: r.string()?,
+            },
             0xff => Pdu::Error {
                 code: r.u16()?,
                 detail: r.string()?,
@@ -511,6 +542,12 @@ mod tests {
                 ],
                 next: 20,
                 mac: vec![7; 32],
+            },
+            Pdu::HealthRequest,
+            Pdu::HealthResponse {
+                role: "mms".into(),
+                ready: true,
+                detail: "store open".into(),
             },
             Pdu::Error {
                 code: 404,

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Chaos gate: runs the seed-deterministic chaos suite (tests/chaos.rs)
+# once per pinned seed. On any failure it prints the seed and the exact
+# command that reproduces the run bit-for-bit.
+#
+# Usage:
+#   scripts/chaos.sh              # all pinned seeds
+#   scripts/chaos.sh 91 1234      # explicit seed list
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEEDS=("$@")
+if [ ${#SEEDS[@]} -eq 0 ]; then
+  SEEDS=(3 17 91)
+fi
+
+for seed in "${SEEDS[@]}"; do
+  echo "==> chaos suite, seed ${seed}"
+  if ! MWS_CHAOS_SEED="${seed}" cargo test -q -p mws --test chaos; then
+    echo "" >&2
+    echo "chaos suite FAILED at seed ${seed}" >&2
+    echo "reproduce with: MWS_CHAOS_SEED=${seed} cargo test -p mws --test chaos" >&2
+    exit 1
+  fi
+done
+
+echo "==> chaos gate passed (${#SEEDS[@]} seed(s))"

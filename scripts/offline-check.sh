@@ -18,13 +18,14 @@ if grep -q "OFFLINE STUB PATCH" Cargo.toml; then
   exit 1
 fi
 
+# Keep a byte-exact copy so unpatching cannot disturb the manifest (a
+# marker-stripping sed can eat trailing blank lines).
+ORIG_MANIFEST="$(mktemp)"
+cp Cargo.toml "$ORIG_MANIFEST"
+
 cleanup() {
-  # Strip the patch block (exact markers written by stubs/patch.toml) and
-  # the lockfile it produced.
-  sed -i '/--- OFFLINE STUB PATCH/,/--- END OFFLINE STUB PATCH/d' Cargo.toml
-  # Trim a trailing blank line left behind, if any.
-  sed -i -e :a -e '/^\n*$/{$d;N;ba' -e '}' Cargo.toml
-  rm -f Cargo.lock
+  cp "$ORIG_MANIFEST" Cargo.toml
+  rm -f "$ORIG_MANIFEST" Cargo.lock
 }
 trap cleanup EXIT
 
@@ -39,9 +40,9 @@ cargo test -q -p mws-bigint -p mws-crypto -p mws-pairing -p mws-ibe \
 
 echo "==> offline integration tests (non-property)"
 cargo test -q -p mws \
-  --test architecture --test confidentiality --test config_matrix \
-  --test distribution_points --test persistence --test policy_table \
-  --test protocol_flow --test revocation --test tcp_deployment \
-  --test utility_scenario
+  --test architecture --test chaos --test confidentiality \
+  --test config_matrix --test distribution_points --test persistence \
+  --test policy_table --test protocol_flow --test revocation \
+  --test tcp_deployment --test utility_scenario
 
 echo "==> offline check passed (stubs unpatch on exit)"

@@ -16,4 +16,12 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+# Opt-in chaos gate: MWS_CHAOS=1 scripts/tier1.sh additionally runs the
+# seeded chaos suite across its pinned seed schedule (scripts/chaos.sh
+# prints the failing seed on any assertion failure).
+if [ "${MWS_CHAOS:-0}" = "1" ]; then
+  echo "==> scripts/chaos.sh (MWS_CHAOS=1)"
+  scripts/chaos.sh
+fi
+
 echo "==> tier-1 gate passed"

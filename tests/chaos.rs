@@ -1,0 +1,540 @@
+//! Seed-deterministic chaos suite: the deposit → ticket → key-issue →
+//! retrieve flow under injected faults at every layer.
+//!
+//! Faults are drawn from seeded DRBGs only — the same seed replays the
+//! same schedule bit-for-bit, so any failure here reproduces exactly by
+//! re-running with `MWS_CHAOS_SEED=<printed seed>`. Every assertion
+//! message carries the seed.
+//!
+//! Invariants exercised across all scenarios:
+//!
+//! 1. **No acknowledged deposit is ever lost** — an ack implies the
+//!    message is durably warehoused, through drops, resets, duplicate
+//!    delivery, torn WAL appends, failed fsyncs and daemon restarts.
+//! 2. **No message is delivered twice to one RC** — retransmissions and
+//!    duplicate frames never create duplicate warehouse rows.
+//! 3. **Convergence** — once faults stop, a clean retrieval returns the
+//!    exact acked set, and a second retrieval agrees with the first.
+//! 4. **Confidentiality under faults** — the warehouse never holds
+//!    plaintext, corrupted paths included.
+
+use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
+use mws_net::{BusTransport, Client, FaultConfig, FaultyTransport, NetError};
+use mws_server::{ChaosConfig, ChaosProxy, ClientConfig, ServerConfig, TcpClient, TcpServer};
+use mws_store::FaultPlan;
+use mws_wire::Pdu;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The pinned seed schedule, or the single seed from `MWS_CHAOS_SEED`
+/// (how `scripts/chaos.sh` reproduces a failure).
+fn seeds() -> Vec<u64> {
+    match std::env::var("MWS_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("MWS_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![3, 17, 91],
+    }
+}
+
+fn chaos_dir(tag: &str, seed: u64) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("mws-chaos-{tag}-{}-{seed}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create chaos dir");
+    dir
+}
+
+/// A TCP client tuned for chaos runs: fast retries, no breaker (the fault
+/// schedules intentionally produce long failure bursts).
+fn chaos_tcp_client(addr: SocketAddr, seed: u64) -> TcpClient {
+    TcpClient::with_config(
+        addr,
+        ClientConfig {
+            request_timeout: Duration::from_millis(500),
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            breaker_threshold: 0,
+            seed,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Final-state checks shared by every scenario: the clean retrieval must
+/// hold exactly the acked payloads, each message exactly once, and a
+/// repeat retrieval must agree (convergence).
+fn assert_converged(dep: &mut Deployment, rc_id: &str, pw: &str, acked: &[Vec<u8>], seed: u64) {
+    let mut rc = dep.client(rc_id, pw);
+    let msgs = rc
+        .retrieve_and_decrypt(0)
+        .unwrap_or_else(|e| panic!("seed {seed}: clean retrieval failed: {e}"));
+    let mut ids: Vec<u64> = msgs.iter().map(|m| m.message_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        msgs.len(),
+        "seed {seed}: a message was delivered twice to one RC"
+    );
+    let mut got: Vec<Vec<u8>> = msgs.iter().map(|m| m.plaintext.clone()).collect();
+    let mut want: Vec<Vec<u8>> = acked.to_vec();
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "seed {seed}: retrieved plaintexts != acknowledged deposits"
+    );
+    // Once faults stop the system is stable: a second retrieval agrees.
+    let again = rc
+        .retrieve_and_decrypt(0)
+        .unwrap_or_else(|e| panic!("seed {seed}: repeat retrieval failed: {e}"));
+    assert_eq!(
+        again.len(),
+        msgs.len(),
+        "seed {seed}: final state not stable across retrievals"
+    );
+}
+
+/// The warehouse's stored bytes must never contain a deposit's plaintext,
+/// even after the message crossed a faulty path.
+fn assert_ciphertext_only(dep: &mut Deployment, rc_id: &str, pw: &str, secret: &[u8], seed: u64) {
+    let mut rc = dep.client(rc_id, pw);
+    let (_, wire_msgs) = rc
+        .retrieve(0)
+        .unwrap_or_else(|e| panic!("seed {seed}: wire retrieval failed: {e}"));
+    for m in &wire_msgs {
+        assert!(
+            !m.sealed.windows(secret.len()).any(|w| w == secret),
+            "seed {seed}: warehoused bytes contain plaintext"
+        );
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario A: lossy bus — drops, duplicate delivery, mid-exchange resets.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn bus_faults_lose_no_acked_deposit() {
+    for seed in seeds() {
+        let mut dep = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &["A"]);
+        // The device's path to the warehouse is lossy in every way the
+        // fault model knows; the PKG path stays clean (bootstrap).
+        let faulty = FaultyTransport::new(
+            BusTransport::new(dep.network().clone(), "mws").into_dyn(),
+            FaultConfig {
+                drop_rate: 0.2,
+                duplicate_rate: 0.15,
+                reset_rate: 0.15,
+                seed,
+                ..FaultConfig::default()
+            },
+        );
+        let pkg = dep.network().client("pkg");
+        let mut meter = dep
+            .device_with("meter-1", Client::from_transport(faulty.into_dyn()), &pkg)
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked = Vec::new();
+        for i in 0..12 {
+            let payload = format!("reading-{i}").into_bytes();
+            let id = meter
+                .deposit_reliable("A", &payload, 64)
+                .unwrap_or_else(|e| panic!("seed {seed}: deposit {i} never acked: {e}"));
+            // `None` means a 409: the warehouse holds it, the ack was lost.
+            let _ = id;
+            acked.push(payload);
+        }
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: duplicate frames must not create duplicate rows"
+        );
+        assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        assert_ciphertext_only(&mut dep, "rc", "pw", b"reading-0", seed);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario B: real sockets through the chaos proxy — stalls, truncation,
+// resets between a TcpClient and a live daemon.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn tcp_chaos_proxy_loses_no_acked_deposit() {
+    for seed in seeds() {
+        let mut dep = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &["A"]);
+        let mms = {
+            let service = dep.mws().clone();
+            TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms")
+        };
+        let mut proxy = ChaosProxy::spawn(
+            mms.local_addr(),
+            ChaosConfig {
+                stall_rate: 0.1,
+                truncate_rate: 0.1,
+                reset_rate: 0.1,
+                stall: Duration::from_millis(20),
+                seed,
+            },
+        )
+        .expect("spawn chaos proxy");
+        let pkg = dep.network().client("pkg");
+        let mut meter = dep
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(proxy.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked = Vec::new();
+        for i in 0..10 {
+            let payload = format!("tcp-reading-{i}").into_bytes();
+            meter
+                .deposit_reliable("A", &payload, 64)
+                .unwrap_or_else(|e| panic!("seed {seed}: deposit {i} never acked: {e}"));
+            acked.push(payload);
+        }
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: retransmissions must not create duplicate rows"
+        );
+        assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        proxy.shutdown();
+        drop(mms);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario C: storage faults — failed appends, torn WAL appends and fsync
+// errors under a durable deployment, with recovery on reopen.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn store_faults_fail_closed_and_recover_on_reopen() {
+    for seed in seeds() {
+        let dir = chaos_dir("store", seed);
+        let plan = FaultPlan::default();
+        let config = DeploymentConfig {
+            seed,
+            storage_dir: Some(dir.clone()),
+            message_store_faults: Some(plan.clone()),
+            ..DeploymentConfig::test_default()
+        };
+        let mut acked = Vec::new();
+        {
+            let mut dep = Deployment::new(config.clone());
+            dep.register_device("meter-1");
+            dep.register_client("rc", "pw", &["A"]);
+            let mut meter = dep.device("meter-1");
+            // Schedule one of each storage fault across the next deposits:
+            // a clean failure, a torn (partially written) append, and a
+            // failed fsync. Every one must surface as a 500 the device
+            // retries through — never as a lost ack.
+            let base = plan.appends();
+            plan.fail_append(base);
+            plan.tear_append(base + 2);
+            let sync_base = plan.syncs();
+            plan.fail_sync(sync_base + 3);
+            for i in 0..6 {
+                let payload = format!("durable-{i}").into_bytes();
+                meter
+                    .deposit_reliable("A", &payload, 16)
+                    .unwrap_or_else(|e| panic!("seed {seed}: deposit {i} never acked: {e}"));
+                acked.push(payload);
+            }
+            assert_eq!(
+                dep.mws().message_count(),
+                acked.len(),
+                "seed {seed}: retries through 500s must not duplicate rows"
+            );
+            assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        }
+        // Crash-restart: reopen the same WALs with the same provisioning
+        // sequence. Torn appends must have been discarded, acked rows kept.
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_store_faults: None,
+            ..config
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &["A"]);
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: reopen lost acked deposits (or resurrected torn ones)"
+        );
+        assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario D: the combined schedule — daemon kill/restart mid-flow, with
+// transport drops AND a torn WAL append in the same run.
+// ---------------------------------------------------------------------------
+
+/// Minimal supervisor: owns the MMS daemon's port, kills it mid-flow and
+/// restarts a fresh daemon (new process state, same address) on demand.
+struct Supervisor {
+    addr: SocketAddr,
+    server: Option<TcpServer>,
+}
+
+impl Supervisor {
+    fn start(service: MwsService) -> Self {
+        let server =
+            TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms");
+        Self {
+            addr: server.local_addr(),
+            server: Some(server),
+        }
+    }
+
+    /// SIGKILL equivalent: tears the daemon down, connections and all.
+    fn kill(&mut self) {
+        if let Some(mut s) = self.server.take() {
+            s.shutdown();
+        }
+    }
+
+    /// Brings a restarted daemon up on the same address (retrying while
+    /// the OS releases the port).
+    fn restart(&mut self, service: MwsService) {
+        assert!(self.server.is_none(), "kill before restart");
+        for _ in 0..100 {
+            let svc = service.clone();
+            match TcpServer::spawn(ServerConfig::listen(&self.addr.to_string()), || {
+                svc.as_service()
+            }) {
+                Ok(s) => {
+                    self.server = Some(s);
+                    return;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        panic!("port {} never came back", self.addr);
+    }
+}
+
+#[test]
+fn daemon_restart_with_drops_and_torn_append_converges() {
+    for seed in seeds() {
+        let dir = chaos_dir("restart", seed);
+        let plan = FaultPlan::default();
+        let config = DeploymentConfig {
+            seed,
+            storage_dir: Some(dir.clone()),
+            message_store_faults: Some(plan.clone()),
+            ..DeploymentConfig::test_default()
+        };
+        let drops = FaultConfig {
+            drop_rate: 0.25,
+            seed,
+            ..FaultConfig::default()
+        };
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let (saved_frame, saved_id, pre_kill_composes);
+        let mut supervisor;
+        {
+            let mut dep = Deployment::new(config.clone());
+            dep.register_device("meter-1");
+            dep.register_client("rc", "pw", &["A"]);
+            supervisor = Supervisor::start(dep.mws().clone());
+            // Transport: real TCP to the daemon, wrapped in seeded drops.
+            let lossy = FaultyTransport::new(
+                Arc::new(chaos_tcp_client(supervisor.addr, seed)),
+                drops.clone(),
+            );
+            let pkg = dep.network().client("pkg");
+            let mut meter = dep
+                .device_with("meter-1", Client::from_transport(lossy.into_dyn()), &pkg)
+                .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+            // One torn WAL append lands mid-schedule.
+            plan.tear_append(plan.appends() + 1);
+            for i in 0..4 {
+                let payload = format!("pre-kill-{i}").into_bytes();
+                meter
+                    .deposit_reliable("A", &payload, 64)
+                    .unwrap_or_else(|e| panic!("seed {seed}: deposit {i} never acked: {e}"));
+                acked.push(payload);
+            }
+            // One deposit whose exact frame we keep: after the restart the
+            // device may retransmit it (it never saw the ack, say).
+            let pdu = meter.compose_deposit("A", b"pre-kill-held");
+            let clean = chaos_tcp_client(supervisor.addr, seed).into_client();
+            let id = match clean
+                .call_with_retry(&pdu, 16)
+                .unwrap_or_else(|e| panic!("seed {seed}: held deposit failed: {e}"))
+            {
+                Pdu::DepositAck { message_id } => message_id,
+                other => panic!("seed {seed}: expected ack, got {other:?}"),
+            };
+            acked.push(b"pre-kill-held".to_vec());
+            saved_frame = pdu;
+            saved_id = id;
+            pre_kill_composes = 5; // 4 reliable deposits + 1 held frame
+                                   // Kill the daemon mid-flow and drop the whole first process
+                                   // state (replay guard, caches — everything in memory).
+            supervisor.kill();
+        }
+        // ---- restart: same seed, same storage, fresh process ----
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_store_faults: None,
+            ..config
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &["A"]);
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: restart lost acked deposits"
+        );
+        supervisor.restart(dep.mws().clone());
+        // The device retransmits the held frame. The restarted warehouse
+        // has no replay cache, but the origin index (rebuilt from the WAL)
+        // answers with the ORIGINAL id instead of storing a second copy.
+        let clean = chaos_tcp_client(supervisor.addr, seed).into_client();
+        match clean
+            .call_with_retry(&saved_frame, 16)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-restart resend failed: {e}"))
+        {
+            Pdu::DepositAck { message_id } => assert_eq!(
+                message_id, saved_id,
+                "seed {seed}: resend after restart must dedup to the original id"
+            ),
+            other => panic!("seed {seed}: expected idempotent ack, got {other:?}"),
+        }
+        // The same physical device carries on: fast-forward its nonce
+        // stream past the deposits it already sent, then keep depositing
+        // through the lossy link.
+        let lossy = FaultyTransport::new(Arc::new(chaos_tcp_client(supervisor.addr, seed)), drops);
+        let pkg = dep.network().client("pkg");
+        let mut meter = dep
+            .device_with("meter-1", Client::from_transport(lossy.into_dyn()), &pkg)
+            .unwrap_or_else(|e| panic!("seed {seed}: post-restart bootstrap failed: {e}"));
+        for _ in 0..pre_kill_composes {
+            let _ = meter.compose_deposit("A", b"nonce-fast-forward");
+        }
+        for i in 0..3 {
+            let payload = format!("post-restart-{i}").into_bytes();
+            meter
+                .deposit_reliable("A", &payload, 64)
+                .unwrap_or_else(|e| panic!("seed {seed}: post-restart deposit {i}: {e}"));
+            acked.push(payload);
+        }
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: duplicates after restart"
+        );
+        assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        assert_ciphertext_only(&mut dep, "rc", "pw", b"pre-kill-held", seed);
+        supervisor.kill();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario E: health/readiness PDUs served by all three daemons, and the
+// circuit breaker protecting a client from a dead one.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn all_three_daemons_answer_health_over_tcp() {
+    let mut dep = Deployment::new(DeploymentConfig::test_default());
+    dep.register_client("rc", "pw", &["A"]);
+    let mms = {
+        let service = dep.mws().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms")
+    };
+    let pkg = {
+        let service = dep.pkg().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind pkg")
+    };
+    let gatekeeper = {
+        let upstream = TcpClient::new(mms.local_addr()).into_client();
+        let front = mws_server::GatekeeperFrontdoor::new(
+            dep.clock().clone(),
+            mws_core::clock::ReplayPolicy::standard(),
+            upstream,
+        );
+        TcpServer::spawn(ServerConfig::default(), || front.as_service()).expect("bind gatekeeper")
+    };
+    for (server, role) in [(&mms, "mms"), (&pkg, "pkg"), (&gatekeeper, "gatekeeper")] {
+        let client = TcpClient::new(server.local_addr()).into_client();
+        match client.call(&Pdu::HealthRequest).unwrap() {
+            Pdu::HealthResponse {
+                role: got, ready, ..
+            } => {
+                assert_eq!(got, role);
+                assert!(ready, "{role} must report ready");
+            }
+            other => panic!("{role}: unexpected health reply {other:?}"),
+        }
+    }
+    drop((mms, pkg, gatekeeper));
+}
+
+#[test]
+fn circuit_breaker_fails_fast_then_recovers_when_daemon_returns() {
+    for seed in seeds() {
+        // A daemon that exists, dies, and comes back; the client's breaker
+        // must fail fast while it is down and heal afterwards.
+        let dep = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        let mut supervisor = Supervisor::start(dep.mws().clone());
+        let client = TcpClient::with_config(
+            supervisor.addr,
+            ClientConfig {
+                request_timeout: Duration::from_millis(200),
+                attempts: 1,
+                backoff: Duration::from_millis(2),
+                breaker_threshold: 2,
+                breaker_cooldown: Duration::from_millis(30),
+                seed,
+                ..ClientConfig::default()
+            },
+        )
+        .into_client();
+        assert!(client.call(&Pdu::HealthRequest).is_ok());
+        supervisor.kill();
+        // Consecutive failures trip the breaker...
+        let mut saw_circuit_open = false;
+        for _ in 0..20 {
+            match client.call(&Pdu::HealthRequest) {
+                Err(NetError::CircuitOpen) => {
+                    saw_circuit_open = true;
+                    break;
+                }
+                Err(_) => {}
+                Ok(_) => panic!("seed {seed}: dead daemon answered"),
+            }
+        }
+        assert!(saw_circuit_open, "seed {seed}: breaker never opened");
+        // ...the daemon returns, and within a bounded number of half-open
+        // probes the client is healthy again.
+        supervisor.restart(dep.mws().clone());
+        let recovered = (0..200).any(|_| {
+            std::thread::sleep(Duration::from_millis(10));
+            client.call(&Pdu::HealthRequest).is_ok()
+        });
+        assert!(recovered, "seed {seed}: breaker never closed again");
+        supervisor.kill();
+    }
+}
