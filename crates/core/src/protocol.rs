@@ -487,7 +487,7 @@ impl Deployment {
         let pkg = PkgService::new(
             ibe.clone(),
             master,
-            mpk,
+            mpk.clone(),
             &mws_pkg_secret,
             clock.clone(),
             config.replay.clone(),

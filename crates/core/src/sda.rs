@@ -146,6 +146,12 @@ impl SdAuthenticator {
         policy: ReplayPolicy,
         verifier: DeviceAuthVerifier,
     ) -> Self {
+        if let DeviceAuthVerifier::Ibs { ibe, mpk } = &verifier {
+            // Pay the Miller-loop precomputation once at construction so the
+            // first deposit verification is as fast as the steady state.
+            ibe.pairing().warm_caches();
+            mpk.prepared(ibe.pairing());
+        }
         Self {
             registry,
             replay: ReplayGuard::new(policy),

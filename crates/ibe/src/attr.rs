@@ -173,9 +173,10 @@ impl IbeSystem {
         let i_pt = self.attribute_point(attribute, nonce);
         let ctx = self.pairing();
         let r = ctx.random_scalar(rng);
-        let u = ctx.mul(&ctx.generator(), &r);
-        // K = ê(I, sP)^r  (== ê(rP, sI) on the receiving side)
-        let g = ctx.pairing(&i_pt, mpk.point());
+        let u = ctx.mul_generator(&r);
+        // K = ê(I, sP)^r  (== ê(rP, sI) on the receiving side), with sP's
+        // prepared Miller tape by symmetry.
+        let g = ctx.pairing_with(mpk.prepared(ctx), &i_pt);
         let gr = ctx.field().fp2_pow(&g, &r);
         let keys = derive_keys(self, &gr, algo);
         let mut sealed = msg.to_vec();
@@ -192,16 +193,49 @@ impl IbeSystem {
         ct: &AttrCiphertext,
         aad: &[u8],
     ) -> Result<Vec<u8>, IbeError> {
-        let ctx = self.pairing();
-        if ct.u.is_infinity() || !ctx.field().is_on_curve(&ct.u) {
-            return Err(IbeError::InvalidPoint);
-        }
+        // K = ê(sI, U) = ê(sI, rP)
+        let g = {
+            let ctx = self.pairing();
+            if ct.u.is_infinity() || !ctx.field().is_on_curve(&ct.u) {
+                return Err(IbeError::InvalidPoint);
+            }
+            ctx.pairing(sk.point(), &ct.u)
+        };
+        self.decrypt_attr_tail(&g, ct, aad)
+    }
+
+    /// RC-side decryption with a prepared key (see
+    /// [`crate::bf::DecryptionKey`]) — same result as
+    /// [`Self::decrypt_attr`], skipping the per-call Miller point
+    /// arithmetic. Pays off when one extracted key decrypts many messages.
+    pub fn decrypt_attr_prepared(
+        &self,
+        dk: &crate::bf::DecryptionKey,
+        ct: &AttrCiphertext,
+        aad: &[u8],
+    ) -> Result<Vec<u8>, IbeError> {
+        let g = {
+            let ctx = self.pairing();
+            if ct.u.is_infinity() || !ctx.field().is_on_curve(&ct.u) {
+                return Err(IbeError::InvalidPoint);
+            }
+            ctx.pairing_with(dk.prepared(), &ct.u)
+        };
+        self.decrypt_attr_tail(&g, ct, aad)
+    }
+
+    /// Key derivation, MAC verification, and payload decryption shared by
+    /// the plain and prepared decrypt paths.
+    fn decrypt_attr_tail(
+        &self,
+        g: &mws_pairing::Fp2,
+        ct: &AttrCiphertext,
+        aad: &[u8],
+    ) -> Result<Vec<u8>, IbeError> {
         if ct.sealed.len() < TAG_LEN {
             return Err(IbeError::InvalidCiphertext);
         }
-        // K = ê(sI, U) = ê(sI, rP)
-        let g = ctx.pairing(sk.point(), &ct.u);
-        let keys = derive_keys(self, &g, ct.algo);
+        let keys = derive_keys(self, g, ct.algo);
         let (body, tag) = ct.sealed.split_at(ct.sealed.len() - TAG_LEN);
         let expect = Hmac::<Sha256>::mac_parts(&keys.mac, &[aad, &keys.nonce, body]);
         if !ct_eq(&expect, tag) {
@@ -254,6 +288,31 @@ mod tests {
                 "{algo:?}"
             );
         }
+    }
+
+    #[test]
+    fn prepared_decrypt_matches_plain() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(0x50524550);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let ct = ibe.encrypt_attr(
+            &mut rng,
+            &mpk,
+            "ELECTRIC-APT-SV-CA",
+            b"nonce-9",
+            CipherAlgo::Aes128,
+            b"hdr",
+            b"reading=7",
+        );
+        let sk = ibe.extract_point(&msk, &ibe.attribute_point("ELECTRIC-APT-SV-CA", b"nonce-9"));
+        let dk = ibe.prepare_key(&sk);
+        assert_eq!(
+            ibe.decrypt_attr_prepared(&dk, &ct, b"hdr").unwrap(),
+            ibe.decrypt_attr(&sk, &ct, b"hdr").unwrap()
+        );
+        let mut bad = ct;
+        bad.sealed[0] ^= 1;
+        assert!(ibe.decrypt_attr_prepared(&dk, &bad, b"hdr").is_err());
     }
 
     #[test]

@@ -3,8 +3,9 @@
 
 use crate::kdf::{xor_into, xor_pad};
 use crate::IbeError;
-use mws_pairing::{FpW, PairingCtx, PairingError, Point, SecurityLevel};
+use mws_pairing::{FpW, PairingCtx, PairingError, Point, PreparedPoint, SecurityLevel};
 use rand::RngCore;
+use std::sync::{Arc, OnceLock};
 
 /// An IBE system instance: pairing parameters shared by every party.
 #[derive(Clone, Debug)]
@@ -23,8 +24,44 @@ impl core::fmt::Debug for MasterSecret {
 }
 
 /// The system public key `P_pub = s·P` (the paper's `sP`).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct MasterPublic(pub(crate) Point);
+///
+/// Every encryption and signature verification pairs against this fixed
+/// point, so the key carries a lazily built, `Arc`-shared
+/// [`PreparedPoint`]: the Miller loop for `P_pub` runs once per process and
+/// is reused by all subsequent pairings (clones share the cache).
+#[derive(Clone)]
+pub struct MasterPublic {
+    point: Point,
+    prepared: Arc<OnceLock<PreparedPoint>>,
+}
+
+impl MasterPublic {
+    pub(crate) fn from_point(point: Point) -> Self {
+        Self {
+            point,
+            prepared: Arc::new(OnceLock::new()),
+        }
+    }
+
+    /// The prepared Miller tape for `P_pub`, built on first use.
+    pub fn prepared(&self, ctx: &PairingCtx) -> &PreparedPoint {
+        self.prepared.get_or_init(|| ctx.prepare(&self.point))
+    }
+}
+
+impl PartialEq for MasterPublic {
+    fn eq(&self, other: &Self) -> bool {
+        self.point == other.point
+    }
+}
+
+impl Eq for MasterPublic {}
+
+impl core::fmt::Debug for MasterPublic {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_tuple("MasterPublic").field(&self.point).finish()
+    }
+}
 
 /// A user (or attribute) private key `d = s·Q_ID`.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -33,6 +70,27 @@ pub struct UserPrivateKey(pub(crate) Point);
 impl core::fmt::Debug for UserPrivateKey {
     fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
         f.write_str("UserPrivateKey {{ .. }}")
+    }
+}
+
+/// A user private key with its Miller loop pre-executed — for holders that
+/// decrypt many ciphertexts under one identity (the receiving client's hot
+/// path). Build via [`IbeSystem::prepare_key`].
+#[derive(Clone, Debug)]
+pub struct DecryptionKey {
+    key: UserPrivateKey,
+    prepared: PreparedPoint,
+}
+
+impl DecryptionKey {
+    /// The wrapped private key.
+    pub fn key(&self) -> &UserPrivateKey {
+        &self.key
+    }
+
+    /// The prepared Miller tape for `d_ID`.
+    pub fn prepared(&self) -> &PreparedPoint {
+        &self.prepared
     }
 }
 
@@ -61,11 +119,21 @@ impl IbeSystem {
         &self.ctx
     }
 
-    /// `Setup`: draws the master secret `s` and publishes `P_pub = sP`.
+    /// `Setup`: draws the master secret `s` and publishes `P_pub = sP`
+    /// (fixed-base comb multiplication of the generator).
     pub fn setup<R: RngCore + ?Sized>(&self, rng: &mut R) -> (MasterSecret, MasterPublic) {
         let s = self.ctx.random_scalar(rng);
-        let ppub = self.ctx.mul(&self.ctx.generator(), &s);
-        (MasterSecret(s), MasterPublic(ppub))
+        let ppub = self.ctx.mul_generator(&s);
+        (MasterSecret(s), MasterPublic::from_point(ppub))
+    }
+
+    /// Precomputes the Miller loop of a private key for repeated decryption;
+    /// see [`DecryptionKey`].
+    pub fn prepare_key(&self, sk: &UserPrivateKey) -> DecryptionKey {
+        DecryptionKey {
+            key: *sk,
+            prepared: self.ctx.prepare(&sk.0),
+        }
     }
 
     /// `Q_ID = MapToPoint(H(ID))` — the public point of an identity.
@@ -98,6 +166,12 @@ impl IbeSystem {
     }
 
     /// BasicIdent encryption to a pre-mapped identity point.
+    ///
+    /// Fast path: `U = r·P` through the generator comb table and
+    /// `g = ê(Q_ID, P_pub)` evaluated as `ê(P_pub, Q_ID)` (the pairing is
+    /// symmetric) against the key's cached Miller tape, then a windowed
+    /// `g^r`. Produces the same distribution — and for a fixed `r`, the
+    /// same bits — as [`Self::encrypt_basic_point_reference`].
     pub fn encrypt_basic_point<R: RngCore + ?Sized>(
         &self,
         rng: &mut R,
@@ -106,14 +180,44 @@ impl IbeSystem {
         msg: &[u8],
     ) -> BasicCiphertext {
         let r = self.ctx.random_scalar(rng);
-        let u = self.ctx.mul(&self.ctx.generator(), &r);
-        // g = ê(Q_ID, P_pub)^r
-        let g = self.ctx.pairing(q_id, &mpk.0);
+        let u = self.ctx.mul_generator(&r);
+        // g = ê(Q_ID, P_pub)^r, computed with P_pub's prepared tape.
+        let g = self.ctx.pairing_with(mpk.prepared(&self.ctx), q_id);
         let gr = self.ctx.field().fp2_pow(&g, &r);
         let mut v = msg.to_vec();
         let pad = xor_pad(&self.ctx, &gr, v.len());
         xor_into(&mut v, &pad);
         BasicCiphertext { u, v }
+    }
+
+    /// BasicIdent encryption via the pre-optimization reference path
+    /// (binary ladder, affine pairing, plain square-and-multiply) — kept
+    /// callable for cross-checks and the benchmark baseline.
+    pub fn encrypt_basic_point_reference<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        mpk: &MasterPublic,
+        q_id: &Point,
+        msg: &[u8],
+    ) -> BasicCiphertext {
+        let f = self.ctx.field();
+        let r = self.ctx.random_scalar(rng);
+        let u = f.point_mul_binary(&self.ctx.generator(), &r);
+        let g = self.ctx.pairing_affine(q_id, &mpk.point);
+        let gr = f.fp2_pow_binary(&g, &r);
+        let mut v = msg.to_vec();
+        let pad = xor_pad(&self.ctx, &gr, v.len());
+        xor_into(&mut v, &pad);
+        BasicCiphertext { u, v }
+    }
+
+    /// Validation shared by the decrypt paths: `U` must be a finite point
+    /// of the order-`q` subgroup (the subgroup check runs the wNAF ladder).
+    fn check_ciphertext_point(&self, u: &Point) -> Result<(), IbeError> {
+        if u.is_infinity() || !self.ctx.in_subgroup(u) {
+            return Err(IbeError::InvalidPoint);
+        }
+        Ok(())
     }
 
     /// BasicIdent decryption: `M = V ⊕ H₂(ê(d_ID, U))`.
@@ -122,10 +226,42 @@ impl IbeSystem {
         sk: &UserPrivateKey,
         ct: &BasicCiphertext,
     ) -> Result<Vec<u8>, IbeError> {
+        self.check_ciphertext_point(&ct.u)?;
+        let g = self.ctx.pairing(&sk.0, &ct.u);
+        let mut m = ct.v.clone();
+        let pad = xor_pad(&self.ctx, &g, m.len());
+        xor_into(&mut m, &pad);
+        Ok(m)
+    }
+
+    /// BasicIdent decryption with a prepared key — same result as
+    /// [`Self::decrypt_basic`], skipping the per-call Miller point
+    /// arithmetic.
+    pub fn decrypt_basic_prepared(
+        &self,
+        dk: &DecryptionKey,
+        ct: &BasicCiphertext,
+    ) -> Result<Vec<u8>, IbeError> {
+        self.check_ciphertext_point(&ct.u)?;
+        let g = self.ctx.pairing_with(&dk.prepared, &ct.u);
+        let mut m = ct.v.clone();
+        let pad = xor_pad(&self.ctx, &g, m.len());
+        xor_into(&mut m, &pad);
+        Ok(m)
+    }
+
+    /// BasicIdent decryption via the pre-optimization reference path
+    /// (affine pairing, on-curve check only) — kept callable for
+    /// cross-checks and the benchmark baseline.
+    pub fn decrypt_basic_reference(
+        &self,
+        sk: &UserPrivateKey,
+        ct: &BasicCiphertext,
+    ) -> Result<Vec<u8>, IbeError> {
         if ct.u.is_infinity() || !self.ctx.field().is_on_curve(&ct.u) {
             return Err(IbeError::InvalidPoint);
         }
-        let g = self.ctx.pairing(&sk.0, &ct.u);
+        let g = self.ctx.pairing_affine(&sk.0, &ct.u);
         let mut m = ct.v.clone();
         let pad = xor_pad(&self.ctx, &g, m.len());
         xor_into(&mut m, &pad);
@@ -134,16 +270,17 @@ impl IbeSystem {
 
     /// Serializes the master public key (compressed point).
     pub fn mpk_to_bytes(&self, mpk: &MasterPublic) -> Vec<u8> {
-        self.ctx.field().point_to_bytes(&mpk.0)
+        self.ctx.field().point_to_bytes(&mpk.point)
     }
 
-    /// Parses a master public key, validating the point.
+    /// Parses a master public key, validating subgroup membership (wNAF
+    /// order check; see [`PairingCtx::in_subgroup`]).
     pub fn mpk_from_bytes(&self, bytes: &[u8]) -> Result<MasterPublic, PairingError> {
         let p = self.ctx.field().point_from_bytes(bytes)?;
-        if p.is_infinity() || !self.ctx.mul(&p, self.ctx.group_order()).is_infinity() {
+        if p.is_infinity() || !self.ctx.in_subgroup(&p) {
             return Err(PairingError::InvalidPoint);
         }
-        Ok(MasterPublic(p))
+        Ok(MasterPublic::from_point(p))
     }
 
     /// Serializes a user private key.
@@ -160,7 +297,7 @@ impl IbeSystem {
 impl MasterPublic {
     /// The underlying point `sP`.
     pub fn point(&self) -> &Point {
-        &self.0
+        &self.point
     }
 }
 
@@ -259,6 +396,57 @@ mod tests {
         let sk = ibe.extract(&msk, b"id");
         assert_eq!(
             ibe.decrypt_basic(&sk, &ct).unwrap_err(),
+            IbeError::InvalidPoint
+        );
+    }
+
+    #[test]
+    fn fast_paths_match_reference() {
+        for level in [SecurityLevel::Toy, SecurityLevel::Light] {
+            let ibe = IbeSystem::named(level);
+            let mut rng = HmacDrbg::from_u64(0x46415354);
+            let (msk, mpk) = ibe.setup(&mut rng);
+            let q_id = ibe.identity_point(b"cross@check");
+            let sk = ibe.extract(&msk, b"cross@check");
+            // Same RNG state ⇒ same r ⇒ bit-identical ciphertexts.
+            let mut rng_a = HmacDrbg::from_u64(0xcafe);
+            let mut rng_b = HmacDrbg::from_u64(0xcafe);
+            let fast = ibe.encrypt_basic_point(&mut rng_a, &mpk, &q_id, b"payload");
+            let reference = ibe.encrypt_basic_point_reference(&mut rng_b, &mpk, &q_id, b"payload");
+            assert_eq!(fast, reference, "encrypt fast vs reference at {level:?}");
+            // All three decrypt paths agree.
+            let dk = ibe.prepare_key(&sk);
+            assert_eq!(ibe.decrypt_basic(&sk, &fast).unwrap(), b"payload");
+            assert_eq!(ibe.decrypt_basic_prepared(&dk, &fast).unwrap(), b"payload");
+            assert_eq!(ibe.decrypt_basic_reference(&sk, &fast).unwrap(), b"payload");
+        }
+    }
+
+    #[test]
+    fn decrypt_rejects_out_of_subgroup_u() {
+        let ibe = system();
+        let mut rng = HmacDrbg::from_u64(0x4f4f53);
+        let (msk, mpk) = ibe.setup(&mut rng);
+        let mut ct = ibe.encrypt_basic(&mut rng, &mpk, b"id", b"m");
+        let sk = ibe.extract(&msk, b"id");
+        // Find an on-curve point outside the order-q subgroup: the fast
+        // paths reject it (small-subgroup hardening), the reference path —
+        // which only checks curve membership — accepts it.
+        let c = ibe.pairing();
+        let outside = loop {
+            let p = c.field().random_curve_point(&mut rng);
+            if !c.in_subgroup(&p) {
+                break p;
+            }
+        };
+        ct.u = outside;
+        assert_eq!(
+            ibe.decrypt_basic(&sk, &ct).unwrap_err(),
+            IbeError::InvalidPoint
+        );
+        let dk = ibe.prepare_key(&sk);
+        assert_eq!(
+            ibe.decrypt_basic_prepared(&dk, &ct).unwrap_err(),
             IbeError::InvalidPoint
         );
     }

@@ -60,10 +60,10 @@ fn h_scalar(ibe: &IbeSystem, msg: &[u8], u: &Point) -> FpW {
 }
 
 impl IbeSystem {
-    /// Generates a BLS keypair.
+    /// Generates a BLS keypair (fixed-base comb multiplication).
     pub fn bls_keygen<R: RngCore + ?Sized>(&self, rng: &mut R) -> BlsKeyPair {
         let sk = self.pairing().random_scalar(rng);
-        let pk = self.pairing().mul(&self.pairing().generator(), &sk);
+        let pk = self.pairing().mul_generator(&sk);
         BlsKeyPair { sk, pk }
     }
 
@@ -80,7 +80,8 @@ impl IbeSystem {
             return Err(IbeError::BadSignature);
         }
         let h = ctx.hash_to_point(msg);
-        let lhs = ctx.pairing(sig, &ctx.generator());
+        // ê(σ, P) = ê(P, σ) by symmetry: use the cached generator tape.
+        let lhs = ctx.pairing_with(ctx.prepared_generator(), sig);
         let rhs = ctx.pairing(&h, pk);
         if lhs == rhs {
             Ok(())
@@ -123,9 +124,11 @@ impl IbeSystem {
         }
         let q_id = self.identity_point(id);
         let h = h_scalar(self, msg, &sig.u);
-        let lhs = ctx.pairing(&sig.v, &ctx.generator());
+        // Both sides by symmetry against fixed prepared points: the
+        // generator's cached tape and P_pub's (held by the MasterPublic).
+        let lhs = ctx.pairing_with(ctx.prepared_generator(), &sig.v);
         let inner = ctx.add(&sig.u, &ctx.mul(&q_id, &h));
-        let rhs = ctx.pairing(&inner, mpk.point());
+        let rhs = ctx.pairing_with(mpk.prepared(ctx), &inner);
         if lhs == rhs {
             Ok(())
         } else {

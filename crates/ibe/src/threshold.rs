@@ -76,7 +76,8 @@ impl IbeSystem {
             .collect())
     }
 
-    /// Share server operation: partial extract for an identity point.
+    /// Share server operation: partial extract for an identity point
+    /// (variable-base wNAF multiplication, like the monolithic `Extract`).
     pub fn partial_extract(&self, share: &MasterShare, q_id: &Point) -> PartialKey {
         PartialKey {
             index: share.index,

@@ -29,6 +29,10 @@ pub struct FpCtx {
     p: FpW,
     /// `(p + 1) / 4` — the square-root exponent (valid because `p ≡ 3 mod 4`).
     sqrt_exp: FpW,
+    /// Cached constant 2 (Montgomery form), hoisted out of inner loops.
+    two: Fp,
+    /// Cached constant 3 (Montgomery form), hoisted out of inner loops.
+    three: Fp,
 }
 
 impl FpCtx {
@@ -43,11 +47,28 @@ impl FpCtx {
         assert_eq!(p.as_u64() & 3, 3, "type-A pairing needs p ≡ 3 (mod 4)");
         let mont = Mont::new(p).expect("odd modulus");
         let sqrt_exp = p.wrapping_add(&Uint::ONE).wrapping_shr(2);
-        Self {
+        let mut ctx = Self {
             mont,
             p: *p,
             sqrt_exp,
-        }
+            two: Fp(FpW::ZERO),
+            three: Fp(FpW::ZERO),
+        };
+        ctx.two = ctx.from_u64(2);
+        ctx.three = ctx.from_u64(3);
+        ctx
+    }
+
+    /// The constant 2, cached at construction (hot in the Miller loops'
+    /// tangent slope `(3x² + 1) / 2y`).
+    pub fn two(&self) -> Fp {
+        self.two
+    }
+
+    /// The constant 3, cached at construction (hot in the Miller loops'
+    /// tangent slope and affine doubling).
+    pub fn three(&self) -> Fp {
+        self.three
     }
 
     /// The modulus.
@@ -208,6 +229,15 @@ mod tests {
         // Inverses.
         assert_eq!(f.add(&a, &f.neg(&a)), f.zero());
         assert_eq!(f.mul(&a, &f.inv(&a).unwrap()), f.one());
+    }
+
+    #[test]
+    fn cached_constants_match_from_u64() {
+        let f = ctx();
+        assert_eq!(f.two(), f.from_u64(2));
+        assert_eq!(f.three(), f.from_u64(3));
+        assert_eq!(f.two(), f.add(&f.one(), &f.one()));
+        assert_eq!(f.three(), f.add(&f.two(), &f.one()));
     }
 
     #[test]

@@ -134,8 +134,58 @@ impl FpCtx {
         })
     }
 
-    /// `a^e` in `F_p²` by square-and-multiply.
+    /// `a^e` in `F_p²` via a width-4 sliding window (the default path).
+    ///
+    /// Uses 8 precomputed odd powers `a, a³, …, a¹⁵`, cutting the expected
+    /// multiplication count from `bits/2` to about `bits/5`. Bit-identical
+    /// to [`Self::fp2_pow_binary`] (asserted by the cross-check tests).
     pub fn fp2_pow(&self, a: &Fp2, e: &FpW) -> Fp2 {
+        const W: i64 = 4;
+        let bits = e.bits() as i64;
+        if bits <= W {
+            return self.fp2_pow_binary(a, e);
+        }
+        // Odd powers a^1, a^3, …, a^15.
+        let a2 = self.fp2_sqr(a);
+        let mut odd = [*a; 1 << (W - 1)];
+        for i in 1..odd.len() {
+            odd[i] = self.fp2_mul(&odd[i - 1], &a2);
+        }
+        let mut acc: Option<Fp2> = None;
+        let mut i = bits - 1;
+        while i >= 0 {
+            if !e.bit(i as u32) {
+                if let Some(v) = acc {
+                    acc = Some(self.fp2_sqr(&v));
+                }
+                i -= 1;
+            } else {
+                // Largest window [j, i] of width ≤ W ending on a set bit.
+                let mut j = (i - W + 1).max(0);
+                while !e.bit(j as u32) {
+                    j += 1;
+                }
+                let mut val = 0usize;
+                for k in (j..=i).rev() {
+                    val = (val << 1) | e.bit(k as u32) as usize;
+                }
+                if let Some(mut v) = acc {
+                    for _ in 0..(i - j + 1) {
+                        v = self.fp2_sqr(&v);
+                    }
+                    acc = Some(self.fp2_mul(&v, &odd[(val - 1) / 2]));
+                } else {
+                    acc = Some(odd[(val - 1) / 2]);
+                }
+                i = j - 1;
+            }
+        }
+        acc.unwrap_or_else(|| self.fp2_one())
+    }
+
+    /// `a^e` in `F_p²` by plain square-and-multiply — the pre-optimization
+    /// reference path kept for cross-checks and the benchmark baseline.
+    pub fn fp2_pow_binary(&self, a: &Fp2, e: &FpW) -> Fp2 {
         let mut acc = self.fp2_one();
         let bits = e.bits();
         for i in (0..bits).rev() {
@@ -145,6 +195,49 @@ impl FpCtx {
             }
         }
         acc
+    }
+
+    /// `a^e` for norm-1 (unitary) elements, width-4 signed wNAF with
+    /// conjugation as inversion.
+    ///
+    /// After the easy final exponentiation `z^{p−1} = z̄/z` every value
+    /// satisfies `a·ā = 1`, so `a⁻¹ = ā` is free and signed-digit recoding
+    /// applies — the same trick wNAF plays with point negation. Used for the
+    /// hard final-exponentiation power `^h`. Bit-identical to
+    /// [`Self::fp2_pow_binary`] on unitary inputs.
+    ///
+    /// Debug builds assert the norm; release builds silently compute a
+    /// wrong value for non-unitary inputs, so this is `pub(crate)`.
+    pub(crate) fn fp2_pow_unitary(&self, a: &Fp2, e: &FpW) -> Fp2 {
+        const W: u32 = 4;
+        debug_assert_eq!(self.fp2_norm(a), self.one(), "input must be unitary");
+        if e.bits() + W > FpW::BITS {
+            return self.fp2_pow(a, e);
+        }
+        if e.is_zero() {
+            return self.fp2_one();
+        }
+        let a2 = self.fp2_sqr(a);
+        let mut odd = [*a; 1 << (W - 1)];
+        for i in 1..odd.len() {
+            odd[i] = self.fp2_mul(&odd[i - 1], &a2);
+        }
+        let digits = crate::naf::wnaf_digits(e, W);
+        let mut acc: Option<Fp2> = None;
+        for &d in digits.iter().rev() {
+            if let Some(v) = acc {
+                acc = Some(self.fp2_sqr(&v));
+            }
+            if d != 0 {
+                let m = odd[(d.unsigned_abs() as usize - 1) / 2];
+                let m = if d > 0 { m } else { self.fp2_conj(&m) };
+                acc = Some(match acc {
+                    None => m,
+                    Some(v) => self.fp2_mul(&v, &m),
+                });
+            }
+        }
+        acc.unwrap_or_else(|| self.fp2_one())
     }
 
     /// Canonical serialization: `c0 ‖ c1` big-endian.
@@ -230,6 +323,40 @@ mod tests {
         let b = f.fp2(f.from_u64(7), f.from_u64(11));
         let nab = f.fp2_norm(&f.fp2_mul(&a, &b));
         assert_eq!(nab, f.mul(&f.fp2_norm(&a), &f.fp2_norm(&b)));
+    }
+
+    #[test]
+    fn windowed_pow_matches_binary() {
+        let f = ctx();
+        let a = f.fp2(f.from_u64(31337), f.from_u64(271828));
+        let mut exps = vec![
+            FpW::ZERO,
+            FpW::ONE,
+            FpW::from_u64(2),
+            FpW::from_u64(15),
+            FpW::from_u64(16),
+            FpW::from_u64(0xdead_beef_cafe_f00d),
+        ];
+        exps.push(f.modulus().wrapping_sub(&FpW::ONE));
+        exps.push(*f.modulus());
+        exps.push(f.modulus().wrapping_add(&FpW::ONE));
+        for e in &exps {
+            assert_eq!(f.fp2_pow(&a, e), f.fp2_pow_binary(&a, e));
+        }
+    }
+
+    #[test]
+    fn unitary_pow_matches_binary() {
+        let f = ctx();
+        // Make a unitary element the same way the pairing does: z^{p−1}.
+        let z = f.fp2(f.from_u64(987654321), f.from_u64(1234567));
+        let u = f.fp2_mul(&f.fp2_conj(&z), &f.fp2_inv(&z).unwrap());
+        assert_eq!(f.fp2_norm(&u), f.one());
+        let mut exps = vec![FpW::ZERO, FpW::ONE, FpW::from_u64(2), FpW::from_u64(12345)];
+        exps.push(f.modulus().wrapping_add(&FpW::ONE));
+        for e in &exps {
+            assert_eq!(f.fp2_pow_unitary(&u, e), f.fp2_pow_binary(&u, e));
+        }
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! * [`fp2`] — the quadratic extension `F_p[i]/(i²+1)`.
 //! * [`curve`] — affine/Jacobian point arithmetic on `E(F_p)`.
 //! * [`pairing`] — Miller's algorithm and the final exponentiation.
+//! * [`prepared`] — cached Miller tapes for fixed first arguments.
 //! * [`maptopoint`] — hash-to-point (the `MapToPoint` of BF-IBE).
 //! * [`params`] — parameter generation and deterministic named parameter sets.
 //!
@@ -46,13 +47,16 @@ pub mod curve;
 pub mod fp;
 pub mod fp2;
 pub mod maptopoint;
+mod naf;
 pub mod pairing;
 pub mod params;
+pub mod prepared;
 
-pub use curve::Point;
+pub use curve::{CombTable, Point};
 pub use fp::{Fp, FpCtx};
 pub use fp2::Fp2;
 pub use params::{PairingCtx, PairingParams, SecurityLevel};
+pub use prepared::PreparedPoint;
 
 use mws_bigint::Uint;
 

@@ -39,6 +39,9 @@ pub fn hash_to_point(ctx: &PairingCtx, msg: &[u8]) -> Point {
             // function of the input alone.
             let y = if f.parity(&y) { f.neg(&y) } else { y };
             let candidate = Point::Affine { x, y };
+            // Cofactor multiplication (wNAF) puts the result in the order-q
+            // subgroup by construction — no explicit membership check needed
+            // (p + 1 = q·h, so h·R has order dividing q).
             let cleared = f.point_mul(&candidate, ctx.cofactor());
             if !cleared.is_infinity() {
                 return cleared;

@@ -7,9 +7,13 @@
 //! (`(p²−1)/q = (p−1)·h` and `|F_p*| = p−1`), so the Miller loop uses the
 //! standard BKLS denominator elimination.
 //!
-//! The Miller loop runs in affine coordinates (design decision D5 in
-//! DESIGN.md): each step costs one field inversion, which keeps the code
-//! auditable; experiment E3 measures the cost.
+//! The default [`TatePairing::pairing`] runs the inversion-free projective
+//! Miller loop; the affine loop (one field inversion per step) is kept as
+//! [`TatePairing::pairing_affine`], the auditable reference and D5 ablation
+//! partner — both produce bit-identical values (experiment E3 measures the
+//! gap). For a fixed first argument, [`crate::prepared::PreparedPoint`]
+//! caches the affine loop's line coefficients so repeat pairings skip all
+//! point arithmetic and inversions.
 
 use crate::curve::Point;
 use crate::fp::{Fp, FpCtx};
@@ -30,8 +34,16 @@ impl TatePairing {
     /// Evaluates the modified Tate pairing of two points of `E(F_p)[q]`.
     ///
     /// Returns 1 (the identity of `μ_q`) when either input is the point at
-    /// infinity.
+    /// infinity. Runs the inversion-free projective Miller loop (the default
+    /// since the D5 revision; [`Self::pairing_affine`] is the reference).
     pub fn pairing(&self, f: &FpCtx, p: &Point, q_pt: &Point) -> Fp2 {
+        self.pairing_projective(f, p, q_pt)
+    }
+
+    /// Evaluates the pairing with the affine Miller loop — one field
+    /// inversion per step. The pre-optimization reference path (D5 ablation),
+    /// bit-identical to [`Self::pairing`].
+    pub fn pairing_affine(&self, f: &FpCtx, p: &Point, q_pt: &Point) -> Fp2 {
         let (xp, yp) = match p {
             Point::Infinity => return f.fp2_one(),
             Point::Affine { x, y } => (*x, *y),
@@ -71,7 +83,7 @@ impl TatePairing {
                     t = None;
                 } else {
                     // Tangent: λ = (3x² + 1) / 2y  (curve coefficient a = 1).
-                    let num = f.add(&f.mul(&f.from_u64(3), &f.sqr(&xt)), &f.one());
+                    let num = f.add(&f.mul(&f.three(), &f.sqr(&xt)), &f.one());
                     let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
                     acc = f.fp2_mul(&acc, &line(&lambda, &xt, &yt));
                     // T ← 2T (affine chord-tangent).
@@ -85,7 +97,7 @@ impl TatePairing {
                     if xt == *xp {
                         if yt == *yp {
                             // T == P: the "chord" is the tangent at P.
-                            let num = f.add(&f.mul(&f.from_u64(3), &f.sqr(&xt)), &f.one());
+                            let num = f.add(&f.mul(&f.three(), &f.sqr(&xt)), &f.one());
                             let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
                             acc = f.fp2_mul(&acc, &line(&lambda, &xt, &yt));
                             let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xt);
@@ -114,8 +126,8 @@ impl TatePairing {
         acc
     }
 
-    /// Evaluates the pairing with a projective (inversion-free) Miller loop
-    /// — the D5 ablation partner of [`Self::pairing`].
+    /// Evaluates the pairing with a projective (inversion-free) Miller loop —
+    /// what [`Self::pairing`] delegates to.
     ///
     /// `T` is tracked in Jacobian coordinates; line values are scaled by the
     /// nonzero `F_p` factors `2Y·Z³` (tangent) / `(x_P − x_T)·Z³` (chord),
@@ -227,12 +239,15 @@ impl TatePairing {
 
     /// Final exponentiation `z^{(p²−1)/q} = (z^{p−1})^h` with
     /// `z^{p−1} = z̄ · z^{−1}` (Frobenius is conjugation in `F_p²`).
-    fn final_exponentiation(&self, f: &FpCtx, z: &Fp2) -> Fp2 {
+    ///
+    /// The easy part leaves a norm-1 value (`N(z)^{p−1} = 1` by Fermat), so
+    /// the hard `^h` power runs the conjugate-inversion wNAF ladder.
+    pub(crate) fn final_exponentiation(&self, f: &FpCtx, z: &Fp2) -> Fp2 {
         let zinv = f
             .fp2_inv(z)
             .expect("Miller value is nonzero for valid inputs");
         let easy = f.fp2_mul(&f.fp2_conj(z), &zinv);
-        f.fp2_pow(&easy, &self.h)
+        f.fp2_pow_unitary(&easy, &self.h)
     }
 }
 
@@ -327,6 +342,8 @@ mod tests {
             let b = c.random_scalar(&mut rng);
             let pa = c.mul(&g, &a);
             let pb = c.mul(&g, &b);
+            // Default (projective) vs the affine reference, bit-identical.
+            assert_eq!(c.pairing(&pa, &pb), c.pairing_affine(&pa, &pb));
             assert_eq!(c.pairing(&pa, &pb), c.pairing_projective(&pa, &pb));
         }
         // Including identity inputs and hashed points.
@@ -334,9 +351,10 @@ mod tests {
             c.pairing_projective(&Point::Infinity, &g),
             c.field().fp2_one()
         );
+        assert_eq!(c.pairing_affine(&Point::Infinity, &g), c.field().fp2_one());
         let h = c.hash_to_point(b"some attribute");
-        assert_eq!(c.pairing(&h, &g), c.pairing_projective(&h, &g));
-        assert_eq!(c.pairing(&g, &h), c.pairing_projective(&g, &h));
+        assert_eq!(c.pairing(&h, &g), c.pairing_affine(&h, &g));
+        assert_eq!(c.pairing(&g, &h), c.pairing_affine(&g, &h));
     }
 
     #[test]

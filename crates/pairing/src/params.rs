@@ -1,15 +1,16 @@
 //! Pairing parameter sets (PBC "type A" analogue) and the user-facing
 //! [`PairingCtx`].
 
-use crate::curve::Point;
+use crate::curve::{CombTable, Point};
 use crate::fp::FpCtx;
 use crate::fp2::Fp2;
 use crate::pairing::TatePairing;
+use crate::prepared::PreparedPoint;
 use crate::{FpW, PairingError};
 use mws_bigint::{gen_prime, is_prime, random_below, random_nonzero_below, MillerRabinRounds};
 use mws_crypto::HmacDrbg;
 use rand::RngCore;
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Raw curve parameters: `p + 1 = q·h`, `E : y² = x³ + x` over `F_p`,
 /// generator of the order-`q` subgroup.
@@ -53,12 +54,19 @@ impl SecurityLevel {
 }
 
 /// A ready-to-use pairing context: field, curve, subgroup and pairing engine.
+///
+/// Carries lazily built, `Arc`-shared generator precomputations (a
+/// fixed-base comb table and a prepared Miller tape), so cloned contexts —
+/// including every clone handed out by [`PairingCtx::named`] — reuse one
+/// copy per process.
 #[derive(Clone, Debug)]
 pub struct PairingCtx {
     fp: FpCtx,
     tate: TatePairing,
     generator: Point,
     params: PairingParams,
+    gen_comb: Arc<OnceLock<CombTable>>,
+    gen_prepared: Arc<OnceLock<PreparedPoint>>,
 }
 
 impl PairingCtx {
@@ -80,7 +88,10 @@ impl PairingCtx {
         if generator.is_infinity() || !fp.is_on_curve(&generator) {
             return Err(PairingError::InvalidPoint);
         }
-        // Generator must have exact order q.
+        // Generator must have exact order q (wNAF `point_mul`; the group
+        // E(F_p) ≅ Z_{p+1} is cyclic — gcd(p+1, p−1) = 2 and there is a
+        // single 2-torsion point — so `q·G = O` characterizes the unique
+        // order-q subgroup exactly).
         if !fp.point_mul(&generator, &params.q).is_infinity() {
             return Err(PairingError::InvalidPoint);
         }
@@ -92,6 +103,8 @@ impl PairingCtx {
             },
             generator,
             params: params.clone(),
+            gen_comb: Arc::new(OnceLock::new()),
+            gen_prepared: Arc::new(OnceLock::new()),
         })
     }
 
@@ -137,7 +150,10 @@ impl PairingCtx {
         };
         let (h, _) = p.wrapping_add(&FpW::ONE).div_rem(&q);
         let fp = FpCtx::new(&p);
-        // Generator: cofactor-clear random points until nonzero.
+        // Generator: cofactor-clear random points until nonzero. Because
+        // p + 1 = q·h, multiplying by h lands in the order-q subgroup *by
+        // construction* — the cofactor-based membership argument that lets
+        // hash-to-point and generation skip an explicit order check.
         let generator = loop {
             let r = fp.random_curve_point(rng);
             let g = fp.point_mul(&r, &h);
@@ -157,6 +173,8 @@ impl PairingCtx {
             tate: TatePairing { q, h },
             generator,
             params,
+            gen_comb: Arc::new(OnceLock::new()),
+            gen_prepared: Arc::new(OnceLock::new()),
         })
     }
 
@@ -208,9 +226,61 @@ impl PairingCtx {
         random_nonzero_below(rng, &self.tate.q)
     }
 
-    /// Scalar multiplication on the curve.
+    /// Scalar multiplication on the curve (width-4 wNAF).
     pub fn mul(&self, p: &Point, k: &FpW) -> Point {
         self.fp.point_mul(p, k)
+    }
+
+    /// Fixed-base multiplication `k·P` of the generator through the cached
+    /// comb table (built on first use, shared across clones).
+    pub fn mul_generator(&self, k: &FpW) -> Point {
+        let table = self
+            .gen_comb
+            .get_or_init(|| self.fp.comb_table(&self.generator, self.tate.q.bits()));
+        self.fp.comb_mul(table, k)
+    }
+
+    /// The generator with its Miller tape precomputed (built on first use,
+    /// shared across clones) — for pairings whose fixed argument is `P`.
+    pub fn prepared_generator(&self) -> &PreparedPoint {
+        self.gen_prepared
+            .get_or_init(|| self.tate.prepare(&self.fp, &self.generator))
+    }
+
+    /// Prepares an arbitrary long-lived pairing argument (e.g. `P_pub`,
+    /// `d_ID`); see [`PreparedPoint`].
+    pub fn prepare(&self, p: &Point) -> PreparedPoint {
+        self.tate.prepare(&self.fp, p)
+    }
+
+    /// Pairing with a prepared first argument — bit-identical to
+    /// [`Self::pairing`] on the same points.
+    pub fn pairing_with(&self, p: &PreparedPoint, q: &Point) -> Fp2 {
+        self.tate.pairing_prepared(&self.fp, p, q)
+    }
+
+    /// Eagerly builds the generator caches (comb table + prepared tape).
+    /// Long-lived services call this at construction so the first request
+    /// doesn't pay the one-time cost.
+    pub fn warm_caches(&self) {
+        let _ = self
+            .gen_comb
+            .get_or_init(|| self.fp.comb_table(&self.generator, self.tate.q.bits()));
+        let _ = self.prepared_generator();
+    }
+
+    /// Membership test for the order-`q` subgroup (on-curve and `q·P = O`,
+    /// via the wNAF ladder; infinity is a member).
+    ///
+    /// `E(F_p)` is cyclic of order `p + 1 = q·h`, so the annihilation check
+    /// is exact. Points obtained by cofactor multiplication (hash-to-point,
+    /// generator construction) are members by construction and don't need
+    /// this.
+    pub fn in_subgroup(&self, p: &Point) -> bool {
+        match p {
+            Point::Infinity => true,
+            _ => self.fp.is_on_curve(p) && self.fp.point_mul(p, &self.tate.q).is_infinity(),
+        }
     }
 
     /// Point addition.
@@ -223,10 +293,17 @@ impl PairingCtx {
         self.tate.pairing(&self.fp, p, q)
     }
 
-    /// The modified Tate pairing via the projective Miller loop — same
-    /// values as [`Self::pairing`], different cost profile (D5 ablation).
+    /// The modified Tate pairing via the projective Miller loop — what
+    /// [`Self::pairing`] now runs; kept as an explicit name for ablations.
     pub fn pairing_projective(&self, p: &Point, q: &Point) -> Fp2 {
         self.tate.pairing_projective(&self.fp, p, q)
+    }
+
+    /// The modified Tate pairing via the affine Miller loop (one inversion
+    /// per step) — the auditable reference and pre-optimization baseline,
+    /// bit-identical to [`Self::pairing`].
+    pub fn pairing_affine(&self, p: &Point, q: &Point) -> Fp2 {
+        self.tate.pairing_affine(&self.fp, p, q)
     }
 
     /// Hash-to-point (BF `MapToPoint`): see [`crate::maptopoint`].
@@ -317,6 +394,78 @@ mod tests {
         let e = c.pairing(&g, &g);
         assert_ne!(e, c.field().fp2_one());
         assert_eq!(c.field().fp2_pow(&e, c.group_order()), c.field().fp2_one());
+    }
+
+    /// Comb, wNAF, and the binary ladder must agree bit-for-bit on the
+    /// generator, including the edge scalars `0`, `1`, `q−1`, `q`.
+    fn scalar_mul_cross_check(level: SecurityLevel) {
+        let c = PairingCtx::named(level);
+        let g = c.generator();
+        let f = c.field();
+        let q = *c.group_order();
+        let mut rng = HmacDrbg::from_u64(0x434f4d42);
+        let mut scalars = vec![
+            FpW::ZERO,
+            FpW::ONE,
+            q.wrapping_sub(&FpW::ONE),
+            q, // annihilates the generator
+            q.wrapping_add(&FpW::ONE),
+        ];
+        for _ in 0..4 {
+            scalars.push(c.random_scalar(&mut rng));
+        }
+        for k in &scalars {
+            let reference = f.point_mul_binary(&g, k);
+            assert_eq!(c.mul(&g, k), reference, "wNAF vs binary");
+            assert_eq!(c.mul_generator(k), reference, "comb vs binary");
+        }
+        assert_eq!(c.mul_generator(&q), Point::Infinity);
+        // Hashed points through the wNAF path.
+        let h = c.hash_to_point(b"scalar-mul/cross-check");
+        let k = c.random_scalar(&mut rng);
+        assert_eq!(c.mul(&h, &k), f.point_mul_binary(&h, &k));
+    }
+
+    #[test]
+    fn scalar_mul_cross_check_toy() {
+        scalar_mul_cross_check(SecurityLevel::Toy);
+    }
+
+    #[test]
+    fn scalar_mul_cross_check_light() {
+        scalar_mul_cross_check(SecurityLevel::Light);
+    }
+
+    #[test]
+    fn subgroup_membership() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let g = c.generator();
+        assert!(c.in_subgroup(&g));
+        assert!(c.in_subgroup(&Point::Infinity));
+        let mut rng = HmacDrbg::from_u64(0x535542);
+        assert!(c.in_subgroup(&c.mul(&g, &c.random_scalar(&mut rng))));
+        // Hashed points are cofactor-cleared — members by construction.
+        assert!(c.in_subgroup(&c.hash_to_point(b"attr|x")));
+        // A random full-group point is (overwhelmingly) not in the
+        // subgroup; find one that isn't.
+        let mut found = false;
+        for _ in 0..16 {
+            let p = c.field().random_curve_point(&mut rng);
+            if !c.in_subgroup(&p) {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "random points fall outside the q-subgroup");
+    }
+
+    #[test]
+    fn warm_caches_is_idempotent() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        c.warm_caches();
+        c.warm_caches();
+        let g = c.generator();
+        assert_eq!(c.mul_generator(&FpW::ONE), g);
     }
 
     #[test]

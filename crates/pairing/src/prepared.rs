@@ -1,0 +1,223 @@
+//! Prepared pairings: one-time Miller-loop precomputation for a fixed first
+//! argument.
+//!
+//! Every pairing in the MWS protocol has one long-lived argument — `P_pub`
+//! on encrypt (after swapping via symmetry), `d_ID` on decrypt, the
+//! generator in signature verification. The Miller loop's point arithmetic
+//! (and, in the affine formulation, its per-step inversions) depends only on
+//! that first argument: the second point enters through line *evaluations*
+//! alone. [`PreparedPoint`] therefore runs the affine loop once, caching per
+//! step the two coefficients that summarize each line; replaying the tape
+//! against a concrete `Q` costs one `F_p` multiplication plus one addition
+//! per line and one `F_p²` squaring per doubling — no point operations, no
+//! inversions.
+//!
+//! A line through `(x₁, y₁)` with slope `λ`, evaluated at the distortion
+//! image `φ(Q) = (−x_Q, i·y_Q)`, is
+//!
+//! ```text
+//! l = [λ(x₁ + x_Q) − y₁] + y_Q·i = [(λ·x₁ − y₁) + λ·x_Q] + y_Q·i
+//! ```
+//!
+//! so caching `a = λ·x₁ − y₁` and `b = λ` suffices: `c₀ = a + b·x_Q`, and
+//! `c₁ = y_Q` is constant across the whole evaluation. Because `F_p`
+//! elements carry a canonical reduced representation, the regrouping is
+//! bit-identical to the affine loop's `λ(x₁ − (−x_Q)) − y₁`, and the
+//! replayed pairing equals [`TatePairing::pairing`] bit for bit.
+
+use crate::curve::Point;
+use crate::fp::{Fp, FpCtx};
+use crate::fp2::Fp2;
+use crate::pairing::TatePairing;
+
+/// One step of the cached Miller tape.
+#[derive(Clone, Copy, Debug)]
+enum MillerOp {
+    /// `acc ← acc²` (a doubling step of the loop).
+    Square,
+    /// `acc ← acc · [(a + b·x_Q) + y_Q·i]` — an evaluated line with cached
+    /// `a = λ·x_T − y_T` and `b = λ`.
+    Line {
+        /// Cached `λ·x_T − y_T`.
+        a: Fp,
+        /// Cached slope `λ`.
+        b: Fp,
+    },
+}
+
+/// A point with its Miller loop pre-executed, for repeated pairings with a
+/// fixed first argument.
+///
+/// Build once via [`TatePairing::prepare`] (or
+/// [`crate::PairingCtx::prepare`]), evaluate many times via
+/// [`TatePairing::pairing_prepared`]. The tape length is `~2·bits(q)` small
+/// entries; preparing costs one full affine Miller loop.
+#[derive(Clone, Debug)]
+pub struct PreparedPoint {
+    point: Point,
+    ops: Vec<MillerOp>,
+}
+
+impl PreparedPoint {
+    /// The underlying point.
+    pub fn point(&self) -> &Point {
+        &self.point
+    }
+}
+
+impl TatePairing {
+    /// Runs the Miller loop for `p` once, caching the per-step line
+    /// coefficients.
+    ///
+    /// Mirrors the affine loop of [`Self::pairing_affine`] exactly (same
+    /// branch structure, same operation order) so that replaying the tape is
+    /// bit-identical to computing the pairing from scratch.
+    pub fn prepare(&self, f: &FpCtx, p: &Point) -> PreparedPoint {
+        let (xp, yp) = match p {
+            Point::Infinity => {
+                return PreparedPoint {
+                    point: *p,
+                    ops: Vec::new(),
+                }
+            }
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let bits = self.q.bits();
+        let mut ops = Vec::with_capacity(2 * bits as usize);
+        let line = |lambda: &Fp, x1: &Fp, y1: &Fp| MillerOp::Line {
+            a: f.sub(&f.mul(lambda, x1), y1),
+            b: *lambda,
+        };
+        // T = (xt, yt); None encodes the point at infinity.
+        let mut t: Option<(Fp, Fp)> = Some((xp, yp));
+        for i in (0..bits - 1).rev() {
+            ops.push(MillerOp::Square);
+            if let Some((xt, yt)) = t {
+                if f.is_zero(&yt) {
+                    // Vertical tangent: eliminated line, T ← O.
+                    t = None;
+                } else {
+                    // Tangent: λ = (3x² + 1) / 2y.
+                    let num = f.add(&f.mul(&f.three(), &f.sqr(&xt)), &f.one());
+                    let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
+                    ops.push(line(&lambda, &xt, &yt));
+                    let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xt);
+                    let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                    t = Some((x3, y3));
+                }
+            }
+            if self.q.bit(i) {
+                if let Some((xt, yt)) = t {
+                    if xt == xp {
+                        if yt == yp {
+                            // T == P: the "chord" is the tangent at P.
+                            let num = f.add(&f.mul(&f.three(), &f.sqr(&xt)), &f.one());
+                            let lambda = f.mul(&num, &f.inv(&f.dbl(&yt)).expect("y ≠ 0"));
+                            ops.push(line(&lambda, &xt, &yt));
+                            let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xt);
+                            let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                            t = Some((x3, y3));
+                        } else {
+                            // T == −P: vertical chord, eliminated; T ← O.
+                            t = None;
+                        }
+                    } else {
+                        let lambda =
+                            f.mul(&f.sub(&yp, &yt), &f.inv(&f.sub(&xp, &xt)).expect("xp ≠ xt"));
+                        ops.push(line(&lambda, &xt, &yt));
+                        let x3 = f.sub(&f.sub(&f.sqr(&lambda), &xt), &xp);
+                        let y3 = f.sub(&f.mul(&lambda, &f.sub(&xt, &x3)), &yt);
+                        t = Some((x3, y3));
+                    }
+                } else {
+                    // T == O: adding P restarts from P.
+                    t = Some((xp, yp));
+                }
+            }
+        }
+        PreparedPoint { point: *p, ops }
+    }
+
+    /// Evaluates `ê(P, Q)` for a prepared `P` — bit-identical to
+    /// [`Self::pairing`]`(f, P.point(), Q)` at a fraction of the cost.
+    pub fn pairing_prepared(&self, f: &FpCtx, p: &PreparedPoint, q_pt: &Point) -> Fp2 {
+        if p.point.is_infinity() {
+            return f.fp2_one();
+        }
+        let (xq, yq) = match q_pt {
+            Point::Infinity => return f.fp2_one(),
+            Point::Affine { x, y } => (*x, *y),
+        };
+        let mut acc = f.fp2_one();
+        for op in &p.ops {
+            match op {
+                MillerOp::Square => acc = f.fp2_sqr(&acc),
+                MillerOp::Line { a, b } => {
+                    let c0 = f.add(a, &f.mul(b, &xq));
+                    acc = f.fp2_mul(&acc, &f.fp2(c0, yq));
+                }
+            }
+        }
+        self.final_exponentiation(f, &acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{PairingCtx, SecurityLevel};
+    use mws_crypto::HmacDrbg;
+
+    /// Prepared evaluation must agree bit-for-bit with the unprepared
+    /// pairing for random, hashed, and identity inputs.
+    fn cross_check(level: SecurityLevel) {
+        let c = PairingCtx::named(level);
+        let mut rng = HmacDrbg::from_u64(0x505245);
+        let g = c.generator();
+        let prepared_g = c.prepare(&g);
+        // Fixed = generator, varying second argument.
+        for _ in 0..3 {
+            let k = c.random_scalar(&mut rng);
+            let q_pt = c.mul(&g, &k);
+            assert_eq!(c.pairing_with(&prepared_g, &q_pt), c.pairing(&g, &q_pt));
+            assert_eq!(
+                c.pairing_with(&prepared_g, &q_pt),
+                c.pairing_affine(&g, &q_pt)
+            );
+        }
+        // Fixed = a hashed point (exercises arbitrary subgroup elements).
+        let h = c.hash_to_point(b"prepared/cross-check");
+        let prepared_h = c.prepare(&h);
+        assert_eq!(c.pairing_with(&prepared_h, &g), c.pairing(&h, &g));
+        // Symmetry swap: e(Q, P_fixed) computed as e(P_fixed, Q).
+        assert_eq!(c.pairing_with(&prepared_h, &g), c.pairing(&g, &h));
+        // Identity inputs.
+        assert_eq!(
+            c.pairing_with(&prepared_g, &Point::Infinity),
+            c.field().fp2_one()
+        );
+        let prepared_inf = c.prepare(&Point::Infinity);
+        assert_eq!(c.pairing_with(&prepared_inf, &g), c.field().fp2_one());
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_toy() {
+        cross_check(SecurityLevel::Toy);
+    }
+
+    #[test]
+    fn prepared_matches_unprepared_light() {
+        cross_check(SecurityLevel::Light);
+    }
+
+    #[test]
+    fn cached_generator_tape_is_shared() {
+        let c = PairingCtx::named(SecurityLevel::Toy);
+        let g = c.generator();
+        let e1 = c.pairing_with(c.prepared_generator(), &g);
+        assert_eq!(e1, c.pairing(&g, &g));
+        // Second call hits the cache and still agrees.
+        let e2 = c.pairing_with(c.prepared_generator(), &g);
+        assert_eq!(e1, e2);
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Crypto benchmark baseline: regenerates BENCH_crypto.json at the repo root.
+#
+# Iteration counts are pinned inside the binary (200 @ Toy, 40 @ Light,
+# median of 5 runs per row) so two machines produce comparable JSON shapes
+# and any row can be diffed against a committed baseline.
+#
+# Run from the repository root: scripts/bench.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo run --release -p mws-bench --bin crypto_bench"
+cargo run --release -p mws-bench --bin crypto_bench >/dev/null
+
+echo "==> BENCH_crypto.json written"

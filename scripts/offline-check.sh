@@ -45,4 +45,9 @@ cargo test -q -p mws \
   --test policy_table --test protocol_flow --test revocation \
   --test tcp_deployment --test utility_scenario
 
+echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
+# The crypto_bench binary is serde-free, so it builds against the stubs
+# even though the rest of mws-bench (report, criterion benches) cannot.
+cargo run -q --release -p mws-bench --bin crypto_bench -- --smoke
+
 echo "==> offline check passed (stubs unpatch on exit)"

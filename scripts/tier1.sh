@@ -16,6 +16,9 @@ cargo fmt --check
 echo "==> cargo clippy --all-targets -- -D warnings"
 cargo clippy --all-targets -- -D warnings
 
+echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
+cargo run --release -p mws-bench --bin crypto_bench -- --smoke
+
 # Opt-in chaos gate: MWS_CHAOS=1 scripts/tier1.sh additionally runs the
 # seeded chaos suite across its pinned seed schedule (scripts/chaos.sh
 # prints the failing seed on any assertion failure).
