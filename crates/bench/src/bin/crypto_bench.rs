@@ -1,7 +1,10 @@
 //! Crypto micro-benchmark baseline (E3 addendum): times the pairing and
 //! IBE primitives with and without the PR's precomputation layer — prepared
 //! Miller tapes, fixed-base comb / wNAF scalar multiplication, windowed
-//! `fp2_pow` — and writes `BENCH_crypto.json` at the repository root.
+//! `fp2_pow` — and writes `BENCH_crypto.json` at the repository root. An
+//! `obs` section records the observability hot-path overhead (disabled log
+//! event, counter increment, histogram sample) so instrumentation-cost
+//! regressions surface next to the crypto numbers they would pollute.
 //!
 //! Run with: `cargo run --release -p mws-bench --bin crypto_bench`
 //!
@@ -162,7 +165,30 @@ fn bench_level(level: SecurityLevel, name: &'static str, iters: u32, smoke: bool
     }
 }
 
-fn render_json(reports: &[LevelReport]) -> String {
+/// Observability hot-path overhead (DESIGN.md §7). Instrumentation sits
+/// on the deposit path, so a disabled log event, a counter increment and
+/// a histogram sample must stay in the tens of nanoseconds or the obs
+/// layer would show up in every E1 row.
+fn bench_obs(iters: u32) -> Vec<Timing> {
+    // Gate off: the disabled-event row measures the gate alone, which is
+    // what every production `debug!` costs when MWS_LOG is unset or low.
+    mws_obs::set_max_level(None);
+    let counter = mws_obs::registry().counter("bench_obs_events_total");
+    let histogram = mws_obs::registry().histogram("bench_obs_us");
+    let mut timings = Vec::new();
+    timings.push(time_op("log_event_disabled", iters, || {
+        mws_obs::debug!(target: "bench", "disabled event", row = 1u64,);
+    }));
+    timings.push(time_op("counter_inc", iters, || {
+        counter.inc();
+    }));
+    timings.push(time_op("histogram_record", iters, || {
+        histogram.record(1729);
+    }));
+    timings
+}
+
+fn render_json(reports: &[LevelReport], obs: &[Timing]) -> String {
     let mut out = String::from(
         "{\n  \"bench\": \"crypto_bench\",\n  \"unit\": \"ns/op\",\n  \"levels\": {\n",
     );
@@ -184,7 +210,16 @@ fn render_json(reports: &[LevelReport]) -> String {
             if i + 1 == reports.len() { "" } else { "," }
         );
     }
-    out.push_str("  }\n}\n");
+    out.push_str("  },\n  \"obs\": {\n    \"timings\": {\n");
+    for (j, t) in obs.iter().enumerate() {
+        let comma = if j + 1 == obs.len() { "" } else { "," };
+        let _ = writeln!(
+            out,
+            "      \"{}\": {{ \"ns_per_op\": {:.1}, \"iters\": {} }}{}",
+            t.name, t.ns_per_op, t.iters, comma
+        );
+    }
+    out.push_str("    }\n  }\n}\n");
     out
 }
 
@@ -199,6 +234,10 @@ fn main() {
         bench_level(SecurityLevel::Light, "light", light_iters, smoke),
     ];
 
+    // Observability overhead rows are ns-scale, so even the smoke run can
+    // afford enough iterations for a stable median.
+    let obs_timings = bench_obs(if smoke { 100_000 } else { 2_000_000 });
+
     for rep in &reports {
         eprintln!("== {} ==", rep.level);
         for t in &rep.timings {
@@ -212,13 +251,20 @@ fn main() {
             rep.encrypt_speedup, rep.decrypt_speedup
         );
     }
+    eprintln!("== obs ==");
+    for t in &obs_timings {
+        eprintln!(
+            "  {:<26} {:>12.1} ns/op  ({} iters)",
+            t.name, t.ns_per_op, t.iters
+        );
+    }
 
     if smoke {
         eprintln!("crypto_bench --smoke: fast paths bit-identical to reference");
         return;
     }
 
-    let json = render_json(&reports);
+    let json = render_json(&reports, &obs_timings);
     std::fs::write("BENCH_crypto.json", &json).expect("write BENCH_crypto.json");
     println!("{json}");
     eprintln!("wrote BENCH_crypto.json");

@@ -298,11 +298,11 @@ mod tests {
     fn add_slices(a: &[u64], b: &[u64]) -> Vec<u64> {
         let mut out = vec![0u64; a.len().max(b.len()) + 1];
         let mut carry = 0u64;
-        for i in 0..out.len() {
+        for (i, limb) in out.iter_mut().enumerate() {
             let x = *a.get(i).unwrap_or(&0) as u128;
             let y = *b.get(i).unwrap_or(&0) as u128;
             let s = x + y + carry as u128;
-            out[i] = s as u64;
+            *limb = s as u64;
             carry = (s >> 64) as u64;
         }
         out

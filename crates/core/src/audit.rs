@@ -64,11 +64,24 @@ pub enum AuditEvent {
     },
 }
 
+/// One audit log entry: what happened, when, and under which trace.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AuditRecord {
+    /// Logical time the event was recorded at.
+    pub at: u64,
+    /// Trace id of the request being served when the event fired
+    /// (`0` when no trace scope was active) — lets one deposit be
+    /// followed from the wire into the audit trail.
+    pub trace_id: u64,
+    /// What happened.
+    pub event: AuditEvent,
+}
+
 /// A bounded in-memory audit log with timestamps.
 #[derive(Debug)]
 pub struct AuditLog {
     capacity: usize,
-    events: VecDeque<(u64, AuditEvent)>,
+    events: VecDeque<AuditRecord>,
 }
 
 impl AuditLog {
@@ -80,16 +93,22 @@ impl AuditLog {
         }
     }
 
-    /// Records an event at the given logical time.
+    /// Records an event at the given logical time, stamping it with the
+    /// current trace scope (if any).
     pub fn record(&mut self, at: u64, event: AuditEvent) {
         if self.events.len() == self.capacity {
             self.events.pop_front();
         }
-        self.events.push_back((at, event));
+        let trace_id = mws_obs::trace::current().map_or(0, |c| c.trace_id);
+        self.events.push_back(AuditRecord {
+            at,
+            trace_id,
+            event,
+        });
     }
 
-    /// All retained events, oldest first.
-    pub fn events(&self) -> impl Iterator<Item = &(u64, AuditEvent)> {
+    /// All retained records, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &AuditRecord> {
         self.events.iter()
     }
 
@@ -107,9 +126,9 @@ impl AuditLog {
     pub fn rejection_count(&self) -> usize {
         self.events
             .iter()
-            .filter(|(_, e)| {
+            .filter(|r| {
                 matches!(
-                    e,
+                    r.event,
                     AuditEvent::DepositRejected { .. }
                         | AuditEvent::RetrieveRejected { .. }
                         | AuditEvent::KeyRejected { .. }
@@ -140,8 +159,36 @@ mod tests {
                 attribute: "x".into(),
             },
         );
-        let got: Vec<u64> = log.events().map(|(t, _)| *t).collect();
+        let got: Vec<u64> = log.events().map(|r| r.at).collect();
         assert_eq!(got, vec![1, 2]);
+    }
+
+    #[test]
+    fn records_stamp_the_active_trace() {
+        let mut log = AuditLog::new(4);
+        log.record(
+            1,
+            AuditEvent::Granted {
+                rc_id: "a".into(),
+                attribute: "x".into(),
+            },
+        );
+        let ctx = mws_obs::trace::TraceContext {
+            trace_id: 0xfeed,
+            span_id: 0xbeef,
+        };
+        {
+            let _span = mws_obs::trace::enter(ctx);
+            log.record(
+                2,
+                AuditEvent::Revoked {
+                    rc_id: "a".into(),
+                    attribute: "x".into(),
+                },
+            );
+        }
+        let got: Vec<u64> = log.events().map(|r| r.trace_id).collect();
+        assert_eq!(got, vec![0, 0xfeed], "untraced is 0, traced carries the id");
     }
 
     #[test]
@@ -157,7 +204,7 @@ mod tests {
             );
         }
         assert_eq!(log.len(), 2);
-        assert_eq!(log.events().next().unwrap().0, 3);
+        assert_eq!(log.events().next().unwrap().at, 3);
     }
 
     #[test]

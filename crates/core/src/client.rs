@@ -92,6 +92,9 @@ impl ReceivingClient {
         since: u64,
         limit: u32,
     ) -> Result<(Vec<u8>, Vec<WireMessage>), CoreError> {
+        // Mint a trace unless the caller already opened one (e.g. the
+        // retrieve-and-decrypt pipeline traces the whole exchange).
+        let _span = mint_unless_traced();
         let t = self.clock.now();
         let auth = compose_rc_auth(&mut self.rng, &self.hash_password, &self.rc_id, t);
         let reply = self.mws.call(&Pdu::RetrieveRequest {
@@ -110,6 +113,7 @@ impl ReceivingClient {
     /// Phase RC–PKG (authentication): opens the token, presents the ticket
     /// and authenticator, verifies the PKG's confirmation.
     pub fn open_pkg_session(&mut self, token: &[u8]) -> Result<PkgSession, CoreError> {
+        let _span = mint_unless_traced();
         let (session_key, ticket) = TokenGenerator::parse_token(&self.rsa.private, token)
             .ok_or(CoreError::Crypto("token rejected"))?;
         let t = self.clock.now();
@@ -149,6 +153,7 @@ impl ReceivingClient {
         aid: u64,
         nonce: &[u8],
     ) -> Result<UserPrivateKey, CoreError> {
+        let _span = mint_unless_traced();
         let reply = self.pkg.call(&Pdu::KeyRequest {
             session_id: session.session_id,
             aid,
@@ -184,6 +189,9 @@ impl ReceivingClient {
     /// The full pipeline: retrieve, open a PKG session, fetch every key and
     /// decrypt every message.
     pub fn retrieve_and_decrypt(&mut self, since: u64) -> Result<Vec<RetrievedMessage>, CoreError> {
+        // One trace covers the whole collect pipeline: the MWS retrieve,
+        // the PKG session handshake and every key fetch.
+        let _span = mws_obs::trace::enter(mws_obs::trace::mint());
         let (token, messages) = self.retrieve(since)?;
         if messages.is_empty() {
             return Ok(Vec::new());
@@ -202,4 +210,11 @@ impl ReceivingClient {
         }
         Ok(out)
     }
+}
+
+/// Opens a fresh trace scope unless one is already active on this thread.
+fn mint_unless_traced() -> Option<mws_obs::trace::SpanGuard> {
+    mws_obs::trace::current()
+        .is_none()
+        .then(|| mws_obs::trace::enter(mws_obs::trace::mint()))
 }

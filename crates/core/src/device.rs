@@ -181,6 +181,9 @@ impl SmartDevice {
     /// Encrypts and deposits one message, returning the warehouse id.
     pub fn deposit(&mut self, attribute: &str, payload: &[u8]) -> Result<u64, CoreError> {
         let pdu = self.compose_deposit(attribute, payload);
+        // The deposit originates here: mint a fresh trace so the request
+        // can be followed through gatekeeper, MMS, store and audit trail.
+        let _span = mws_obs::trace::enter(mws_obs::trace::mint());
         match self.mws.call(&pdu)? {
             Pdu::DepositAck { message_id } => Ok(message_id),
             Pdu::Error { code, detail } => Err(CoreError::from_wire_error(code, detail)),
@@ -204,6 +207,9 @@ impl SmartDevice {
         attempts: u32,
     ) -> Result<Option<u64>, CoreError> {
         let pdu = self.compose_deposit(attribute, payload);
+        // One trace for the whole reliable exchange: every retransmission
+        // is a new span under the same trace id.
+        let _span = mws_obs::trace::enter(mws_obs::trace::mint());
         let mut last = CoreError::UnexpectedReply;
         for _ in 0..attempts.max(1) {
             match self.mws.call(&pdu) {

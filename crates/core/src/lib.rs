@@ -49,6 +49,7 @@ pub mod device;
 pub mod errors;
 pub mod gatekeeper;
 pub mod mms;
+pub(crate) mod obs;
 pub mod pkg_service;
 pub mod policy;
 pub mod protocol;

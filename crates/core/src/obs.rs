@@ -1,0 +1,65 @@
+//! Preregistered metric handles for the protocol hot paths.
+//!
+//! Looked up once per process and cached, so the per-request cost is a
+//! relaxed atomic op. Labels are low-cardinality outcomes only — never
+//! identities, plaintext or key material (DESIGN.md §7).
+
+use mws_obs::{metric_name, Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct CoreStats {
+    /// End-to-end deposit handler latency (µs).
+    pub deposit_us: Histogram,
+    pub deposit_accepted: Counter,
+    /// Dedup hits: honest retransmissions answered from the origin index.
+    pub deposit_duplicate: Counter,
+    pub deposit_rejected: Counter,
+    pub deposit_replay: Counter,
+    pub deposit_storage_error: Counter,
+    /// End-to-end retrieve handler latency (µs).
+    pub retrieve_us: Histogram,
+    pub retrieve_served: Counter,
+    pub retrieve_rejected: Counter,
+    /// Tickets minted by the Token Generator on successful retrieves.
+    pub tickets_issued: Counter,
+    pub pkg_sessions_opened: Counter,
+    pub pkg_auth_rejected: Counter,
+    pub pkg_keys_served: Counter,
+    pub pkg_keys_rejected: Counter,
+}
+
+pub(crate) fn stats() -> &'static CoreStats {
+    static STATS: OnceLock<CoreStats> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let r = mws_obs::registry();
+        let deposit = |outcome| {
+            r.counter(&metric_name(
+                "mws_core_deposits_total",
+                &[("outcome", outcome)],
+            ))
+        };
+        let retrieve = |outcome| {
+            r.counter(&metric_name(
+                "mws_core_retrieves_total",
+                &[("outcome", outcome)],
+            ))
+        };
+        let key = |outcome| r.counter(&metric_name("mws_pkg_keys_total", &[("outcome", outcome)]));
+        CoreStats {
+            deposit_us: r.histogram("mws_core_deposit_us"),
+            deposit_accepted: deposit("accepted"),
+            deposit_duplicate: deposit("duplicate"),
+            deposit_rejected: deposit("rejected"),
+            deposit_replay: deposit("replay"),
+            deposit_storage_error: deposit("storage_error"),
+            retrieve_us: r.histogram("mws_core_retrieve_us"),
+            retrieve_served: retrieve("served"),
+            retrieve_rejected: retrieve("rejected"),
+            tickets_issued: r.counter("mws_core_tickets_issued_total"),
+            pkg_sessions_opened: r.counter("mws_pkg_sessions_opened_total"),
+            pkg_auth_rejected: r.counter("mws_pkg_auth_rejected_total"),
+            pkg_keys_served: key("served"),
+            pkg_keys_rejected: key("rejected"),
+        }
+    })
+}

@@ -12,6 +12,7 @@
 
 use crate::audit::{AuditEvent, AuditLog};
 use crate::clock::{LogicalClock, ReplayGuard, ReplayPolicy};
+use crate::obs::stats;
 use crate::sealed::{open_blob, seal_blob};
 use crate::token::TokenGenerator;
 use mws_crypto::{Digest, HmacDrbg, Sha256};
@@ -147,16 +148,38 @@ impl PkgInner {
                 rc_id,
                 ticket,
                 authenticator,
-            } => self.handle_auth(rc_id, ticket, authenticator),
+            } => {
+                let reply = self.handle_auth(rc_id, ticket, authenticator);
+                if matches!(reply, Pdu::Error { .. }) {
+                    stats().pkg_auth_rejected.inc();
+                } else {
+                    stats().pkg_sessions_opened.inc();
+                    mws_obs::debug!(target: "mws_pkg", "session opened",
+                        live_sessions = self.sessions.len(),);
+                }
+                reply
+            }
             Pdu::KeyRequest {
                 session_id,
                 aid,
                 nonce,
-            } => self.handle_key(session_id, aid, nonce),
+            } => {
+                let reply = self.handle_key(session_id, aid, nonce);
+                if matches!(reply, Pdu::Error { .. }) {
+                    stats().pkg_keys_rejected.inc();
+                } else {
+                    stats().pkg_keys_served.inc();
+                }
+                reply
+            }
             Pdu::HealthRequest => Pdu::HealthResponse {
                 role: "pkg".into(),
                 ready: true,
                 detail: format!("{} live sessions", self.sessions.len()),
+            },
+            Pdu::StatsRequest => Pdu::StatsResponse {
+                role: "pkg".into(),
+                text: mws_obs::registry().exposition(),
             },
             _ => err(400, "unexpected PDU at PKG"),
         }

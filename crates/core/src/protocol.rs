@@ -6,12 +6,13 @@
 //! simulated network — and is the entry point used by the examples,
 //! integration tests and benchmarks.
 
-use crate::audit::{AuditEvent, AuditLog};
+use crate::audit::{AuditEvent, AuditLog, AuditRecord};
 use crate::clock::{LogicalClock, ReplayPolicy};
 use crate::device::{deposit_aad, DeviceCredential, SmartDevice};
 use crate::errors::CoreError;
 use crate::gatekeeper::Gatekeeper;
 use crate::mms::MessageManagementSystem;
+use crate::obs::stats;
 use crate::pkg_service::{PkgMaster, PkgService};
 use crate::policy::AttrPattern;
 use crate::registry::DeviceRegistry;
@@ -212,8 +213,8 @@ impl MwsService {
         self.inner.lock().audit.rejection_count()
     }
 
-    /// Snapshot of all audit events.
-    pub fn audit_events(&self) -> Vec<(u64, AuditEvent)> {
+    /// Snapshot of all audit records.
+    pub fn audit_events(&self) -> Vec<AuditRecord> {
         self.inner.lock().audit.events().cloned().collect()
     }
 }
@@ -230,17 +231,32 @@ impl MwsInner {
                 attribute,
                 nonce,
                 mac,
-            } => self.handle_deposit(sd_id, timestamp, u, algo, sealed, attribute, nonce, mac),
+            } => {
+                let start = std::time::Instant::now();
+                let reply =
+                    self.handle_deposit(sd_id, timestamp, u, algo, sealed, attribute, nonce, mac);
+                stats().deposit_us.record_duration(start.elapsed());
+                reply
+            }
             Pdu::RetrieveRequest {
                 rc_id,
                 auth,
                 since,
                 limit,
-            } => self.handle_retrieve(rc_id, auth, since, limit),
+            } => {
+                let start = std::time::Instant::now();
+                let reply = self.handle_retrieve(rc_id, auth, since, limit);
+                stats().retrieve_us.record_duration(start.elapsed());
+                reply
+            }
             Pdu::HealthRequest => Pdu::HealthResponse {
                 role: "mms".into(),
                 ready: true,
                 detail: format!("{} messages warehoused", self.mms.messages().len()),
+            },
+            Pdu::StatsRequest => Pdu::StatsResponse {
+                role: "mms".into(),
+                text: mws_obs::registry().exposition(),
             },
             _ => err(400, "unexpected PDU at MWS"),
         }
@@ -271,9 +287,21 @@ impl MwsInner {
                 },
             );
             let code = match reject {
-                crate::sda::SdaReject::Replay => 409,
-                _ => 401,
+                crate::sda::SdaReject::Replay => {
+                    stats().deposit_replay.inc();
+                    409
+                }
+                _ => {
+                    stats().deposit_rejected.inc();
+                    401
+                }
             };
+            mws_obs::warn!(
+                target: "mws_core",
+                "deposit rejected",
+                code = u64::from(code),
+                reason = reject.to_string(),
+            );
             return err(code, &reject.to_string());
         }
         // Store → sync → record, in that order. A failure anywhere before
@@ -286,16 +314,30 @@ impl MwsInner {
             .store_message_idempotent(&attribute, &nonce, &u, algo, &sealed, &sd_id, timestamp)
         {
             Ok(pair) => pair,
-            Err(_) => return err(500, "storage failure"),
+            Err(_) => {
+                stats().deposit_storage_error.inc();
+                return err(500, "storage failure");
+            }
         };
         if self.mms.sync().is_err() {
+            stats().deposit_storage_error.inc();
             return err(500, "storage failure");
         }
         self.sda.record_deposit(&sd_id, &nonce);
         if stored {
+            stats().deposit_accepted.inc();
             self.audit
                 .record(now, AuditEvent::DepositAccepted { sd_id, message_id });
+        } else {
+            // Honest retransmission answered from the origin index.
+            stats().deposit_duplicate.inc();
         }
+        mws_obs::debug!(
+            target: "mws_core",
+            "deposit acked",
+            message_id = message_id,
+            deduplicated = !stored,
+        );
         Pdu::DepositAck { message_id }
     }
 
@@ -311,10 +353,17 @@ impl MwsInner {
                         reason: reject.to_string(),
                     },
                 );
+                stats().retrieve_rejected.inc();
                 let code = match reject {
                     crate::gatekeeper::GkReject::Replay => 409,
                     _ => 401,
                 };
+                mws_obs::warn!(
+                    target: "mws_core",
+                    "retrieve rejected",
+                    code = u64::from(code),
+                    reason = reject.to_string(),
+                );
                 return err(code, &reject.to_string());
             }
         };
@@ -356,6 +405,13 @@ impl MwsInner {
                 timestamp: m.timestamp,
             })
             .collect();
+        stats().retrieve_served.inc();
+        stats().tickets_issued.inc();
+        mws_obs::debug!(
+            target: "mws_core",
+            "retrieve served",
+            count = messages.len(),
+        );
         self.audit.record(
             now,
             AuditEvent::RetrieveServed {

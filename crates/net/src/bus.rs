@@ -4,7 +4,10 @@ use crate::fault::{FaultAction, FaultConfig, FaultState};
 use crate::metrics::LinkMetrics;
 use crate::transport::{BusTransport, Transport};
 use crate::NetError;
-use mws_wire::{decode_envelope, encode_envelope, Pdu};
+use mws_obs::metric_name;
+use mws_wire::{
+    decode_envelope, decode_envelope_traced, encode_envelope, encode_envelope_traced, Pdu,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -24,10 +27,39 @@ impl<F: FnMut(Pdu) -> Pdu + Send> Service for F {
     }
 }
 
+/// Handles into the shared `mws-obs` registry, preregistered at bind
+/// time so per-dispatch updates are lock-free counter bumps. These
+/// mirror [`LinkMetrics`] (which stays the cheap `Copy` snapshot for
+/// tests) into the stats plane every daemon exposes.
+struct EndpointStats {
+    requests: mws_obs::Counter,
+    dropped: mws_obs::Counter,
+    bytes_in: mws_obs::Counter,
+    bytes_out: mws_obs::Counter,
+    duplicates: mws_obs::Counter,
+    resets: mws_obs::Counter,
+}
+
+impl EndpointStats {
+    fn preregister(endpoint: &str) -> Self {
+        let reg = mws_obs::registry();
+        let counter = |base: &str| reg.counter(&metric_name(base, &[("endpoint", endpoint)]));
+        EndpointStats {
+            requests: counter("mws_bus_requests_total"),
+            dropped: counter("mws_bus_dropped_total"),
+            bytes_in: counter("mws_bus_bytes_in_total"),
+            bytes_out: counter("mws_bus_bytes_out_total"),
+            duplicates: counter("mws_bus_duplicates_total"),
+            resets: counter("mws_bus_resets_total"),
+        }
+    }
+}
+
 struct Endpoint {
     service: Box<dyn Service>,
     faults: FaultState,
     metrics: LinkMetrics,
+    stats: EndpointStats,
     latency: crate::LatencyModel,
 }
 
@@ -62,6 +94,7 @@ impl Network {
                 service: Box::new(service),
                 faults: FaultState::new(&cfg),
                 metrics: LinkMetrics::default(),
+                stats: EndpointStats::preregister(name),
                 latency: cfg.latency,
             },
         );
@@ -96,6 +129,7 @@ impl Network {
         match ep.faults.next_action() {
             FaultAction::Drop => {
                 ep.metrics.dropped += 1;
+                ep.stats.dropped.inc();
                 return Err(NetError::Dropped);
             }
             FaultAction::Reset => {
@@ -105,8 +139,14 @@ impl Network {
                 ep.metrics.resets += 1;
                 ep.metrics.bytes_in += frame.len() as u64;
                 ep.metrics.requests += 1;
-                let (request, _) = decode_envelope(frame)?;
-                let _ = ep.service.handle(request);
+                ep.stats.resets.inc();
+                ep.stats.bytes_in.add(frame.len() as u64);
+                ep.stats.requests.inc();
+                let (request, _, trace) = decode_envelope_traced(frame)?;
+                {
+                    let _span = trace.map(mws_obs::trace::enter);
+                    let _ = ep.service.handle(request);
+                }
                 return Err(NetError::Io(
                     "connection reset by fault injection mid-exchange".into(),
                 ));
@@ -116,28 +156,47 @@ impl Network {
         }
         ep.metrics.bytes_in += frame.len() as u64;
         ep.metrics.requests += 1;
-        let (request, _) = decode_envelope(frame)?;
-        let reply = ep.service.handle(request);
+        ep.stats.bytes_in.add(frame.len() as u64);
+        ep.stats.requests.inc();
+        let (request, _, trace) = decode_envelope_traced(frame)?;
+        // The handler (and anything it logs or relays) runs inside the
+        // caller's trace scope, so the trace id survives the hop.
+        let reply = {
+            let _span = trace.map(mws_obs::trace::enter);
+            mws_obs::debug!(target: "mws_net", "bus dispatch",
+                            endpoint = target, pdu = request.type_name());
+            ep.service.handle(request)
+        };
         if duplicated {
             // A late retransmission: the service handles the same frame a
             // second time; only the first reply travels back.
             ep.metrics.duplicates += 1;
             ep.metrics.bytes_in += frame.len() as u64;
             ep.metrics.requests += 1;
-            let (request, _) = decode_envelope(frame)?;
+            ep.stats.duplicates.inc();
+            ep.stats.bytes_in.add(frame.len() as u64);
+            ep.stats.requests.inc();
+            let (request, _, trace) = decode_envelope_traced(frame)?;
+            let _span = trace.map(mws_obs::trace::enter);
             let _ = ep.service.handle(request);
         }
-        let reply_frame = encode_envelope(&reply);
+        // The reply travels back in the same trace scope it arrived in.
+        let reply_frame = match trace {
+            Some(ctx) => encode_envelope_traced(&reply, ctx),
+            None => encode_envelope(&reply),
+        };
 
         // Response leg.
         ep.metrics.virtual_us += ep.latency.cost_us(reply_frame.len());
         match ep.faults.next_action() {
             FaultAction::Drop => {
                 ep.metrics.dropped += 1;
+                ep.stats.dropped.inc();
                 return Err(NetError::Dropped);
             }
             FaultAction::Reset => {
                 ep.metrics.resets += 1;
+                ep.stats.resets.inc();
                 return Err(NetError::Io(
                     "connection reset by fault injection mid-exchange".into(),
                 ));
@@ -146,6 +205,7 @@ impl Network {
             FaultAction::Duplicate | FaultAction::Deliver => {}
         }
         ep.metrics.bytes_out += reply_frame.len() as u64;
+        ep.stats.bytes_out.add(reply_frame.len() as u64);
         Ok(reply_frame)
     }
 }
@@ -167,8 +227,15 @@ impl Client {
     }
 
     /// Sends a request and waits for the reply.
+    ///
+    /// When the calling thread has a trace scope entered, the frame
+    /// carries that trace id with a fresh span id for this hop — this
+    /// is the single choke point where trace context leaves a client.
     pub fn call(&self, request: &Pdu) -> Result<Pdu, NetError> {
-        let frame = encode_envelope(request);
+        let frame = match mws_obs::trace::current() {
+            Some(ctx) => encode_envelope_traced(request, mws_obs::trace::child_of(ctx)),
+            None => encode_envelope(request),
+        };
         let reply_frame = self.transport.round_trip(&frame)?;
         let (reply, _) = decode_envelope(&reply_frame)?;
         Ok(reply)
@@ -311,6 +378,40 @@ mod tests {
         );
         assert_eq!(net.metrics("dead").unwrap().dropped, 3);
         assert_eq!(net.metrics("dead").unwrap().requests, 0);
+    }
+
+    #[test]
+    fn dispatch_propagates_trace_and_mirrors_the_registry() {
+        let net = Network::new();
+        let seen: Arc<Mutex<Option<mws_obs::trace::TraceContext>>> = Arc::new(Mutex::new(None));
+        let seen_in_handler = seen.clone();
+        net.bind("traced-probe", move |req: Pdu| {
+            *seen_in_handler.lock() = mws_obs::trace::current();
+            req
+        });
+        let client = net.client("traced-probe");
+
+        // Without a scope: the handler runs untraced.
+        client.call(&Pdu::ParamsRequest).unwrap();
+        assert_eq!(*seen.lock(), None);
+
+        // With a scope: the handler sees the same trace id on a fresh
+        // hop span, and the caller's own scope is restored afterwards.
+        let ctx = mws_obs::trace::mint();
+        let guard = mws_obs::trace::enter(ctx);
+        client.call(&Pdu::ParamsRequest).unwrap();
+        let inside = seen.lock().expect("handler ran inside a scope");
+        assert_eq!(inside.trace_id, ctx.trace_id, "trace id crosses the hop");
+        assert_ne!(inside.span_id, ctx.span_id, "each hop gets its own span");
+        assert_eq!(mws_obs::trace::current(), Some(ctx));
+        drop(guard);
+
+        // The shared registry mirrored both dispatches.
+        let requests = mws_obs::registry().counter(&mws_obs::metric_name(
+            "mws_bus_requests_total",
+            &[("endpoint", "traced-probe")],
+        ));
+        assert_eq!(requests.get(), 2);
     }
 
     #[test]

@@ -25,6 +25,25 @@ impl LinkMetrics {
     pub fn bytes_total(&self) -> u64 {
         self.bytes_in + self.bytes_out
     }
+
+    /// The change since `prev`, an earlier snapshot of the same link.
+    ///
+    /// [`Network::metrics`](crate::Network::metrics) hands out
+    /// point-in-time copies; tests that exercise one phase of a scenario
+    /// want "what happened since my snapshot" without hand-subtracting
+    /// seven fields. Saturating, so a rebound (reset) endpoint yields
+    /// zeros rather than wrapping.
+    pub fn delta(&self, prev: &LinkMetrics) -> LinkMetrics {
+        LinkMetrics {
+            requests: self.requests.saturating_sub(prev.requests),
+            dropped: self.dropped.saturating_sub(prev.dropped),
+            bytes_in: self.bytes_in.saturating_sub(prev.bytes_in),
+            bytes_out: self.bytes_out.saturating_sub(prev.bytes_out),
+            virtual_us: self.virtual_us.saturating_sub(prev.virtual_us),
+            duplicates: self.duplicates.saturating_sub(prev.duplicates),
+            resets: self.resets.saturating_sub(prev.resets),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -43,5 +62,39 @@ mod tests {
         };
         assert_eq!(m.bytes_total(), 40);
         assert_eq!(LinkMetrics::default().bytes_total(), 0);
+    }
+
+    #[test]
+    fn delta_subtracts_fieldwise_and_saturates() {
+        let prev = LinkMetrics {
+            requests: 2,
+            dropped: 1,
+            bytes_in: 10,
+            bytes_out: 30,
+            virtual_us: 5,
+            duplicates: 1,
+            resets: 1,
+        };
+        let now = LinkMetrics {
+            requests: 7,
+            dropped: 1,
+            bytes_in: 110,
+            bytes_out: 90,
+            virtual_us: 25,
+            duplicates: 3,
+            resets: 1,
+        };
+        let d = now.delta(&prev);
+        assert_eq!(d.requests, 5);
+        assert_eq!(d.dropped, 0);
+        assert_eq!(d.bytes_in, 100);
+        assert_eq!(d.bytes_out, 60);
+        assert_eq!(d.virtual_us, 20);
+        assert_eq!(d.duplicates, 2);
+        assert_eq!(d.resets, 0);
+        // A restarted endpoint (counters rewound) must not wrap.
+        assert_eq!(prev.delta(&now), LinkMetrics::default());
+        // Self-delta is zero.
+        assert_eq!(now.delta(&now), LinkMetrics::default());
     }
 }

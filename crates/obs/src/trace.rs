@@ -1,0 +1,162 @@
+//! Trace-context minting and thread-local propagation.
+//!
+//! A [`TraceContext`] is a 64-bit trace id (constant for one end-to-end
+//! operation, e.g. a deposit) plus a 64-bit span id (fresh per hop).
+//! The SD/RC client mints a context at operation start and [`enter`]s
+//! it; the transport layer reads [`current`] to stamp outgoing frames,
+//! and servers re-[`enter`] the received context around their handler,
+//! so every log event and audit record along the path carries the same
+//! trace id — across all four processes of the topology.
+//!
+//! Ids are *not* security material: they are splitmix64 outputs over a
+//! per-process seeded counter, unique enough to grep by, and carry no
+//! information about identities or payloads.
+
+use std::cell::Cell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// The per-operation trace id plus per-hop span id.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct TraceContext {
+    /// Constant across every hop of one end-to-end operation.
+    pub trace_id: u64,
+    /// Fresh for each hop (client call, server handle, relay leg).
+    pub span_id: u64,
+}
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// The context entered on this thread, if any.
+#[inline]
+pub fn current() -> Option<TraceContext> {
+    CURRENT.with(Cell::get)
+}
+
+/// Restores the previously entered context when dropped.
+///
+/// Deliberately `!Send`: a guard must drop on the thread that entered.
+pub struct SpanGuard {
+    prev: Option<TraceContext>,
+    _thread_bound: PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev));
+    }
+}
+
+/// Makes `ctx` the thread's current context until the guard drops;
+/// scopes nest (the previous context is restored).
+#[must_use = "the context is current only while the guard lives"]
+pub fn enter(ctx: TraceContext) -> SpanGuard {
+    let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+    SpanGuard {
+        prev,
+        _thread_bound: PhantomData,
+    }
+}
+
+/// Mints a fresh context (new trace id, new span id) — the start of an
+/// end-to-end operation at an SD or RC client.
+pub fn mint() -> TraceContext {
+    TraceContext {
+        trace_id: next_id(),
+        span_id: next_id(),
+    }
+}
+
+/// A new hop within an existing trace: same trace id, fresh span id.
+pub fn child_of(ctx: TraceContext) -> TraceContext {
+    TraceContext {
+        trace_id: ctx.trace_id,
+        span_id: next_id(),
+    }
+}
+
+fn process_seed() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    *SEED.get_or_init(|| {
+        let nanos = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9e37_79b9_7f4a_7c15);
+        nanos ^ (u64::from(std::process::id()).rotate_left(32))
+    })
+}
+
+/// Fibonacci hashing constant; stepping the counter by it keeps
+/// consecutive splitmix64 inputs well separated.
+const GOLDEN: u64 = 0x9e37_79b9_7f4a_7c15;
+
+fn next_id() -> u64 {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(GOLDEN, Ordering::Relaxed);
+    let id = splitmix64(process_seed().wrapping_add(n));
+    // Zero is reserved as "absent" in wire encodings; remap it.
+    if id == 0 {
+        1
+    } else {
+        id
+    }
+}
+
+/// The splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(GOLDEN);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enter_scopes_nest_and_restore() {
+        assert_eq!(current(), None);
+        let outer = mint();
+        let g1 = enter(outer);
+        assert_eq!(current(), Some(outer));
+        {
+            let inner = child_of(outer);
+            let _g2 = enter(inner);
+            assert_eq!(current(), Some(inner));
+            assert_eq!(inner.trace_id, outer.trace_id, "child keeps the trace id");
+            assert_ne!(inner.span_id, outer.span_id, "child gets a fresh span");
+        }
+        assert_eq!(
+            current(),
+            Some(outer),
+            "inner guard restored the outer scope"
+        );
+        drop(g1);
+        assert_eq!(current(), None);
+    }
+
+    #[test]
+    fn minted_ids_are_distinct_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            let ctx = mint();
+            assert_ne!(ctx.trace_id, 0);
+            assert_ne!(ctx.span_id, 0);
+            assert!(seen.insert(ctx.trace_id), "trace ids must not collide");
+            assert!(seen.insert(ctx.span_id), "span ids must not collide");
+        }
+    }
+
+    #[test]
+    fn scopes_are_per_thread() {
+        let ctx = mint();
+        let _g = enter(ctx);
+        let other = std::thread::spawn(current).join().unwrap();
+        assert_eq!(other, None, "a new thread starts with no scope");
+        assert_eq!(current(), Some(ctx));
+    }
+}

@@ -1,0 +1,64 @@
+//! Scrapes the `Stats` admin PDU from each running daemon and prints the
+//! Prometheus-style exposition text, one section per daemon.
+//!
+//! USAGE: `mws-stats [addr ...]` — defaults to the three fixed ports
+//! (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable daemons are
+//! reported and skipped; the exit code is the number of scrape failures.
+
+use mws_server::{ClientConfig, TcpClient};
+use mws_wire::Pdu;
+use std::time::Duration;
+
+fn scrape(addr: &str) -> Result<(String, String), String> {
+    let sock = addr
+        .parse()
+        .map_err(|e| format!("bad address '{addr}': {e}"))?;
+    let client = TcpClient::with_config(
+        sock,
+        ClientConfig {
+            connect_timeout: Duration::from_millis(500),
+            request_timeout: Duration::from_secs(2),
+            attempts: 1,
+            breaker_threshold: 0,
+            ..ClientConfig::default()
+        },
+    )
+    .into_client();
+    match client.call(&Pdu::StatsRequest) {
+        Ok(Pdu::StatsResponse { role, text }) => Ok((role, text)),
+        Ok(other) => Err(format!("unexpected reply: {}", other.type_name())),
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+fn main() {
+    let mut targets: Vec<String> = std::env::args().skip(1).collect();
+    if targets.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "mws-stats — scrape the Stats admin PDU from MWS daemons\n\n\
+             USAGE: mws-stats [addr ...]   (default: the three fixed ports)"
+        );
+        return;
+    }
+    if targets.is_empty() {
+        targets = vec![
+            "127.0.0.1:7101".into(),
+            "127.0.0.1:7102".into(),
+            "127.0.0.1:7103".into(),
+        ];
+    }
+    let mut failures = 0;
+    for addr in &targets {
+        match scrape(addr) {
+            Ok((role, text)) => {
+                println!("# ---- {role} @ {addr} ----");
+                print!("{text}");
+            }
+            Err(e) => {
+                eprintln!("mws-stats: {addr}: {e}");
+                failures += 1;
+            }
+        }
+    }
+    std::process::exit(failures);
+}

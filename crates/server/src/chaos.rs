@@ -12,7 +12,7 @@
 //! timeouts never desynchronize the stream, and faults land on exact frame
 //! boundaries (or, for truncation, exactly mid-frame).
 
-use crate::framing::{is_timeout, HEADER};
+use crate::framing::{is_timeout, MIN_HEADER};
 use mws_crypto::HmacDrbg;
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -176,11 +176,14 @@ impl Drop for ChaosProxy {
 /// the upstream's problem — only the declared length is trusted, and only
 /// for splitting.
 fn extract_frame(buf: &mut Vec<u8>) -> Option<Vec<u8>> {
-    if buf.len() < HEADER {
+    if buf.len() < MIN_HEADER {
         return None;
     }
+    // v2 envelopes carry trace words after the fixed prefix; an unknown
+    // version byte splits as v1 and lets the real endpoint reject it.
+    let header = mws_wire::header_len(buf[0]).unwrap_or(MIN_HEADER);
     let len = u32::from_le_bytes(buf[2..6].try_into().expect("4 bytes")) as usize;
-    let total = HEADER.checked_add(len)?;
+    let total = header.checked_add(len)?;
     if buf.len() < total {
         return None;
     }

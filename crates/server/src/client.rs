@@ -184,13 +184,23 @@ impl TcpClient {
                 return Err(NetError::CircuitOpen);
             }
             st.breaker = Breaker::HalfOpen { cooldown };
+            crate::stats::stats().breaker_half_open.inc();
+            mws_obs::debug!(target: "mws_server", "breaker half-open, probing",
+                peer = self.addr.to_string(),);
         }
         Ok(())
     }
 
     fn record_success(&self) {
         let mut st = self.state.lock();
-        st.breaker = Breaker::Closed { failures: 0 };
+        if !matches!(st.breaker, Breaker::Closed { failures: 0 }) {
+            if matches!(st.breaker, Breaker::HalfOpen { .. }) {
+                crate::stats::stats().breaker_closed.inc();
+                mws_obs::info!(target: "mws_server", "breaker closed, peer recovered",
+                    peer = self.addr.to_string(),);
+            }
+            st.breaker = Breaker::Closed { failures: 0 };
+        }
         st.last_backoff = Duration::ZERO;
     }
 
@@ -218,6 +228,9 @@ impl TcpClient {
             until: Instant::now() + cooldown,
             cooldown,
         };
+        crate::stats::stats().breaker_opened.inc();
+        mws_obs::warn!(target: "mws_server", "breaker opened, failing fast",
+            peer = self.addr.to_string(), cooldown_ms = cooldown.as_millis() as u64,);
     }
 
     /// The next decorrelated-jitter backoff sleep.
@@ -249,6 +262,10 @@ impl Transport for TcpClient {
         for attempt in 0..attempts {
             self.breaker_admit()?;
             if attempt > 0 {
+                crate::stats::stats().client_retries.inc();
+                mws_obs::debug!(target: "mws_server", "retrying request",
+                    peer = self.addr.to_string(), attempt = attempt,
+                    error = last.to_string(),);
                 let mut sleep = self.next_backoff();
                 if let Some(left) = Self::remaining(deadline) {
                     if left <= sleep {

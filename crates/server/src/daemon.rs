@@ -261,6 +261,15 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
 /// Binary entry point: parse `std::env::args`, provision, serve, block.
 /// Exits the process on flag errors; runs until killed otherwise.
 pub fn run(role: Role) -> ! {
+    // Structured stderr logging: MWS_LOG picks the level; unset, a daemon
+    // still logs at info (a silent server helps nobody). The line format
+    // stays human-readable either way.
+    if std::env::var_os("MWS_LOG").is_some() {
+        mws_obs::init_from_env();
+    } else {
+        mws_obs::set_max_level(Some(mws_obs::Level::Info));
+        mws_obs::add_sink(std::sync::Arc::new(mws_obs::StderrSink));
+    }
     let opts = match parse_args(role, std::env::args().skip(1)) {
         Ok(opts) => opts,
         Err(FlagError::Help(text)) => {
@@ -278,18 +287,14 @@ pub fn run(role: Role) -> ! {
     let server = match serve(role, &dep, &opts) {
         Ok(server) => server,
         Err(e) => {
-            eprintln!("{}: cannot serve on {}: {e}", role.name(), opts.listen);
+            mws_obs::error!(target: "mws_server", "cannot serve",
+                role = role.name(), addr = opts.listen.clone(), error = e.to_string(),);
             std::process::exit(1);
         }
     };
-    eprintln!(
-        "{}: listening on {} (seed {}, {} devices, {} clients)",
-        role.name(),
-        server.local_addr(),
-        opts.seed,
-        opts.devices.len(),
-        opts.clients.len()
-    );
+    mws_obs::info!(target: "mws_server", "listening",
+        role = role.name(), addr = server.local_addr().to_string(),
+        seed = opts.seed, devices = opts.devices.len(), clients = opts.clients.len(),);
     loop {
         std::thread::park();
     }

@@ -8,11 +8,12 @@
 //! retryable.
 
 use mws_net::NetError;
-use mws_wire::{encode_envelope, Pdu, WireError, MAX_BODY, WIRE_VERSION};
+use mws_wire::{encode_envelope_auto, header_len, Pdu, WireError, MAX_BODY};
 use std::io::{self, Read, Write};
 
-/// Envelope header size: `version(1) ‖ type(1) ‖ len(4)`.
-pub(crate) const HEADER: usize = 6;
+/// Smallest envelope header (v1): `version(1) ‖ type(1) ‖ len(4)`. The
+/// version byte then says whether trace-context words follow (v2).
+pub(crate) const MIN_HEADER: usize = 6;
 
 /// Why a framed stream operation failed.
 #[derive(Debug)]
@@ -58,9 +59,10 @@ fn classify(e: io::Error) -> FrameError {
     }
 }
 
-/// Writes one PDU as an envelope frame.
+/// Writes one PDU as an envelope frame, stamping the thread's current
+/// trace scope (v2 envelope) when one is active.
 pub fn write_frame<W: Write>(stream: &mut W, pdu: &Pdu) -> Result<(), FrameError> {
-    write_raw_frame(stream, &encode_envelope(pdu))
+    write_raw_frame(stream, &encode_envelope_auto(pdu))
 }
 
 /// Writes one pre-encoded envelope frame.
@@ -75,17 +77,19 @@ pub fn write_raw_frame<W: Write>(stream: &mut W, frame: &[u8]) -> Result<(), Fra
 /// A timeout mid-frame leaves the stream out of sync — the caller must drop
 /// the connection, not retry the read.
 pub fn read_raw_frame<R: Read>(stream: &mut R) -> Result<Vec<u8>, FrameError> {
-    let mut frame = vec![0u8; HEADER];
+    let mut frame = vec![0u8; MIN_HEADER];
     stream.read_exact(&mut frame).map_err(classify)?;
-    if frame[0] != WIRE_VERSION {
-        return Err(FrameError::Wire(WireError::BadVersion(frame[0])));
-    }
+    // The version byte fixes the header size (v2 appends trace words);
+    // the body length sits at the same offset in every version.
+    let header = header_len(frame[0]).map_err(FrameError::Wire)?;
     let len = u32::from_le_bytes(frame[2..6].try_into().expect("4 bytes")) as usize;
     if len > MAX_BODY {
         return Err(FrameError::Wire(WireError::BadLength));
     }
-    frame.resize(HEADER + len, 0);
-    stream.read_exact(&mut frame[HEADER..]).map_err(classify)?;
+    frame.resize(header + len, 0);
+    stream
+        .read_exact(&mut frame[MIN_HEADER..])
+        .map_err(classify)?;
     Ok(frame)
 }
 
@@ -118,6 +122,25 @@ mod tests {
     }
 
     #[test]
+    fn traced_frame_roundtrip_carries_the_context() {
+        let ctx = mws_obs::trace::TraceContext {
+            trace_id: 0x1dea_c0de_1dea_c0de,
+            span_id: 0x0bad_f00d_0bad_f00d,
+        };
+        let pdu = Pdu::ParamsRequest;
+        let mut wire = Vec::new();
+        {
+            let _span = mws_obs::trace::enter(ctx);
+            write_frame(&mut wire, &pdu).unwrap();
+        }
+        let frame = read_raw_frame(&mut wire.as_slice()).unwrap();
+        let (decoded, consumed, trace) = mws_wire::decode_envelope_traced(&frame).unwrap();
+        assert_eq!(decoded, pdu);
+        assert_eq!(consumed, frame.len());
+        assert_eq!(trace, Some(ctx));
+    }
+
+    #[test]
     fn bad_version_rejected_from_header() {
         let bytes = [9u8, 0x30, 0, 0, 0, 0];
         assert!(matches!(
@@ -128,7 +151,7 @@ mod tests {
 
     #[test]
     fn hostile_length_rejected_before_alloc() {
-        let mut bytes = vec![WIRE_VERSION, 0x30];
+        let mut bytes = vec![mws_wire::WIRE_VERSION, 0x30];
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(
             read_raw_frame(&mut bytes.as_slice()),

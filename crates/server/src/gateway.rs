@@ -77,6 +77,12 @@ impl FrontdoorInner {
                 detail: format!("relaying to {}", self.upstream.target()),
             };
         }
+        if matches!(request, Pdu::StatsRequest) {
+            return Pdu::StatsResponse {
+                role: "gatekeeper".into(),
+                text: mws_obs::registry().exposition(),
+            };
+        }
         let Pdu::RetrieveRequest {
             ref rc_id,
             ref auth,
@@ -96,19 +102,51 @@ impl FrontdoorInner {
                 GkReject::Replay => 409,
                 _ => 401,
             };
+            gw_stats().rejected.inc();
+            mws_obs::warn!(target: "mws_server", "retrieve stopped at front door",
+                code = u64::from(code), reason = reject.to_string(),);
             return Pdu::Error {
                 code,
                 detail: reject.to_string(),
             };
         }
         match self.upstream.call_with_retry(&request, UPSTREAM_ATTEMPTS) {
-            Ok(reply) => reply,
-            Err(e) => Pdu::Error {
-                code: 502,
-                detail: format!("warehouse unreachable: {e}"),
-            },
+            Ok(reply) => {
+                gw_stats().relayed.inc();
+                mws_obs::debug!(target: "mws_gateway", "retrieve relayed upstream",
+                    upstream = self.upstream.target(),);
+                reply
+            }
+            Err(e) => {
+                gw_stats().upstream_errors.inc();
+                mws_obs::warn!(target: "mws_server", "warehouse unreachable",
+                    upstream = self.upstream.target(), error = e.to_string(),);
+                Pdu::Error {
+                    code: 502,
+                    detail: format!("warehouse unreachable: {e}"),
+                }
+            }
         }
     }
+}
+
+/// Front-door relay counters (preregistered, see `crate::stats`).
+struct GwStats {
+    relayed: mws_obs::Counter,
+    rejected: mws_obs::Counter,
+    upstream_errors: mws_obs::Counter,
+}
+
+fn gw_stats() -> &'static GwStats {
+    static STATS: std::sync::OnceLock<GwStats> = std::sync::OnceLock::new();
+    STATS.get_or_init(|| {
+        let r = mws_obs::registry();
+        GwStats {
+            relayed: r.counter("mws_gateway_relayed_total"),
+            rejected: r.counter("mws_gateway_rejected_total"),
+            upstream_errors: r.counter("mws_gateway_upstream_errors_total"),
+        }
+    })
 }
 
 #[cfg(test)]

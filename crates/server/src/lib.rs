@@ -36,6 +36,7 @@ pub mod daemon;
 pub mod framing;
 pub mod gateway;
 pub mod server;
+pub(crate) mod stats;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientConfig, TcpClient};

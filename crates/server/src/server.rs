@@ -13,6 +13,7 @@
 //! [`TcpServer::shutdown`] returns.
 
 use crate::framing::{is_timeout, write_frame};
+use crate::stats::{handle_us, stats};
 use crossbeam::channel;
 use mws_net::Service;
 use mws_wire::{Pdu, StreamDecoder};
@@ -21,7 +22,7 @@ use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning for a [`TcpServer`].
 #[derive(Clone, Debug)]
@@ -195,19 +196,31 @@ fn serve_conn<S: Service>(
         return;
     }
     let _ = stream.set_nodelay(true);
+    stats().connections.inc();
     let mut decoder = StreamDecoder::new();
     let mut buf = [0u8; 8 * 1024];
     loop {
         loop {
-            match decoder.next_pdu() {
-                Ok(Some(request)) => {
+            match decoder.next_traced() {
+                Ok(Some((request, trace))) => {
+                    stats().requests.inc();
+                    // Re-enter the caller's trace scope for the whole
+                    // handle + reply, so every event the handler emits —
+                    // and the reply frame itself — carries the trace id.
+                    let _span = trace.map(mws_obs::trace::enter);
+                    let pdu = request.type_name();
+                    let started = Instant::now();
                     let reply = service.handle(request);
+                    handle_us(pdu).record_duration(started.elapsed());
                     if write_frame(&mut stream, &reply).is_err() {
                         return;
                     }
                 }
                 Ok(None) => break,
                 Err(wire_err) => {
+                    stats().wire_errors.inc();
+                    mws_obs::warn!(target: "mws_server", "stream desynchronized, dropping connection",
+                        error = wire_err.to_string(),);
                     // Desynchronized stream: tell the peer why, then drop.
                     let _ = write_frame(
                         &mut stream,
@@ -255,6 +268,27 @@ mod tests {
         let server = echo_server();
         let req = Pdu::DepositAck { message_id: 99 };
         assert_eq!(call(server.local_addr(), &req), req);
+    }
+
+    #[test]
+    fn traced_request_gets_a_traced_reply() {
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let ctx = mws_obs::trace::TraceContext {
+            trace_id: 0xabad_1dea_abad_1dea,
+            span_id: 0x5eed_5eed_5eed_5eed,
+        };
+        let req = Pdu::DepositAck { message_id: 7 };
+        s.write_all(&mws_wire::encode_envelope_traced(&req, ctx))
+            .unwrap();
+        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+        let (reply, _, trace) = mws_wire::decode_envelope_traced(&frame).unwrap();
+        assert_eq!(reply, req);
+        assert_eq!(
+            trace.map(|t| t.trace_id),
+            Some(ctx.trace_id),
+            "the reply frame must carry the request's trace id"
+        );
     }
 
     #[test]

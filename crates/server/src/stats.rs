@@ -1,0 +1,51 @@
+//! Preregistered metric handles for the TCP transport layer.
+//!
+//! Looked up once per process and cached (the per-PDU histograms are the
+//! exception: bounded by the PDU type count, resolved per request).
+//! Labels are low-cardinality protocol facts only — never identities,
+//! payloads or key material (DESIGN.md §7).
+
+use mws_obs::{metric_name, Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct ServerStats {
+    /// Connections handed to a worker.
+    pub connections: Counter,
+    /// Requests decoded and dispatched to a service.
+    pub requests: Counter,
+    /// Connections dropped because the stream stopped parsing.
+    pub wire_errors: Counter,
+    /// Client-side retransmissions after a retryable failure.
+    pub client_retries: Counter,
+    pub breaker_opened: Counter,
+    pub breaker_half_open: Counter,
+    pub breaker_closed: Counter,
+}
+
+pub(crate) fn stats() -> &'static ServerStats {
+    static STATS: OnceLock<ServerStats> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let r = mws_obs::registry();
+        let breaker = |to| {
+            r.counter(&metric_name(
+                "mws_server_breaker_transitions_total",
+                &[("to", to)],
+            ))
+        };
+        ServerStats {
+            connections: r.counter("mws_server_connections_total"),
+            requests: r.counter("mws_server_requests_total"),
+            wire_errors: r.counter("mws_server_wire_errors_total"),
+            client_retries: r.counter("mws_server_client_retries_total"),
+            breaker_opened: breaker("open"),
+            breaker_half_open: breaker("half_open"),
+            breaker_closed: breaker("closed"),
+        }
+    })
+}
+
+/// Handler latency histogram (µs) for one PDU type. The label is the
+/// static wire-level type name, so cardinality is bounded by the protocol.
+pub(crate) fn handle_us(pdu: &str) -> Histogram {
+    mws_obs::registry().histogram(&metric_name("mws_server_handle_us", &[("pdu", pdu)]))
+}

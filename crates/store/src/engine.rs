@@ -10,9 +10,11 @@
 
 use crate::fault::FaultPlan;
 use crate::segment::Segment;
+use crate::stats::stats;
 use crate::{Result, StoreError};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 const OP_PUT: u8 = 1;
 const OP_DEL: u8 = 2;
@@ -88,7 +90,9 @@ impl KvEngine {
         let mut wal = kind.open_segment()?;
         let mut map = BTreeMap::new();
         let mut dead_writes = 0usize;
+        let mut replayed = 0u64;
         for (_, payload) in wal.iter()? {
+            replayed += 1;
             let (op, key, value) = decode_entry(&payload)?;
             match op {
                 OP_PUT => {
@@ -103,6 +107,14 @@ impl KvEngine {
                 _ => return Err(StoreError::Codec("unknown op")),
             }
         }
+        stats().replayed_records.add(replayed);
+        mws_obs::debug!(
+            target: "mws_store",
+            "engine opened",
+            replayed = replayed,
+            live_rows = map.len(),
+            dead_writes = dead_writes as u64,
+        );
         Ok(Self {
             wal,
             kind,
@@ -182,6 +194,8 @@ impl KvEngine {
     /// File engines compact via a sibling `.compact` file followed by an
     /// atomic rename; memory engines rebuild in place.
     pub fn compact(&mut self) -> Result<()> {
+        let start = Instant::now();
+        let reclaimable = self.dead_writes;
         match self.kind.file_path() {
             None => {
                 // The rewrite itself runs fault-free (it is a rebuild from
@@ -209,6 +223,15 @@ impl KvEngine {
             }
         }
         self.dead_writes = 0;
+        stats().compactions.inc();
+        stats().compaction_us.record_duration(start.elapsed());
+        mws_obs::info!(
+            target: "mws_store",
+            "compaction complete",
+            live_rows = self.map.len(),
+            dropped_writes = reclaimable as u64,
+            wal_bytes = self.wal.len_bytes(),
+        );
         Ok(())
     }
 
@@ -413,8 +436,8 @@ mod tests {
         path
     }
 
-    fn assert_consistent(path: &PathBuf) {
-        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+    fn assert_consistent(path: &Path) {
+        let kv = KvEngine::open(StorageKind::File(path.to_path_buf())).unwrap();
         assert_eq!(kv.len(), 2, "exactly the live rows");
         assert_eq!(kv.get(b"a").unwrap().unwrap(), b"1");
         assert_eq!(kv.get(b"b").unwrap().unwrap(), b"2");

@@ -42,6 +42,7 @@ pub mod flatfile;
 pub mod message_db;
 pub mod policy_db;
 pub mod segment;
+pub(crate) mod stats;
 pub mod tables;
 pub mod user_db;
 

@@ -15,11 +15,13 @@
 //! contract as a WAL tail).
 
 use crate::fault::{injected_io, AppendFault, FaultPlan};
+use crate::stats::stats;
 use crate::{Result, StoreError};
 use mws_crypto::crc32;
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::Path;
+use std::time::Instant;
 
 const MAGIC: u8 = 0xa7;
 const HEADER: usize = 1 + 4 + 4;
@@ -72,6 +74,17 @@ impl Segment {
         // Find the valid prefix by replaying.
         let bytes = seg.read_all()?;
         seg.len = valid_prefix_len(&bytes);
+        let discarded = bytes.len() as u64 - seg.len;
+        if discarded > 0 {
+            stats().torn_tails.inc();
+            stats().torn_tail_bytes.add(discarded);
+            mws_obs::warn!(
+                target: "mws_store",
+                "torn WAL tail discarded on open",
+                discarded_bytes = discarded,
+                valid_bytes = seg.len,
+            );
+        }
         Ok(seg)
     }
 
@@ -112,6 +125,7 @@ impl Segment {
         frame.extend_from_slice(payload);
         match self.faults.as_ref().map(|f| f.on_append()) {
             Some(Some(AppendFault::Fail)) => {
+                stats().append_errors.inc();
                 return Err(injected_io("append failed before write"));
             }
             Some(Some(AppendFault::Tear)) => {
@@ -130,20 +144,31 @@ impl Segment {
                         f.flush()?;
                     }
                 }
+                stats().append_errors.inc();
                 return Err(injected_io("append torn mid-frame"));
             }
             _ => {}
         }
-        match &mut self.storage {
-            SegmentStorage::Memory(buf) => {
-                buf.truncate(self.len as usize); // drop any torn tail
-                buf.extend_from_slice(&frame);
+        let start = Instant::now();
+        let wrote = (|| -> Result<()> {
+            match &mut self.storage {
+                SegmentStorage::Memory(buf) => {
+                    buf.truncate(self.len as usize); // drop any torn tail
+                    buf.extend_from_slice(&frame);
+                }
+                SegmentStorage::File(f) => {
+                    f.seek(SeekFrom::Start(self.len))?;
+                    f.write_all(&frame)?;
+                }
             }
-            SegmentStorage::File(f) => {
-                f.seek(SeekFrom::Start(self.len))?;
-                f.write_all(&frame)?;
-            }
+            Ok(())
+        })();
+        if let Err(e) = wrote {
+            stats().append_errors.inc();
+            return Err(e);
         }
+        stats().appends.inc();
+        stats().wal_append_us.record_duration(start.elapsed());
         self.len += frame.len() as u64;
         Ok(offset)
     }
@@ -152,12 +177,18 @@ impl Segment {
     pub fn sync(&mut self) -> Result<()> {
         if let Some(f) = &self.faults {
             if f.on_sync() {
+                stats().fsync_errors.inc();
                 return Err(injected_io("fsync failed"));
             }
         }
         if let SegmentStorage::File(f) = &mut self.storage {
-            f.flush()?;
-            f.sync_data()?;
+            let start = Instant::now();
+            let flushed = f.flush().and_then(|()| f.sync_data());
+            if let Err(e) = flushed {
+                stats().fsync_errors.inc();
+                return Err(e.into());
+            }
+            stats().wal_fsync_us.record_duration(start.elapsed());
         }
         Ok(())
     }

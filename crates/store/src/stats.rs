@@ -1,0 +1,50 @@
+//! Preregistered metric handles for the storage hot path.
+//!
+//! Handles are looked up once (lazily, on first use) and cached for the
+//! process lifetime, so `append`/`sync` pay one relaxed atomic op per
+//! update rather than a registry lock.
+
+use mws_obs::{Counter, Histogram};
+use std::sync::OnceLock;
+
+pub(crate) struct StoreStats {
+    /// Latency of one WAL frame write (µs).
+    pub wal_append_us: Histogram,
+    /// Latency of one durability point: flush + fsync (µs).
+    pub wal_fsync_us: Histogram,
+    /// Latency of one full compaction rewrite (µs).
+    pub compaction_us: Histogram,
+    /// Frames appended successfully.
+    pub appends: Counter,
+    /// Appends that failed (injected or real I/O errors).
+    pub append_errors: Counter,
+    /// Durability points that failed.
+    pub fsync_errors: Counter,
+    /// Compactions completed.
+    pub compactions: Counter,
+    /// Segment opens that found a torn/corrupt tail and discarded it.
+    pub torn_tails: Counter,
+    /// Bytes discarded by torn-tail recovery.
+    pub torn_tail_bytes: Counter,
+    /// Records replayed while rebuilding engine state on open.
+    pub replayed_records: Counter,
+}
+
+pub(crate) fn stats() -> &'static StoreStats {
+    static STATS: OnceLock<StoreStats> = OnceLock::new();
+    STATS.get_or_init(|| {
+        let r = mws_obs::registry();
+        StoreStats {
+            wal_append_us: r.histogram("mws_store_wal_append_us"),
+            wal_fsync_us: r.histogram("mws_store_wal_fsync_us"),
+            compaction_us: r.histogram("mws_store_compaction_us"),
+            appends: r.counter("mws_store_wal_appends_total"),
+            append_errors: r.counter("mws_store_wal_append_errors_total"),
+            fsync_errors: r.counter("mws_store_wal_fsync_errors_total"),
+            compactions: r.counter("mws_store_compactions_total"),
+            torn_tails: r.counter("mws_store_recovered_torn_tails_total"),
+            torn_tail_bytes: r.counter("mws_store_recovered_torn_tail_bytes_total"),
+            replayed_records: r.counter("mws_store_replayed_records_total"),
+        }
+    })
+}

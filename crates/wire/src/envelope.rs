@@ -1,12 +1,37 @@
-//! The outer frame: `version(1) ‖ type(1) ‖ len(4, LE) ‖ body`.
+//! The outer frame, in two wire versions:
+//!
+//! * v1 — `version(1) ‖ type(1) ‖ len(4, LE) ‖ body`
+//! * v2 — `version(1) ‖ type(1) ‖ len(4, LE) ‖ trace_id(8, LE) ‖
+//!   span_id(8, LE) ‖ body` — identical except the header additionally
+//!   carries the [`TraceContext`] of the sending hop.
+//!
+//! `len` is the body length in both versions. Every decoder accepts
+//! both; encoders emit v2 only when the calling thread has a trace
+//! scope entered ([`encode_envelope_auto`]), so untraced deployments
+//! produce byte-identical v1 frames.
 
 use crate::pdu::Pdu;
-use crate::{WireError, MAX_BODY, WIRE_VERSION};
+use crate::{WireError, MAX_BODY, WIRE_VERSION, WIRE_VERSION_TRACED};
+use mws_obs::trace::TraceContext;
 
-/// Encodes a PDU into a framed message.
+/// v1 header: `version ‖ type ‖ len`.
+const HEADER_V1: usize = 6;
+/// v2 header: v1 plus `trace_id ‖ span_id`.
+const HEADER_V2: usize = HEADER_V1 + 16;
+
+/// Header size for a version byte, or `BadVersion`.
+pub fn header_len(version: u8) -> Result<usize, WireError> {
+    match version {
+        WIRE_VERSION => Ok(HEADER_V1),
+        WIRE_VERSION_TRACED => Ok(HEADER_V2),
+        other => Err(WireError::BadVersion(other)),
+    }
+}
+
+/// Encodes a PDU into an (untraced) v1 frame.
 pub fn encode_envelope(pdu: &Pdu) -> Vec<u8> {
     let body = pdu.encode_body();
-    let mut out = Vec::with_capacity(6 + body.len());
+    let mut out = Vec::with_capacity(HEADER_V1 + body.len());
     out.push(WIRE_VERSION);
     out.push(pdu.type_byte());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
@@ -14,24 +39,66 @@ pub fn encode_envelope(pdu: &Pdu) -> Vec<u8> {
     out
 }
 
-/// Decodes a framed message, returning the PDU and bytes consumed.
+/// Encodes a PDU into a v2 frame carrying `ctx`.
+pub fn encode_envelope_traced(pdu: &Pdu, ctx: TraceContext) -> Vec<u8> {
+    let body = pdu.encode_body();
+    let mut out = Vec::with_capacity(HEADER_V2 + body.len());
+    out.push(WIRE_VERSION_TRACED);
+    out.push(pdu.type_byte());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&ctx.trace_id.to_le_bytes());
+    out.extend_from_slice(&ctx.span_id.to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+/// Encodes with the calling thread's current trace scope if one is
+/// entered (v2), plain v1 otherwise. Transports call this so trace
+/// carriage needs no per-call-site plumbing.
+pub fn encode_envelope_auto(pdu: &Pdu) -> Vec<u8> {
+    match mws_obs::trace::current() {
+        Some(ctx) => encode_envelope_traced(pdu, ctx),
+        None => encode_envelope(pdu),
+    }
+}
+
+/// Decodes a framed message of either version, returning the PDU and
+/// bytes consumed (any carried trace context is dropped).
 pub fn decode_envelope(bytes: &[u8]) -> Result<(Pdu, usize), WireError> {
-    if bytes.len() < 6 {
+    let (pdu, consumed, _) = decode_envelope_traced(bytes)?;
+    Ok((pdu, consumed))
+}
+
+/// Decodes a framed message of either version, returning the PDU, the
+/// bytes consumed, and the trace context when the frame carried one.
+pub fn decode_envelope_traced(
+    bytes: &[u8],
+) -> Result<(Pdu, usize, Option<TraceContext>), WireError> {
+    if bytes.is_empty() {
         return Err(WireError::Truncated);
     }
-    if bytes[0] != WIRE_VERSION {
-        return Err(WireError::BadVersion(bytes[0]));
+    let header = header_len(bytes[0])?;
+    if bytes.len() < header {
+        return Err(WireError::Truncated);
     }
     let type_byte = bytes[1];
     let len = u32::from_le_bytes(bytes[2..6].try_into().expect("4 bytes")) as usize;
     if len > MAX_BODY {
         return Err(WireError::BadLength);
     }
-    if bytes.len() < 6 + len {
+    if bytes.len() < header + len {
         return Err(WireError::Truncated);
     }
-    let pdu = Pdu::decode_body(type_byte, &bytes[6..6 + len])?;
-    Ok((pdu, 6 + len))
+    let trace = if header == HEADER_V2 {
+        Some(TraceContext {
+            trace_id: u64::from_le_bytes(bytes[6..14].try_into().expect("8 bytes")),
+            span_id: u64::from_le_bytes(bytes[14..22].try_into().expect("8 bytes")),
+        })
+    } else {
+        None
+    };
+    let pdu = Pdu::decode_body(type_byte, &bytes[header..header + len])?;
+    Ok((pdu, header + len, trace))
 }
 
 #[cfg(test)]
@@ -48,10 +115,53 @@ mod tests {
     }
 
     #[test]
+    fn traced_roundtrip_carries_the_context() {
+        let pdu = Pdu::DepositAck { message_id: 5 };
+        let ctx = TraceContext {
+            trace_id: 0xdead_beef_0102_0304,
+            span_id: 0x0a0b_0c0d_0e0f_1011,
+        };
+        let framed = encode_envelope_traced(&pdu, ctx);
+        assert_eq!(framed[0], WIRE_VERSION_TRACED);
+        let (decoded, consumed, trace) = decode_envelope_traced(&framed).unwrap();
+        assert_eq!(decoded, pdu);
+        assert_eq!(consumed, framed.len());
+        assert_eq!(trace, Some(ctx));
+        // The v1 frame for the same PDU is the same bytes minus the
+        // 16-byte trace extension.
+        let v1 = encode_envelope(&pdu);
+        assert_eq!(framed.len(), v1.len() + 16);
+        assert_eq!(
+            framed[1..6],
+            v1[1..6],
+            "type and length agree across versions"
+        );
+        assert_eq!(framed[22..], v1[6..], "body agrees across versions");
+    }
+
+    #[test]
+    fn auto_encoding_follows_the_thread_scope() {
+        let pdu = Pdu::ParamsRequest;
+        assert_eq!(encode_envelope_auto(&pdu)[0], WIRE_VERSION, "no scope: v1");
+        let ctx = mws_obs::trace::mint();
+        let _guard = mws_obs::trace::enter(ctx);
+        let framed = encode_envelope_auto(&pdu);
+        assert_eq!(framed[0], WIRE_VERSION_TRACED, "scope entered: v2");
+        let (_, _, trace) = decode_envelope_traced(&framed).unwrap();
+        assert_eq!(trace, Some(ctx));
+    }
+
+    #[test]
     fn consumed_supports_streaming() {
-        // Two frames back to back decode sequentially.
+        // Two frames back to back decode sequentially, mixed versions.
         let a = encode_envelope(&Pdu::ParamsRequest);
-        let b = encode_envelope(&Pdu::DepositAck { message_id: 9 });
+        let b = encode_envelope_traced(
+            &Pdu::DepositAck { message_id: 9 },
+            TraceContext {
+                trace_id: 1,
+                span_id: 2,
+            },
+        );
         let mut stream = a.clone();
         stream.extend_from_slice(&b);
         let (p1, n1) = decode_envelope(&stream).unwrap();
@@ -75,5 +185,18 @@ mod tests {
         assert_eq!(decode_envelope(&huge).unwrap_err(), WireError::BadLength);
         // Shorter than header.
         assert_eq!(decode_envelope(&[1, 2]).unwrap_err(), WireError::Truncated);
+        // A v2 frame cut inside the trace extension is truncated, not
+        // misparsed as a short body.
+        let traced = encode_envelope_traced(
+            &Pdu::ParamsRequest,
+            TraceContext {
+                trace_id: 3,
+                span_id: 4,
+            },
+        );
+        assert_eq!(
+            decode_envelope(&traced[..10]).unwrap_err(),
+            WireError::Truncated
+        );
     }
 }

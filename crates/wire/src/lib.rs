@@ -30,12 +30,21 @@ pub mod pdu;
 pub mod stream;
 
 pub use codec::{WireReader, WireWriter};
-pub use envelope::{decode_envelope, encode_envelope};
+pub use envelope::{
+    decode_envelope, decode_envelope_traced, encode_envelope, encode_envelope_auto,
+    encode_envelope_traced, header_len,
+};
 pub use pdu::{Pdu, RelayEntry, WireMessage};
 pub use stream::StreamDecoder;
 
 /// Protocol version carried in every envelope.
 pub const WIRE_VERSION: u8 = 1;
+
+/// Envelope version whose header additionally carries a trace context
+/// (`trace_id ‖ span_id`, 8 bytes each, LE) between type/len and body.
+/// Both versions decode everywhere; clients emit v2 only when a trace
+/// scope is active, so untraced traffic stays bit-identical to v1.
+pub const WIRE_VERSION_TRACED: u8 = 2;
 
 /// Maximum envelope body (4 MiB) — bounds allocation on decode.
 pub const MAX_BODY: usize = 4 << 20;

@@ -162,6 +162,19 @@ pub enum Pdu {
         detail: String,
     },
 
+    /// Operator request for a daemon's metrics snapshot. Served without
+    /// authentication like [`Pdu::HealthRequest`]: the exposition holds
+    /// traffic shape and timing only — never identities, plaintext or
+    /// key material (the `mws-obs` labeling contract, DESIGN.md §7).
+    StatsRequest,
+    /// Metrics snapshot: Prometheus-style `name{label="v"} value` text.
+    StatsResponse {
+        /// Which daemon answered ("mms", "pkg", "gatekeeper").
+        role: String,
+        /// The text exposition of the daemon's metrics registry.
+        text: String,
+    },
+
     /// Error reply usable in any phase.
     Error {
         /// Machine-readable code (see `mws-core`'s error taxonomy).
@@ -210,7 +223,33 @@ impl Pdu {
             Pdu::RelayBatch { .. } => 0x41,
             Pdu::HealthRequest => 0x50,
             Pdu::HealthResponse { .. } => 0x51,
+            Pdu::StatsRequest => 0x52,
+            Pdu::StatsResponse { .. } => 0x53,
             Pdu::Error { .. } => 0xff,
+        }
+    }
+
+    /// Static snake_case variant name — the low-cardinality label used
+    /// for per-PDU-type metrics (`pdu="deposit_request"`).
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Pdu::DepositRequest { .. } => "deposit_request",
+            Pdu::DepositAck { .. } => "deposit_ack",
+            Pdu::RetrieveRequest { .. } => "retrieve_request",
+            Pdu::RetrieveResponse { .. } => "retrieve_response",
+            Pdu::PkgAuthRequest { .. } => "pkg_auth_request",
+            Pdu::PkgAuthResponse { .. } => "pkg_auth_response",
+            Pdu::KeyRequest { .. } => "key_request",
+            Pdu::KeyResponse { .. } => "key_response",
+            Pdu::ParamsRequest => "params_request",
+            Pdu::ParamsResponse { .. } => "params_response",
+            Pdu::RelayPull { .. } => "relay_pull",
+            Pdu::RelayBatch { .. } => "relay_batch",
+            Pdu::HealthRequest => "health_request",
+            Pdu::HealthResponse { .. } => "health_response",
+            Pdu::StatsRequest => "stats_request",
+            Pdu::StatsResponse { .. } => "stats_response",
+            Pdu::Error { .. } => "error",
         }
     }
 
@@ -318,6 +357,10 @@ impl Pdu {
                 detail,
             } => {
                 w.string(role).u8(u8::from(*ready)).string(detail);
+            }
+            Pdu::StatsRequest => {}
+            Pdu::StatsResponse { role, text } => {
+                w.string(role).string(text);
             }
             Pdu::Error { code, detail } => {
                 w.u16(*code).string(detail);
@@ -428,6 +471,11 @@ impl Pdu {
                 role: r.string()?,
                 ready: r.u8()? != 0,
                 detail: r.string()?,
+            },
+            0x52 => Pdu::StatsRequest,
+            0x53 => Pdu::StatsResponse {
+                role: r.string()?,
+                text: r.string()?,
             },
             0xff => Pdu::Error {
                 code: r.u16()?,
@@ -549,6 +597,11 @@ mod tests {
                 ready: true,
                 detail: "store open".into(),
             },
+            Pdu::StatsRequest,
+            Pdu::StatsResponse {
+                role: "mms".into(),
+                text: "mws_server_requests_total{role=\"mms\"} 12\n".into(),
+            },
             Pdu::Error {
                 code: 404,
                 detail: "no such attribute".into(),
@@ -570,6 +623,14 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for pdu in samples() {
             assert!(seen.insert(pdu.type_byte()), "duplicate type byte");
+        }
+    }
+
+    #[test]
+    fn type_names_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for pdu in samples() {
+            assert!(seen.insert(pdu.type_name()), "duplicate type name");
         }
     }
 

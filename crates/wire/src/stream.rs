@@ -18,12 +18,14 @@
 //! assert_eq!(dec.next_pdu().unwrap(), Some(Pdu::DepositAck { message_id: 7 }));
 //! ```
 
-use crate::envelope::decode_envelope;
+use crate::envelope::{decode_envelope_traced, header_len};
 use crate::pdu::Pdu;
-use crate::{WireError, MAX_BODY, WIRE_VERSION};
+use crate::{WireError, MAX_BODY};
+use mws_obs::trace::TraceContext;
 
-/// Envelope header size: `version(1) ‖ type(1) ‖ len(4)`.
-const HEADER: usize = 6;
+/// The shortest possible header (`version ‖ type ‖ len`, a v1 frame);
+/// enough to know the full header size of either version.
+const MIN_HEADER: usize = 6;
 
 /// An incremental decoder over a stream of envelope frames.
 #[derive(Debug, Default)]
@@ -66,29 +68,33 @@ impl StreamDecoder {
     /// practice: a framing error means the stream has lost sync and the
     /// connection should be dropped.
     pub fn next_pdu(&mut self) -> Result<Option<Pdu>, WireError> {
+        Ok(self.next_traced()?.map(|(pdu, _)| pdu))
+    }
+
+    /// Like [`next_pdu`](Self::next_pdu), but also yields the trace
+    /// context when the frame was a traced (v2) envelope.
+    pub fn next_traced(&mut self) -> Result<Option<(Pdu, Option<TraceContext>)>, WireError> {
         let avail = &self.buf[self.pos..];
         if avail.is_empty() {
             self.compact(true);
             return Ok(None);
         }
         // Validate header fields as soon as they arrive.
-        if avail[0] != WIRE_VERSION {
-            return Err(WireError::BadVersion(avail[0]));
-        }
-        if avail.len() < HEADER {
+        let header = header_len(avail[0])?;
+        if avail.len() < MIN_HEADER {
             return Ok(None);
         }
         let len = u32::from_le_bytes(avail[2..6].try_into().expect("4 bytes")) as usize;
         if len > self.max_body {
             return Err(WireError::BadLength);
         }
-        if avail.len() < HEADER + len {
+        if avail.len() < header + len {
             return Ok(None);
         }
-        let (pdu, consumed) = decode_envelope(avail)?;
+        let (pdu, consumed, trace) = decode_envelope_traced(avail)?;
         self.pos += consumed;
         self.compact(false);
-        Ok(Some(pdu))
+        Ok(Some((pdu, trace)))
     }
 
     /// Reclaims consumed prefix space. Forced on an empty buffer; otherwise
@@ -107,7 +113,7 @@ impl StreamDecoder {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::encode_envelope;
+    use crate::{encode_envelope, encode_envelope_traced, WIRE_VERSION};
 
     fn sample_frames() -> Vec<u8> {
         let mut stream = Vec::new();
@@ -176,6 +182,32 @@ mod tests {
         let mut dec = StreamDecoder::with_max_body(16);
         dec.feed(&frame);
         assert_eq!(dec.next_pdu().unwrap_err(), WireError::BadLength);
+    }
+
+    #[test]
+    fn traced_frames_stream_byte_at_a_time() {
+        let ctx = TraceContext {
+            trace_id: 0x1122_3344_5566_7788,
+            span_id: 0x99aa_bbcc_ddee_ff00,
+        };
+        let mut stream = encode_envelope_traced(&Pdu::DepositAck { message_id: 7 }, ctx);
+        stream.extend_from_slice(&encode_envelope(&Pdu::ParamsRequest));
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        for b in &stream {
+            dec.feed(&[*b]);
+            while let Some(item) = dec.next_traced().unwrap() {
+                got.push(item);
+            }
+        }
+        assert_eq!(
+            got,
+            vec![
+                (Pdu::DepositAck { message_id: 7 }, Some(ctx)),
+                (Pdu::ParamsRequest, None),
+            ]
+        );
+        assert_eq!(dec.buffered(), 0);
     }
 
     #[test]

@@ -64,7 +64,7 @@ fn main() {
         .mws()
         .audit_events()
         .iter()
-        .filter(|(_, e)| matches!(e, mws::core::audit::AuditEvent::Revoked { .. }))
+        .filter(|r| matches!(r.event, mws::core::audit::AuditEvent::Revoked { .. }))
         .count();
     println!("\naudit log: {revocations} revocation event(s) recorded");
     assert_eq!(revocations, 1);

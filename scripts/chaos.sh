@@ -16,7 +16,10 @@ fi
 
 for seed in "${SEEDS[@]}"; do
   echo "==> chaos suite, seed ${seed}"
-  if ! MWS_CHAOS_SEED="${seed}" cargo test -q -p mws --test chaos; then
+  # --nocapture: pinned-seed runs print each scenario's metrics snapshot
+  # (request counts, retry/breaker counters, latency quantiles), and with
+  # MWS_LOG=debug every structured event with its trace id.
+  if ! MWS_CHAOS_SEED="${seed}" cargo test -q -p mws --test chaos -- --nocapture; then
     echo "" >&2
     echo "chaos suite FAILED at seed ${seed}" >&2
     echo "reproduce with: MWS_CHAOS_SEED=${seed} cargo test -p mws --test chaos" >&2

@@ -35,15 +35,15 @@ echo "==> offline build"
 cargo build --workspace --exclude mws-bench
 
 echo "==> offline lib tests"
-cargo test -q -p mws-bigint -p mws-crypto -p mws-pairing -p mws-ibe \
+cargo test -q -p mws-obs -p mws-bigint -p mws-crypto -p mws-pairing -p mws-ibe \
   -p mws-store -p mws-wire -p mws-net -p mws-core -p mws-server --lib
 
 echo "==> offline integration tests (non-property)"
 cargo test -q -p mws \
   --test architecture --test chaos --test confidentiality \
-  --test config_matrix --test distribution_points --test persistence \
-  --test policy_table --test protocol_flow --test revocation \
-  --test tcp_deployment --test utility_scenario
+  --test config_matrix --test distribution_points --test observability \
+  --test persistence --test policy_table --test protocol_flow \
+  --test revocation --test tcp_deployment --test utility_scenario
 
 echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
 # The crypto_bench binary is serde-free, so it builds against the stubs

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Stats-plane scraper: asks each running daemon for its Stats admin PDU
+# and prints the Prometheus-style text, one section per daemon.
+#
+# Usage:
+#   scripts/stats.sh                      # the three fixed ports
+#   scripts/stats.sh 127.0.0.1:7101 ...   # explicit daemon addresses
+#
+# Exit code = number of daemons that could not be scraped.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+exec cargo run -q --release -p mws-server --bin mws-stats -- "$@"

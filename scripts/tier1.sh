@@ -19,6 +19,14 @@ cargo clippy --all-targets -- -D warnings
 echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
 cargo run --release -p mws-bench --bin crypto_bench -- --smoke
 
+echo "==> MWS_LOG=warn smoke (happy path emits no error-level events)"
+SMOKE_OUT="$(MWS_LOG=warn cargo test -q -p mws --test observability -- --nocapture 2>&1)"
+if grep -q " ERROR " <<<"${SMOKE_OUT}"; then
+  grep " ERROR " <<<"${SMOKE_OUT}" >&2
+  echo "error-level events during the happy-path loopback flow" >&2
+  exit 1
+fi
+
 # Opt-in chaos gate: MWS_CHAOS=1 scripts/tier1.sh additionally runs the
 # seeded chaos suite across its pinned seed schedule (scripts/chaos.sh
 # prints the failing seed on any assertion failure).

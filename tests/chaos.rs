@@ -30,12 +30,38 @@ use std::time::Duration;
 /// The pinned seed schedule, or the single seed from `MWS_CHAOS_SEED`
 /// (how `scripts/chaos.sh` reproduces a failure).
 fn seeds() -> Vec<u64> {
+    // Honor MWS_LOG during reproduction runs: a pinned seed plus
+    // `MWS_LOG=debug` prints every structured event (with trace ids) to
+    // stderr alongside the failure.
+    mws_obs::init_from_env();
     match std::env::var("MWS_CHAOS_SEED") {
         Ok(s) => vec![s
             .trim()
             .parse()
             .expect("MWS_CHAOS_SEED must be an unsigned integer")],
         Err(_) => vec![3, 17, 91],
+    }
+}
+
+/// Dumps the process-wide metrics registry when a scenario panics (so the
+/// snapshot rides along with the failure output), and at the end of any
+/// run pinned with `MWS_CHAOS_SEED` (the reproduction workflow): request
+/// counts, retry/breaker counters and latency quantiles for the run.
+struct StatsDumpGuard {
+    scenario: &'static str,
+    seed: u64,
+}
+
+impl Drop for StatsDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() || std::env::var_os("MWS_CHAOS_SEED").is_some() {
+            eprintln!(
+                "---- metrics snapshot ({} seed {}) ----\n{}---- end snapshot ----",
+                self.scenario,
+                self.seed,
+                mws_obs::registry().exposition()
+            );
+        }
     }
 }
 
@@ -120,6 +146,10 @@ fn assert_ciphertext_only(dep: &mut Deployment, rc_id: &str, pw: &str, secret: &
 #[test]
 fn bus_faults_lose_no_acked_deposit() {
     for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "bus-faults",
+            seed,
+        };
         let mut dep = Deployment::new(DeploymentConfig {
             seed,
             ..DeploymentConfig::test_default()
@@ -128,7 +158,7 @@ fn bus_faults_lose_no_acked_deposit() {
         dep.register_client("rc", "pw", &["A"]);
         // The device's path to the warehouse is lossy in every way the
         // fault model knows; the PKG path stays clean (bootstrap).
-        let faulty = FaultyTransport::new(
+        let faulty = Arc::new(FaultyTransport::new(
             BusTransport::new(dep.network().clone(), "mws").into_dyn(),
             FaultConfig {
                 drop_rate: 0.2,
@@ -137,11 +167,12 @@ fn bus_faults_lose_no_acked_deposit() {
                 seed,
                 ..FaultConfig::default()
             },
-        );
+        ));
         let pkg = dep.network().client("pkg");
         let mut meter = dep
-            .device_with("meter-1", Client::from_transport(faulty.into_dyn()), &pkg)
+            .device_with("meter-1", Client::from_transport(faulty.clone()), &pkg)
             .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let wire_before = faulty.metrics();
         let mut acked = Vec::new();
         for i in 0..12 {
             let payload = format!("reading-{i}").into_bytes();
@@ -152,6 +183,17 @@ fn bus_faults_lose_no_acked_deposit() {
             let _ = id;
             acked.push(payload);
         }
+        // What the lossy link did during the deposit phase alone, as a
+        // snapshot delta rather than hand-subtracted counters.
+        let wire = faulty.metrics().delta(&wire_before);
+        assert!(
+            wire.requests >= acked.len() as u64,
+            "seed {seed}: every ack rode at least one delivered request"
+        );
+        assert!(
+            wire.dropped + wire.duplicates + wire.resets > 0,
+            "seed {seed}: the schedule at these rates must inject faults"
+        );
         assert_eq!(
             dep.mws().message_count(),
             acked.len(),
@@ -170,6 +212,10 @@ fn bus_faults_lose_no_acked_deposit() {
 #[test]
 fn tcp_chaos_proxy_loses_no_acked_deposit() {
     for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "tcp-chaos-proxy",
+            seed,
+        };
         let mut dep = Deployment::new(DeploymentConfig {
             seed,
             ..DeploymentConfig::test_default()
@@ -226,6 +272,10 @@ fn tcp_chaos_proxy_loses_no_acked_deposit() {
 #[test]
 fn store_faults_fail_closed_and_recover_on_reopen() {
     for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "store-faults",
+            seed,
+        };
         let dir = chaos_dir("store", seed);
         let plan = FaultPlan::default();
         let config = DeploymentConfig {
@@ -333,6 +383,10 @@ impl Supervisor {
 #[test]
 fn daemon_restart_with_drops_and_torn_append_converges() {
     for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "daemon-restart",
+            seed,
+        };
         let dir = chaos_dir("restart", seed);
         let plan = FaultPlan::default();
         let config = DeploymentConfig {
@@ -492,6 +546,10 @@ fn all_three_daemons_answer_health_over_tcp() {
 #[test]
 fn circuit_breaker_fails_fast_then_recovers_when_daemon_returns() {
     for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "circuit-breaker",
+            seed,
+        };
         // A daemon that exists, dies, and comes back; the client's breaker
         // must fail fast while it is down and heal afterwards.
         let dep = Deployment::new(DeploymentConfig {

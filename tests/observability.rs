@@ -1,0 +1,136 @@
+//! End-to-end trace propagation: one deposit and one collect, each
+//! followed by its trace id across every component it crossed.
+//!
+//! The topology is the TCP deployment (three daemons on loopback sockets,
+//! §VI.C); all three run in this test process, so one ring-buffer sink
+//! captures every structured event the gatekeeper front door, the
+//! warehouse and the PKG emit. A trace id minted at the client must
+//! reappear — unchanged — in the events of every hop and in the
+//! warehouse's audit records.
+
+use mws_core::audit::AuditEvent;
+use mws_core::clock::ReplayPolicy;
+use mws_core::protocol::{Deployment, DeploymentConfig};
+use mws_obs::{Level, RingSink};
+use mws_server::{GatekeeperFrontdoor, ServerConfig, TcpClient, TcpServer};
+use std::sync::Arc;
+
+/// One test function: the sink and level gate are process-global, so the
+/// deposit and collect phases share a single scenario.
+#[test]
+fn one_trace_id_spans_client_gatekeeper_warehouse_and_pkg() {
+    // Honor MWS_LOG first (the tier-1 smoke run sets it to check the
+    // happy path stays free of error-level events on stderr), then open
+    // the gate wide for the ring sink this test asserts on.
+    mws_obs::init_from_env();
+    let ring = RingSink::new(4096);
+    mws_obs::add_sink(ring.clone() as Arc<dyn mws_obs::Sink>);
+    mws_obs::set_max_level(Some(Level::Debug));
+
+    let mut dep = Deployment::new(DeploymentConfig::test_default());
+    dep.register_device("meter-1");
+    dep.register_client("utility", "pw", &["ELECTRIC-APT9"]);
+
+    let mms = {
+        let service = dep.mws().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms")
+    };
+    let pkg = {
+        let service = dep.pkg().clone();
+        TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind pkg")
+    };
+    let gatekeeper = {
+        let upstream = TcpClient::new(mms.local_addr()).into_client();
+        let front =
+            GatekeeperFrontdoor::new(dep.clock().clone(), ReplayPolicy::standard(), upstream);
+        front.register(
+            "utility",
+            "pw",
+            &dep.mws().client_public_key("utility").expect("registered"),
+        );
+        TcpServer::spawn(ServerConfig::default(), || front.as_service()).expect("bind gatekeeper")
+    };
+
+    // ---- deposit: SD → MMS → store → audit ----
+    let mut meter = dep
+        .device_with(
+            "meter-1",
+            TcpClient::new(mms.local_addr()).into_client(),
+            &TcpClient::new(pkg.local_addr()).into_client(),
+        )
+        .expect("bootstrap over TCP");
+    let message_id = meter.deposit("ELECTRIC-APT9", b"kwh=42.7").unwrap();
+
+    let deposit_trace = dep
+        .mws()
+        .audit_events()
+        .iter()
+        .find_map(|r| match &r.event {
+            AuditEvent::DepositAccepted { message_id: id, .. } if *id == message_id => {
+                Some(r.trace_id)
+            }
+            _ => None,
+        })
+        .expect("deposit audit record");
+    assert_ne!(
+        deposit_trace, 0,
+        "the audit record must carry the trace minted at the device"
+    );
+    let deposit_ack = ring
+        .records()
+        .into_iter()
+        .find(|r| r.target == "mws_core" && r.message == "deposit acked")
+        .expect("warehouse-side deposit event in the ring sink");
+    assert_eq!(
+        deposit_ack.trace.map(|t| t.trace_id),
+        Some(deposit_trace),
+        "warehouse log event and audit record disagree on the trace id"
+    );
+
+    // ---- collect: RC → gatekeeper → MMS (+ PKG session) ----
+    ring.clear();
+    let mut rc = dep.client_with(
+        "utility",
+        "pw",
+        TcpClient::new(gatekeeper.local_addr()).into_client(),
+        TcpClient::new(pkg.local_addr()).into_client(),
+    );
+    let msgs = rc.retrieve_and_decrypt(0).unwrap();
+    assert_eq!(msgs.len(), 1);
+
+    let records = ring.records();
+    let trace_of = |target: &str, message: &str| -> u64 {
+        let rec = records
+            .iter()
+            .find(|r| r.target == target && r.message == message)
+            .unwrap_or_else(|| panic!("no '{message}' event from {target} in the ring sink"));
+        rec.trace
+            .unwrap_or_else(|| panic!("'{message}' from {target} is untraced"))
+            .trace_id
+    };
+    let gw = trace_of("mws_gateway", "retrieve relayed upstream");
+    let mms_served = trace_of("mws_core", "retrieve served");
+    let pkg_session = trace_of("mws_pkg", "session opened");
+    assert_eq!(
+        gw, mms_served,
+        "gatekeeper and warehouse hops share the trace id"
+    );
+    assert_eq!(gw, pkg_session, "PKG hop shares the collect trace id");
+    assert_ne!(gw, deposit_trace, "deposit and collect are separate traces");
+
+    let retrieve_trace = dep
+        .mws()
+        .audit_events()
+        .iter()
+        .find_map(|r| match &r.event {
+            AuditEvent::RetrieveServed { rc_id, .. } if rc_id == "utility" => Some(r.trace_id),
+            _ => None,
+        })
+        .expect("retrieve audit record");
+    assert_eq!(
+        retrieve_trace, gw,
+        "the audit trail must carry the same collect trace id"
+    );
+
+    drop((mms, pkg, gatekeeper));
+}
