@@ -1,0 +1,408 @@
+//! Server-side load benchmark (DESIGN.md §9): M concurrent smart-device
+//! clients driving deposits over real TCP sockets into one warehouse
+//! process, at shard counts {1, 4, 16}. Writes `BENCH_server.json` at the
+//! repository root.
+//!
+//! Each row measures two traffic shapes against a file-backed, fsync-per-
+//! commit warehouse:
+//!
+//! * **single** — every deposit is its own `DepositRequest`, so every
+//!   deposit pays one WAL append + one fsync on its shard. Shard scaling
+//!   shows up directly: fsyncs on different shards overlap.
+//! * **batch** — clients send `DepositBatch` PDUs; items landing on the
+//!   same shard group-commit into one append + one fsync.
+//!
+//! Clients skip the IBE encryption on purpose — `u`/`sealed` are junk
+//! bytes under a *valid* deposit MAC — because this benchmark isolates the
+//! warehouse (authenticate → append → fsync → ack); device-side crypto
+//! cost is E1/E3's subject. Each client is pinned to one shard by mining
+//! its attribute string against [`ShardRouter`], so N clients spread
+//! evenly over N shards.
+//!
+//! Run with: `cargo run --release -p mws-bench --bin load_bench`
+//!
+//! Modes:
+//! * default — pinned workload, writes `BENCH_server.json`
+//! * `--smoke` — tiny run, no file output; asserts every deposit is acked
+//!   STORED and that duplicates dedup (used by `scripts/tier1.sh`)
+//!
+//! JSON is hand-written: this binary must compile against the offline
+//! serde stub, so it cannot use derive macros.
+
+use mws_core::clock::{LogicalClock, ReplayPolicy};
+use mws_core::protocol::MwsService;
+use mws_core::registry::DeviceRegistry;
+use mws_core::sda::{deposit_mac, DeviceAuthVerifier};
+use mws_server::{ServerConfig, TcpServer};
+use mws_store::{ShardRouter, StorageKind};
+use mws_wire::{DepositItem, DepositOutcome, Pdu};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One traffic shape's results for one shard count.
+struct ModeReport {
+    deposits: u64,
+    secs: f64,
+    deposits_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+}
+
+/// One shard count's results.
+struct Row {
+    shards: usize,
+    single: ModeReport,
+    batch: ModeReport,
+}
+
+/// Workload knobs (pinned in the default run so rows are comparable).
+struct Workload {
+    clients: usize,
+    /// Single-mode deposits per client.
+    per_client: usize,
+    /// Batch-mode batches per client.
+    batches: usize,
+    batch_size: usize,
+    smoke: bool,
+}
+
+/// Mines an attribute string that [`ShardRouter`] routes to `target`, so
+/// each client's deposits land on exactly one known shard.
+fn attr_for(router: &ShardRouter, n: usize, target: usize) -> String {
+    for salt in 0u32.. {
+        let attr = format!("LOAD-{n}-{target}-{salt}");
+        if router.route(&attr) == target {
+            return attr;
+        }
+    }
+    unreachable!("router covers all residues")
+}
+
+/// A 16-byte nonce unique across clients, rows and modes.
+fn nonce_bytes(tag: u8, shards: u16, client: u16, seq: u64) -> Vec<u8> {
+    let mut nonce = Vec::with_capacity(16);
+    nonce.push(tag);
+    nonce.extend_from_slice(&shards.to_be_bytes());
+    nonce.extend_from_slice(&client.to_be_bytes());
+    nonce.extend_from_slice(&seq.to_be_bytes());
+    nonce.extend_from_slice(&[0u8; 3]);
+    nonce
+}
+
+/// One deposit's wire fields under a valid MAC (junk ciphertext).
+#[allow(clippy::too_many_arguments)]
+fn craft_item(
+    mac_key: &[u8],
+    sd_id: &str,
+    attribute: &str,
+    timestamp: u64,
+    tag: u8,
+    shards: u16,
+    client: u16,
+    seq: u64,
+) -> DepositItem {
+    let u = vec![0x42u8; 32];
+    let sealed = vec![0x5au8; 64];
+    let nonce = nonce_bytes(tag, shards, client, seq);
+    let mac = deposit_mac(mac_key, &u, &sealed, attribute, &nonce, sd_id, timestamp);
+    DepositItem {
+        timestamp,
+        u,
+        algo: 1,
+        sealed,
+        attribute: attribute.to_string(),
+        nonce,
+        mac,
+    }
+}
+
+fn item_to_request(sd_id: &str, item: DepositItem) -> Pdu {
+    Pdu::DepositRequest {
+        sd_id: sd_id.to_string(),
+        timestamp: item.timestamp,
+        u: item.u,
+        algo: item.algo,
+        sealed: item.sealed,
+        attribute: item.attribute,
+        nonce: item.nonce,
+        mac: item.mac,
+    }
+}
+
+/// Merges per-client latency samples into p50/p99 (µs).
+fn quantiles(mut samples: Vec<u64>) -> (u64, u64) {
+    samples.sort_unstable();
+    let p = |q: usize| samples[(samples.len() * q / 100).min(samples.len() - 1)];
+    (p(50), p(99))
+}
+
+/// Spawns the warehouse on an ephemeral port over `n` file-backed shards
+/// rooted at `dir`, runs both traffic shapes, tears everything down.
+fn bench_shards(n: usize, dir: &std::path::Path, w: &Workload) -> Row {
+    std::fs::create_dir_all(dir).expect("bench dir");
+    let kinds = mws_store::shard_kinds(&StorageKind::File(dir.join("messages.wal")), n);
+    let clock = LogicalClock::new();
+    let mws = MwsService::new_sharded(
+        DeviceRegistry::new(),
+        kinds,
+        StorageKind::Memory,
+        StorageKind::Memory,
+        b"load-bench-secret",
+        clock,
+        ReplayPolicy::standard(),
+        7,
+        DeviceAuthVerifier::Mac,
+    )
+    .expect("service open");
+
+    let router = ShardRouter::new(n);
+    let mut devices = Vec::with_capacity(w.clients);
+    for i in 0..w.clients {
+        let sd_id = format!("bench-sd-{i}");
+        let mac_key = vec![i as u8 + 1; 32];
+        let attribute = attr_for(&router, n, i % n);
+        mws.register_device(&sd_id, &mac_key);
+        devices.push((sd_id, mac_key, attribute));
+    }
+
+    let mut server = TcpServer::spawn(
+        ServerConfig {
+            workers: w.clients,
+            ..ServerConfig::default()
+        },
+        || mws.as_service(),
+    )
+    .expect("server spawn");
+    let addr = server.local_addr();
+
+    // -- single-deposit shape: one fsync per deposit --------------------
+    let started = Instant::now();
+    let single_lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, (sd_id, mac_key, attribute))| {
+                scope.spawn(move || {
+                    let client = mws_server::TcpClient::new(addr).into_client();
+                    let mut lat = Vec::with_capacity(w.per_client);
+                    for seq in 0..w.per_client {
+                        let item = craft_item(
+                            mac_key, sd_id, attribute, 0, 1, n as u16, i as u16, seq as u64,
+                        );
+                        let req = item_to_request(sd_id, item);
+                        let t0 = Instant::now();
+                        let reply = client.call(&req).expect("deposit rtt");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        assert!(
+                            matches!(reply, Pdu::DepositAck { .. }),
+                            "single deposit not acked: {reply:?}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let single_secs = started.elapsed().as_secs_f64();
+    let single_n = (w.clients * w.per_client) as u64;
+    let (p50, p99) = quantiles(single_lat.into_iter().flatten().collect());
+    let single = ModeReport {
+        deposits: single_n,
+        secs: single_secs,
+        deposits_per_sec: single_n as f64 / single_secs,
+        p50_us: p50,
+        p99_us: p99,
+    };
+
+    // -- batched shape: group commit, one fsync per batch per shard -----
+    let started = Instant::now();
+    let batch_lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, (sd_id, mac_key, attribute))| {
+                scope.spawn(move || {
+                    let client = mws_server::TcpClient::new(addr).into_client();
+                    let mut lat = Vec::with_capacity(w.batches);
+                    for b in 0..w.batches {
+                        let items: Vec<DepositItem> = (0..w.batch_size)
+                            .map(|k| {
+                                let seq = (b * w.batch_size + k) as u64;
+                                craft_item(mac_key, sd_id, attribute, 0, 2, n as u16, i as u16, seq)
+                            })
+                            .collect();
+                        let req = Pdu::DepositBatch {
+                            sd_id: sd_id.clone(),
+                            items,
+                        };
+                        let t0 = Instant::now();
+                        let reply = client.call(&req).expect("batch rtt");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        match reply {
+                            Pdu::DepositBatchAck { results } => {
+                                assert_eq!(results.len(), w.batch_size);
+                                assert!(
+                                    results.iter().all(|r| r.status == DepositOutcome::STORED),
+                                    "batch item not stored"
+                                );
+                            }
+                            other => panic!("batch not acked: {other:?}"),
+                        }
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let batch_secs = started.elapsed().as_secs_f64();
+    let batch_n = (w.clients * w.batches * w.batch_size) as u64;
+    let (p50, p99) = quantiles(batch_lat.into_iter().flatten().collect());
+    let batch = ModeReport {
+        deposits: batch_n,
+        secs: batch_secs,
+        deposits_per_sec: batch_n as f64 / batch_secs,
+        p50_us: p50,
+        p99_us: p99,
+    };
+
+    if w.smoke {
+        // Durability + dedup gate: a retransmitted single deposit must come
+        // back as a dedup hit (same warehoused row), not a second row.
+        let (sd_id, mac_key, attribute) = &devices[0];
+        let item = craft_item(mac_key, sd_id, attribute, 0, 1, n as u16, 0, 0);
+        let client = mws_server::TcpClient::new(addr).into_client();
+        let reply = client
+            .call(&item_to_request(sd_id, item))
+            .expect("dedup rtt");
+        match reply {
+            // 409 Replay is the nonce-cache answer; a DepositAck would be
+            // the origin-dedup answer. Either proves no double store.
+            Pdu::Error { code: 409, .. } | Pdu::DepositAck { .. } => {}
+            other => panic!("retransmission neither deduped nor replay-rejected: {other:?}"),
+        }
+    }
+
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+    Row {
+        shards: n,
+        single,
+        batch,
+    }
+}
+
+fn render_mode(out: &mut String, name: &str, m: &ModeReport, trailing_comma: bool) {
+    let _ = writeln!(
+        out,
+        "      \"{name}\": {{ \"deposits\": {}, \"secs\": {:.3}, \"deposits_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}{}",
+        m.deposits,
+        m.secs,
+        m.deposits_per_sec,
+        m.p50_us,
+        m.p99_us,
+        if trailing_comma { "," } else { "" }
+    );
+}
+
+fn render_json(rows: &[Row], w: &Workload) -> String {
+    let find = |n: usize| rows.iter().find(|r| r.shards == n);
+    let speedup = match (find(16), find(1)) {
+        (Some(hi), Some(lo)) => hi.single.deposits_per_sec / lo.single.deposits_per_sec,
+        _ => 0.0,
+    };
+    let batch_speedup = match (find(16), find(1)) {
+        (Some(hi), Some(lo)) => hi.batch.deposits_per_sec / lo.batch.deposits_per_sec,
+        _ => 0.0,
+    };
+    // The headline: everything this PR adds (16 shards + batched group
+    // commit) against everything it replaces (1 shard, one fsync per
+    // deposit). Per-mode speedups above isolate each lever; on a
+    // single-core host they saturate at the CPU ceiling once fsync is
+    // off the critical path (see EXPERIMENTS.md).
+    let pipeline_speedup = match (find(16), find(1)) {
+        (Some(hi), Some(lo)) => hi.batch.deposits_per_sec / lo.single.deposits_per_sec,
+        _ => 0.0,
+    };
+    let mut out = String::from("{\n  \"bench\": \"load_bench\",\n");
+    let _ = writeln!(
+        out,
+        "  \"clients\": {}, \"per_client\": {}, \"batches\": {}, \"batch_size\": {},",
+        w.clients, w.per_client, w.batches, w.batch_size
+    );
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let _ = writeln!(out, "    {{\n      \"shards\": {},", row.shards);
+        render_mode(&mut out, "single", &row.single, true);
+        render_mode(&mut out, "batch", &row.batch, false);
+        let _ = writeln!(out, "    }}{}", if i + 1 == rows.len() { "" } else { "," });
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(
+        out,
+        "  \"speedup_single_16x_over_1x\": {speedup:.2},\n  \"speedup_batch_16x_over_1x\": {batch_speedup:.2},\n  \"speedup_pipeline_16x_over_baseline_1x\": {pipeline_speedup:.2}"
+    );
+    out.push_str("}\n");
+    out
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let w = if smoke {
+        Workload {
+            clients: 2,
+            per_client: 10,
+            batches: 3,
+            batch_size: 4,
+            smoke: true,
+        }
+    } else {
+        Workload {
+            clients: 16,
+            per_client: 400,
+            batches: 80,
+            batch_size: 8,
+            smoke: false,
+        }
+    };
+    let shard_counts: &[usize] = if smoke { &[2] } else { &[1, 4, 16] };
+
+    let base = std::env::temp_dir().join(format!("mws-load-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &n in shard_counts {
+        let row = bench_shards(n, &base.join(format!("shards-{n}")), &w);
+        eprintln!(
+            "shards={:>2}  single: {:>8.0} dep/s (p50 {:>5}µs, p99 {:>6}µs)   batch[{}]: {:>8.0} dep/s (p50 {:>5}µs, p99 {:>6}µs)",
+            row.shards,
+            row.single.deposits_per_sec,
+            row.single.p50_us,
+            row.single.p99_us,
+            w.batch_size,
+            row.batch.deposits_per_sec,
+            row.batch.p50_us,
+            row.batch.p99_us,
+        );
+        rows.push(row);
+    }
+    std::fs::remove_dir_all(&base).ok();
+
+    if smoke {
+        eprintln!("load_bench --smoke: every deposit acked, retransmission deduped");
+        return;
+    }
+
+    let json = render_json(&rows, &w);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+    if let (Some(hi), Some(lo)) = (
+        rows.iter().find(|r| r.shards == 16),
+        rows.iter().find(|r| r.shards == 1),
+    ) {
+        eprintln!(
+            "pipeline speedup (16-shard batched vs 1-shard per-deposit): {:.2}x",
+            hi.batch.deposits_per_sec / lo.single.deposits_per_sec
+        );
+    }
+    eprintln!("wrote BENCH_server.json");
+}

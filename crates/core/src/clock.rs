@@ -7,7 +7,7 @@
 //! combining a freshness window with a seen-nonce cache. `ReplayPolicy::Off`
 //! reproduces the prototype's (insecure) behaviour for comparison tests.
 
-use std::collections::VecDeque;
+use std::collections::{HashSet, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -63,10 +63,17 @@ impl ReplayPolicy {
 }
 
 /// Stateful replay detector.
+///
+/// The seen-nonce cache is a hash set paired with a FIFO eviction queue, so
+/// both the membership probe on [`Self::check`] and the eviction on
+/// [`Self::record`] are O(1) — this guard sits on the deposit hot path
+/// under the service lock, where a linear scan of a 4096-entry cache would
+/// cap warehouse throughput regardless of how many shards sit behind it.
 #[derive(Debug)]
 pub struct ReplayGuard {
     policy: ReplayPolicy,
-    seen: VecDeque<Vec<u8>>,
+    seen: HashSet<Vec<u8>>,
+    order: VecDeque<Vec<u8>>,
 }
 
 impl ReplayGuard {
@@ -74,7 +81,8 @@ impl ReplayGuard {
     pub fn new(policy: ReplayPolicy) -> Self {
         Self {
             policy,
-            seen: VecDeque::new(),
+            seen: HashSet::new(),
+            order: VecDeque::new(),
         }
     }
 
@@ -100,7 +108,7 @@ impl ReplayGuard {
             ReplayPolicy::Window { window, .. } => {
                 let fresh = timestamp <= now.saturating_add(window)
                     && timestamp.saturating_add(window) >= now;
-                fresh && !self.seen.iter().any(|n| n == nonce)
+                fresh && !self.seen.contains(nonce)
             }
         }
     }
@@ -108,10 +116,15 @@ impl ReplayGuard {
     /// Records a nonce as seen (second half of [`Self::check_and_record`]).
     pub fn record(&mut self, nonce: &[u8]) {
         if let ReplayPolicy::Window { cache, .. } = self.policy {
-            if self.seen.len() == cache {
-                self.seen.pop_front();
+            if !self.seen.insert(nonce.to_vec()) {
+                return; // already cached; keep its original eviction slot
             }
-            self.seen.push_back(nonce.to_vec());
+            if self.order.len() == cache {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.seen.remove(&oldest);
+                }
+            }
+            self.order.push_back(nonce.to_vec());
         }
     }
 }

@@ -178,6 +178,66 @@ impl SmartDevice {
         }
     }
 
+    /// Composes a [`Pdu::DepositBatch`] without sending it: one PDU
+    /// carrying several independently encrypted and authenticated deposits,
+    /// so the warehouse can group-commit rows landing on the same shard
+    /// into a single WAL append + fsync (DESIGN.md §9).
+    pub fn compose_deposit_batch(&mut self, deposits: &[(&str, &[u8])]) -> Pdu {
+        let items = deposits
+            .iter()
+            .map(
+                |(attribute, payload)| match self.compose_deposit(attribute, payload) {
+                    Pdu::DepositRequest {
+                        timestamp,
+                        u,
+                        algo,
+                        sealed,
+                        attribute,
+                        nonce,
+                        mac,
+                        ..
+                    } => mws_wire::DepositItem {
+                        timestamp,
+                        u,
+                        algo,
+                        sealed,
+                        attribute,
+                        nonce,
+                        mac,
+                    },
+                    _ => unreachable!("compose_deposit returns DepositRequest"),
+                },
+            )
+            .collect();
+        Pdu::DepositBatch {
+            sd_id: self.sd_id.clone(),
+            items,
+        }
+    }
+
+    /// Encrypts and deposits several messages in one round trip. Returns
+    /// the per-item outcomes in order; an item is only `STORED` /
+    /// `DUPLICATE` once durable on its shard, so callers may treat those
+    /// statuses exactly like a single deposit's ack.
+    pub fn deposit_batch(
+        &mut self,
+        deposits: &[(&str, &[u8])],
+    ) -> Result<Vec<mws_wire::DepositOutcome>, CoreError> {
+        let pdu = self.compose_deposit_batch(deposits);
+        let _span = mws_obs::trace::enter(mws_obs::trace::mint());
+        match self.mws.call(&pdu)? {
+            Pdu::DepositBatchAck { results } => {
+                if results.len() == deposits.len() {
+                    Ok(results)
+                } else {
+                    Err(CoreError::UnexpectedReply)
+                }
+            }
+            Pdu::Error { code, detail } => Err(CoreError::from_wire_error(code, detail)),
+            _ => Err(CoreError::UnexpectedReply),
+        }
+    }
+
     /// Encrypts and deposits one message, returning the warehouse id.
     pub fn deposit(&mut self, attribute: &str, payload: &[u8]) -> Result<u64, CoreError> {
         let pdu = self.compose_deposit(attribute, payload);

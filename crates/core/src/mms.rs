@@ -8,12 +8,19 @@
 
 use crate::policy::AttrPattern;
 use mws_store::{
-    AttributeId, MessageDb, MessageId, PolicyDb, Result as StoreResult, StorageKind, StoredMessage,
+    AttributeId, MessageId, PendingDeposit, PolicyDb, Result as StoreResult, ShardedMessageDb,
+    StorageKind, StoredMessage,
 };
+use std::sync::Arc;
 
 /// The MMS: message store + policy store + pattern grants.
+///
+/// The message warehouse is the sharded store behind an `Arc`, so the
+/// deposit hot path can append + fsync shard WALs *outside* the service
+/// lock (see `MwsService`) while this struct keeps exclusive ownership of
+/// the policy table and pattern grants.
 pub struct MessageManagementSystem {
-    messages: MessageDb,
+    messages: Arc<ShardedMessageDb>,
     policy: PolicyDb,
     /// §VIII "enhanced policies": pattern grants expanded lazily at
     /// retrieval time against the attributes actually warehoused.
@@ -21,16 +28,29 @@ pub struct MessageManagementSystem {
 }
 
 impl MessageManagementSystem {
-    /// Opens the MMS over the given storage backends.
+    /// Opens the MMS over the given storage backends (single-shard
+    /// warehouse, byte-compatible with pre-sharding deployments).
     pub fn open(messages: StorageKind, policy: StorageKind) -> StoreResult<Self> {
+        Self::open_sharded(vec![messages], policy)
+    }
+
+    /// Opens the MMS with one warehouse shard per entry of `messages`.
+    pub fn open_sharded(messages: Vec<StorageKind>, policy: StorageKind) -> StoreResult<Self> {
         Ok(Self {
-            messages: MessageDb::open(messages)?,
+            messages: Arc::new(ShardedMessageDb::open_with(messages)?),
             policy: PolicyDb::open(policy)?,
             patterns: Vec::new(),
         })
     }
 
-    /// Stores an authenticated deposit.
+    /// A shared handle to the message warehouse, for depositing outside
+    /// the owner's lock.
+    pub fn store_handle(&self) -> Arc<ShardedMessageDb> {
+        Arc::clone(&self.messages)
+    }
+
+    /// Stores an authenticated deposit (no durability point — relay
+    /// ingestion; the periodic sync provides the flush cadence).
     #[allow(clippy::too_many_arguments)]
     pub fn store_message(
         &mut self,
@@ -42,14 +62,21 @@ impl MessageManagementSystem {
         sd_id: &str,
         timestamp: u64,
     ) -> StoreResult<MessageId> {
-        self.messages
-            .insert(attribute, nonce, u, algo, sealed, sd_id, timestamp)
+        self.messages.insert(&PendingDeposit {
+            attribute: attribute.to_string(),
+            nonce: nonce.to_vec(),
+            u: u.to_vec(),
+            algo,
+            sealed: sealed.to_vec(),
+            sd_id: sd_id.to_string(),
+            timestamp,
+        })
     }
 
     /// Stores an authenticated deposit idempotently per `(sd_id, nonce)`
     /// origin: a retransmission of an already-warehoused deposit (e.g. the
     /// device never saw the ack) returns the original id with `false`
-    /// instead of storing a duplicate.
+    /// instead of storing a duplicate. Durable before returning.
     #[allow(clippy::too_many_arguments)]
     pub fn store_message_idempotent(
         &mut self,
@@ -61,13 +88,24 @@ impl MessageManagementSystem {
         sd_id: &str,
         timestamp: u64,
     ) -> StoreResult<(MessageId, bool)> {
-        self.messages
-            .insert_dedup(attribute, nonce, u, algo, sealed, sd_id, timestamp)
+        self.messages.deposit(&PendingDeposit {
+            attribute: attribute.to_string(),
+            nonce: nonce.to_vec(),
+            u: u.to_vec(),
+            algo,
+            sealed: sealed.to_vec(),
+            sd_id: sd_id.to_string(),
+            timestamp,
+        })
     }
 
     /// Grants `identity` access to a literal attribute (Table 1 row).
+    /// Durable before returning (policy changes are rare, deposits aren't,
+    /// so the fsync lives here rather than on the deposit path).
     pub fn grant(&mut self, identity: &str, attribute: &str) -> StoreResult<AttributeId> {
-        self.policy.grant(identity, attribute)
+        let aid = self.policy.grant(identity, attribute)?;
+        self.policy.sync()?;
+        Ok(aid)
     }
 
     /// Grants by pattern (future-work policy language). Literal patterns
@@ -75,25 +113,29 @@ impl MessageManagementSystem {
     pub fn grant_pattern(&mut self, identity: &str, pattern: AttrPattern) -> StoreResult<()> {
         if pattern.is_literal() {
             self.policy.grant(identity, pattern.source())?;
+            self.policy.sync()?;
         } else {
             self.patterns.push((identity.to_string(), pattern));
         }
         Ok(())
     }
 
-    /// Revokes one attribute (requirement iii).
+    /// Revokes one attribute (requirement iii). Durable before returning.
     pub fn revoke(&mut self, identity: &str, attribute: &str) -> StoreResult<()> {
         // A pattern that would re-derive this grant must go too, otherwise
         // the next retrieval silently re-grants it.
         self.patterns
             .retain(|(id, p)| !(id == identity && p.matches(attribute)));
-        self.policy.revoke(identity, attribute)
+        self.policy.revoke(identity, attribute)?;
+        self.policy.sync()
     }
 
-    /// Revokes everything for an identity.
+    /// Revokes everything for an identity. Durable before returning.
     pub fn revoke_identity(&mut self, identity: &str) -> StoreResult<usize> {
         self.patterns.retain(|(id, _)| id != identity);
-        self.policy.revoke_identity(identity)
+        let n = self.policy.revoke_identity(identity)?;
+        self.policy.sync()?;
+        Ok(n)
     }
 
     /// Expands this identity's pattern grants against the warehoused
@@ -106,12 +148,17 @@ impl MessageManagementSystem {
             .filter(|(id, _)| id == identity)
             .map(|(_, p)| p.clone())
             .collect();
+        let mut granted = false;
         for pattern in mine {
             for attr in &attrs {
                 if pattern.matches(attr) && !self.policy.has_access(identity, attr) {
                     self.policy.grant(identity, attr)?;
+                    granted = true;
                 }
             }
+        }
+        if granted {
+            self.policy.sync()?;
         }
         Ok(())
     }
@@ -160,13 +207,14 @@ impl MessageManagementSystem {
     }
 
     /// Read access to the message store.
-    pub fn messages(&self) -> &MessageDb {
+    pub fn messages(&self) -> &ShardedMessageDb {
         &self.messages
     }
 
-    /// Durability point for both stores.
+    /// Durability point for both stores (every warehouse shard, then the
+    /// policy table).
     pub fn sync(&mut self) -> StoreResult<()> {
-        self.messages.sync()?;
+        self.messages.sync_all()?;
         self.policy.sync()
     }
 }

@@ -16,6 +16,10 @@ pub(crate) struct CoreStats {
     pub deposit_rejected: Counter,
     pub deposit_replay: Counter,
     pub deposit_storage_error: Counter,
+    /// End-to-end batched-deposit handler latency (µs, whole batch).
+    pub deposit_batch_us: Histogram,
+    /// Items per DepositBatch PDU (coalescing effectiveness).
+    pub deposit_batch_items: Histogram,
     /// End-to-end retrieve handler latency (µs).
     pub retrieve_us: Histogram,
     pub retrieve_served: Counter,
@@ -52,6 +56,8 @@ pub(crate) fn stats() -> &'static CoreStats {
             deposit_rejected: deposit("rejected"),
             deposit_replay: deposit("replay"),
             deposit_storage_error: deposit("storage_error"),
+            deposit_batch_us: r.histogram("mws_core_deposit_batch_us"),
+            deposit_batch_items: r.histogram("mws_core_deposit_batch_items"),
             retrieve_us: r.histogram("mws_core_retrieve_us"),
             retrieve_served: retrieve("served"),
             retrieve_rejected: retrieve("rejected"),

@@ -22,8 +22,8 @@ use mws_crypto::{HmacDrbg, RsaKeyPair, RsaPublicKey};
 use mws_ibe::{CipherAlgo, IbeSystem};
 use mws_net::{Client, FaultConfig, Network};
 use mws_pairing::SecurityLevel;
-use mws_store::{FaultPlan, PolicyRow, StorageKind};
-use mws_wire::{Pdu, WireMessage};
+use mws_store::{FaultPlan, PendingDeposit, PolicyRow, ShardedMessageDb, StorageKind};
+use mws_wire::{DepositItem, DepositOutcome, Pdu, WireMessage};
 use parking_lot::Mutex;
 use rand::RngCore;
 use std::collections::HashMap;
@@ -43,13 +43,21 @@ struct MwsInner {
 }
 
 /// The network-facing Message Warehousing Service.
+///
+/// The deposit hot path is split across two locks: authentication, replay
+/// accounting and auditing run under the service lock (`inner`), while the
+/// WAL append + fsync runs against the sharded `store` handle under that
+/// shard's own lock — so deposits routed to different shards overlap their
+/// fsyncs instead of serializing behind one global mutex (DESIGN.md §9).
 #[derive(Clone)]
 pub struct MwsService {
     inner: Arc<Mutex<MwsInner>>,
+    store: Arc<ShardedMessageDb>,
+    clock: LogicalClock,
 }
 
 impl MwsService {
-    /// Creates the service.
+    /// Creates the service over a single-shard warehouse.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
         registry: DeviceRegistry,
@@ -62,23 +70,240 @@ impl MwsService {
         rng_seed: u64,
         device_auth: DeviceAuthVerifier,
     ) -> Result<Self, CoreError> {
+        Self::new_sharded(
+            registry,
+            vec![message_storage],
+            policy_storage,
+            user_storage,
+            mws_pkg_secret,
+            clock,
+            replay,
+            rng_seed,
+            device_auth,
+        )
+    }
+
+    /// Creates the service with one warehouse shard per entry of
+    /// `message_storages` (see [`mws_store::shard_kinds`] for deriving
+    /// per-shard kinds from a base path).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new_sharded(
+        registry: DeviceRegistry,
+        message_storages: Vec<StorageKind>,
+        policy_storage: StorageKind,
+        user_storage: StorageKind,
+        mws_pkg_secret: &[u8],
+        clock: LogicalClock,
+        replay: ReplayPolicy,
+        rng_seed: u64,
+        device_auth: DeviceAuthVerifier,
+    ) -> Result<Self, CoreError> {
+        let mms = MessageManagementSystem::open_sharded(message_storages, policy_storage)?;
+        let store = mms.store_handle();
         Ok(Self {
             inner: Arc::new(Mutex::new(MwsInner {
                 sda: SdAuthenticator::with_verifier(registry, replay.clone(), device_auth),
-                mms: MessageManagementSystem::open(message_storage, policy_storage)?,
+                mms,
                 gatekeeper: Gatekeeper::open(user_storage, replay)?,
                 tokens: TokenGenerator::new(mws_pkg_secret),
-                clock,
+                clock: clock.clone(),
                 rng: HmacDrbg::new(&rng_seed.to_be_bytes(), b"mws-service"),
                 audit: AuditLog::new(4096),
             })),
+            store,
+            clock,
         })
     }
 
     /// A bindable service facade.
     pub fn as_service(&self) -> impl mws_net::Service + 'static {
-        let inner = self.inner.clone();
-        move |req: Pdu| inner.lock().handle(req)
+        let this = self.clone();
+        move |req: Pdu| this.dispatch(req)
+    }
+
+    /// Routes one request. Deposits take the split-lock path; everything
+    /// else is handled under the service lock as before.
+    fn dispatch(&self, req: Pdu) -> Pdu {
+        match req {
+            Pdu::DepositRequest {
+                sd_id,
+                timestamp,
+                u,
+                algo,
+                sealed,
+                attribute,
+                nonce,
+                mac,
+            } => {
+                let start = std::time::Instant::now();
+                let reply = self.handle_deposit(
+                    PendingDeposit {
+                        attribute,
+                        nonce,
+                        u,
+                        algo,
+                        sealed,
+                        sd_id,
+                        timestamp,
+                    },
+                    mac,
+                );
+                stats().deposit_us.record_duration(start.elapsed());
+                reply
+            }
+            Pdu::DepositBatch { sd_id, items } => {
+                let start = std::time::Instant::now();
+                let reply = self.handle_deposit_batch(sd_id, items);
+                stats().deposit_batch_us.record_duration(start.elapsed());
+                reply
+            }
+            other => self.inner.lock().handle(other),
+        }
+    }
+
+    /// One deposit: verify under the service lock, append + fsync on the
+    /// owning shard *outside* it, then record the nonce and audit under the
+    /// lock again. The ack is only built after the shard reported the row
+    /// durable, and the replay nonce is only recorded after that same
+    /// point, so a failed store stays honestly retryable (PR 2 invariant).
+    fn handle_deposit(&self, row: PendingDeposit, mac: Vec<u8>) -> Pdu {
+        let now = self.clock.now();
+        {
+            let mut inner = self.inner.lock();
+            if let Err(reject) = inner.sda.verify_fresh(
+                now,
+                &row.sd_id,
+                row.timestamp,
+                &row.u,
+                &row.sealed,
+                &row.attribute,
+                &row.nonce,
+                &mac,
+            ) {
+                return reject_deposit(&mut inner, now, row.sd_id, &reject);
+            }
+        }
+        let (message_id, stored) = match self.store.deposit(&row) {
+            Ok(pair) => pair,
+            Err(_) => {
+                stats().deposit_storage_error.inc();
+                return err(500, "storage failure");
+            }
+        };
+        let mut inner = self.inner.lock();
+        inner.sda.record_deposit(&row.sd_id, &row.nonce);
+        if stored {
+            stats().deposit_accepted.inc();
+            inner.audit.record(
+                now,
+                AuditEvent::DepositAccepted {
+                    sd_id: row.sd_id,
+                    message_id,
+                },
+            );
+        } else {
+            // Honest retransmission answered from the origin index.
+            stats().deposit_duplicate.inc();
+        }
+        mws_obs::debug!(
+            target: "mws_core",
+            "deposit acked",
+            message_id = message_id,
+            deduplicated = !stored,
+        );
+        Pdu::DepositAck { message_id }
+    }
+
+    /// One DepositBatch: authenticate every item in a single lock pass,
+    /// group-commit the verified rows per shard (one WAL append + one fsync
+    /// per touched shard) outside the lock, then record nonces and audit.
+    /// The per-item acks in the response are only marked `STORED` /
+    /// `DUPLICATE` after the owning shard's fsync returned — batching
+    /// changes how rows share a frame, never the durable-before-ack order.
+    fn handle_deposit_batch(&self, sd_id: String, items: Vec<DepositItem>) -> Pdu {
+        let now = self.clock.now();
+        stats().deposit_batch_items.record(items.len() as u64);
+        let mut results = vec![
+            DepositOutcome {
+                status: DepositOutcome::STORAGE_ERROR,
+                message_id: 0,
+            };
+            items.len()
+        ];
+        let mut verified: Vec<(usize, PendingDeposit)> = Vec::with_capacity(items.len());
+        {
+            let mut inner = self.inner.lock();
+            for (i, item) in items.into_iter().enumerate() {
+                match inner.sda.verify_fresh(
+                    now,
+                    &sd_id,
+                    item.timestamp,
+                    &item.u,
+                    &item.sealed,
+                    &item.attribute,
+                    &item.nonce,
+                    &item.mac,
+                ) {
+                    Ok(()) => verified.push((
+                        i,
+                        PendingDeposit {
+                            attribute: item.attribute,
+                            nonce: item.nonce,
+                            u: item.u,
+                            algo: item.algo,
+                            sealed: item.sealed,
+                            sd_id: sd_id.clone(),
+                            timestamp: item.timestamp,
+                        },
+                    )),
+                    Err(reject) => {
+                        results[i].status = audit_batch_reject(&mut inner, now, &sd_id, &reject);
+                    }
+                }
+            }
+        }
+        let rows: Vec<PendingDeposit> = verified.iter().map(|(_, row)| row.clone()).collect();
+        let outcomes = self.store.deposit_batch(&rows);
+        let mut inner = self.inner.lock();
+        for ((i, row), outcome) in verified.into_iter().zip(outcomes) {
+            match outcome {
+                Some((message_id, fresh)) => {
+                    inner.sda.record_deposit(&sd_id, &row.nonce);
+                    results[i] = DepositOutcome {
+                        status: if fresh {
+                            DepositOutcome::STORED
+                        } else {
+                            DepositOutcome::DUPLICATE
+                        },
+                        message_id,
+                    };
+                    if fresh {
+                        stats().deposit_accepted.inc();
+                        inner.audit.record(
+                            now,
+                            AuditEvent::DepositAccepted {
+                                sd_id: sd_id.clone(),
+                                message_id,
+                            },
+                        );
+                    } else {
+                        stats().deposit_duplicate.inc();
+                    }
+                }
+                None => {
+                    // Shard append/fsync failed; nonce NOT recorded, so the
+                    // device's retransmission of this item will be accepted.
+                    stats().deposit_storage_error.inc();
+                }
+            }
+        }
+        drop(inner);
+        mws_obs::debug!(
+            target: "mws_core",
+            "deposit batch acked",
+            items = results.len(),
+        );
+        Pdu::DepositBatchAck { results }
     }
 
     /// Registers a device MAC key (SDA key management).
@@ -208,6 +433,12 @@ impl MwsService {
         self.inner.lock().mms.messages().len()
     }
 
+    /// A shared handle to the sharded message warehouse, for inspecting
+    /// per-shard state (row counts, metrics) without the service lock.
+    pub fn store_handle(&self) -> Arc<ShardedMessageDb> {
+        Arc::clone(&self.store)
+    }
+
     /// Audit rejections so far.
     pub fn rejection_count(&self) -> usize {
         self.inner.lock().audit.rejection_count()
@@ -219,25 +450,69 @@ impl MwsService {
     }
 }
 
+/// Audits and answers a rejected single deposit ("the message is discarded
+/// and optionally an alert is sent").
+fn reject_deposit(
+    inner: &mut MwsInner,
+    now: u64,
+    sd_id: String,
+    reject: &crate::sda::SdaReject,
+) -> Pdu {
+    inner.audit.record(
+        now,
+        AuditEvent::DepositRejected {
+            sd_id,
+            reason: reject.to_string(),
+        },
+    );
+    let code = match reject {
+        crate::sda::SdaReject::Replay => {
+            stats().deposit_replay.inc();
+            409
+        }
+        _ => {
+            stats().deposit_rejected.inc();
+            401
+        }
+    };
+    mws_obs::warn!(
+        target: "mws_core",
+        "deposit rejected",
+        code = u64::from(code),
+        reason = reject.to_string(),
+    );
+    err(code, &reject.to_string())
+}
+
+/// Audits a rejected batch item and returns its per-item status byte.
+fn audit_batch_reject(
+    inner: &mut MwsInner,
+    now: u64,
+    sd_id: &str,
+    reject: &crate::sda::SdaReject,
+) -> u8 {
+    inner.audit.record(
+        now,
+        AuditEvent::DepositRejected {
+            sd_id: sd_id.to_string(),
+            reason: reject.to_string(),
+        },
+    );
+    match reject {
+        crate::sda::SdaReject::Replay => {
+            stats().deposit_replay.inc();
+            DepositOutcome::REPLAY
+        }
+        _ => {
+            stats().deposit_rejected.inc();
+            DepositOutcome::REJECTED
+        }
+    }
+}
+
 impl MwsInner {
     fn handle(&mut self, req: Pdu) -> Pdu {
         match req {
-            Pdu::DepositRequest {
-                sd_id,
-                timestamp,
-                u,
-                algo,
-                sealed,
-                attribute,
-                nonce,
-                mac,
-            } => {
-                let start = std::time::Instant::now();
-                let reply =
-                    self.handle_deposit(sd_id, timestamp, u, algo, sealed, attribute, nonce, mac);
-                stats().deposit_us.record_duration(start.elapsed());
-                reply
-            }
             Pdu::RetrieveRequest {
                 rc_id,
                 auth,
@@ -260,85 +535,6 @@ impl MwsInner {
             },
             _ => err(400, "unexpected PDU at MWS"),
         }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn handle_deposit(
-        &mut self,
-        sd_id: String,
-        timestamp: u64,
-        u: Vec<u8>,
-        algo: u8,
-        sealed: Vec<u8>,
-        attribute: String,
-        nonce: Vec<u8>,
-        mac: Vec<u8>,
-    ) -> Pdu {
-        let now = self.clock.now();
-        if let Err(reject) = self.sda.verify_fresh(
-            now, &sd_id, timestamp, &u, &sealed, &attribute, &nonce, &mac,
-        ) {
-            // "the message is discarded and optionally an alert is sent".
-            self.audit.record(
-                now,
-                AuditEvent::DepositRejected {
-                    sd_id,
-                    reason: reject.to_string(),
-                },
-            );
-            let code = match reject {
-                crate::sda::SdaReject::Replay => {
-                    stats().deposit_replay.inc();
-                    409
-                }
-                _ => {
-                    stats().deposit_rejected.inc();
-                    401
-                }
-            };
-            mws_obs::warn!(
-                target: "mws_core",
-                "deposit rejected",
-                code = u64::from(code),
-                reason = reject.to_string(),
-            );
-            return err(code, &reject.to_string());
-        }
-        // Store → sync → record, in that order. A failure anywhere before
-        // the nonce is recorded leaves the replay guard untouched, so the
-        // device's honest retransmission is accepted (idempotently, via the
-        // origin index) instead of being misread as a replay — an acked
-        // deposit is durable, a failed one is retryable.
-        let (message_id, stored) = match self
-            .mms
-            .store_message_idempotent(&attribute, &nonce, &u, algo, &sealed, &sd_id, timestamp)
-        {
-            Ok(pair) => pair,
-            Err(_) => {
-                stats().deposit_storage_error.inc();
-                return err(500, "storage failure");
-            }
-        };
-        if self.mms.sync().is_err() {
-            stats().deposit_storage_error.inc();
-            return err(500, "storage failure");
-        }
-        self.sda.record_deposit(&sd_id, &nonce);
-        if stored {
-            stats().deposit_accepted.inc();
-            self.audit
-                .record(now, AuditEvent::DepositAccepted { sd_id, message_id });
-        } else {
-            // Honest retransmission answered from the origin index.
-            stats().deposit_duplicate.inc();
-        }
-        mws_obs::debug!(
-            target: "mws_core",
-            "deposit acked",
-            message_id = message_id,
-            deduplicated = !stored,
-        );
-        Pdu::DepositAck { message_id }
     }
 
     fn handle_retrieve(&mut self, rc_id: String, auth: Vec<u8>, since: u64, limit: u32) -> Pdu {
@@ -466,8 +662,15 @@ pub struct DeploymentConfig {
     /// Fault injection on the PKG endpoint.
     pub pkg_fault: FaultConfig,
     /// Injected-failure schedule for the message store (chaos testing);
-    /// the caller keeps a clone of the plan to steer it.
+    /// the caller keeps a clone of the plan to steer it. Applies to every
+    /// shard; use [`Self::message_shard_faults`] for per-shard plans.
     pub message_store_faults: Option<FaultPlan>,
+    /// Warehouse shard count (DESIGN.md §9). `1` reproduces the unsharded
+    /// layout bit-for-bit, including WAL file names.
+    pub message_shards: usize,
+    /// Per-shard-index injected-failure schedules (chaos testing of shard
+    /// recovery isolation). Indices outside `0..message_shards` are ignored.
+    pub message_shard_faults: Vec<(usize, FaultPlan)>,
 }
 
 impl DeploymentConfig {
@@ -487,6 +690,8 @@ impl DeploymentConfig {
             mws_fault: FaultConfig::default(),
             pkg_fault: FaultConfig::default(),
             message_store_faults: None,
+            message_shards: 1,
+            message_shard_faults: Vec::new(),
         }
     }
 
@@ -499,6 +704,20 @@ impl DeploymentConfig {
             (Some(plan), "messages") => base.with_faults(plan.clone()),
             _ => base,
         }
+    }
+
+    /// Per-shard message storage kinds: the base layout from
+    /// [`Self::storage`], striped `message_shards` ways, with any per-shard
+    /// fault plans attached to their shard index.
+    fn message_storages(&self) -> Vec<StorageKind> {
+        let mut kinds =
+            mws_store::shard_kinds(&self.storage("messages"), self.message_shards.max(1));
+        for (idx, plan) in &self.message_shard_faults {
+            if let Some(kind) = kinds.get_mut(*idx) {
+                *kind = kind.clone().with_faults(plan.clone());
+            }
+        }
+        kinds
     }
 }
 
@@ -559,9 +778,9 @@ impl Deployment {
                 mpk,
             },
         };
-        let mws = MwsService::new(
+        let mws = MwsService::new_sharded(
             DeviceRegistry::new(),
-            config.storage("messages"),
+            config.message_storages(),
             config.storage("policy"),
             config.storage("users"),
             &mws_pkg_secret,
@@ -841,6 +1060,81 @@ mod tests {
         let msgs = rc.retrieve_and_decrypt(0).unwrap();
         assert_eq!(msgs.len(), 1);
         assert_eq!(msgs[0].plaintext, b"durable reading");
+    }
+
+    #[test]
+    fn batched_deposit_end_to_end_on_a_sharded_warehouse() {
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_shards: 4,
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["A", "B", "C"]);
+        let mut meter = dep.device("m");
+        let outcomes = meter
+            .deposit_batch(&[
+                ("A", b"one".as_slice()),
+                ("B", b"two".as_slice()),
+                ("C", b"three".as_slice()),
+            ])
+            .unwrap();
+        assert_eq!(outcomes.len(), 3);
+        assert!(outcomes.iter().all(|o| o.status == DepositOutcome::STORED));
+        assert_eq!(dep.mws().message_count(), 3);
+        // Every batched item decrypts like a single deposit would.
+        let mut rc = dep.client("rc", "pw");
+        let msgs = rc.retrieve_and_decrypt(0).unwrap();
+        assert_eq!(msgs.len(), 3);
+        let mut plain: Vec<&[u8]> = msgs.iter().map(|m| m.plaintext.as_slice()).collect();
+        plain.sort_unstable();
+        assert_eq!(plain, vec![b"one".as_slice(), b"three", b"two"]);
+    }
+
+    #[test]
+    fn batch_mixes_statuses_per_item() {
+        let mut dep = deployment();
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["A"]);
+        let mut meter = dep.device("m");
+        let mut pdu = meter
+            .compose_deposit_batch(&[("A", b"good".as_slice()), ("A", b"tampered".as_slice())]);
+        if let Pdu::DepositBatch { items, .. } = &mut pdu {
+            items[1].sealed[0] ^= 1; // in-flight tamper on item 1 only
+            let dup = items[0].clone();
+            items.push(dup); // same origin as item 0, inside one batch
+        }
+        let reply = dep.network().client("mws").call(&pdu).unwrap();
+        let Pdu::DepositBatchAck { results } = reply else {
+            panic!("expected batch ack");
+        };
+        assert_eq!(results[0].status, DepositOutcome::STORED);
+        assert_eq!(results[1].status, DepositOutcome::REJECTED);
+        assert_eq!(results[2].status, DepositOutcome::DUPLICATE);
+        assert_eq!(results[2].message_id, results[0].message_id);
+        assert_eq!(dep.mws().message_count(), 1, "tampered item discarded");
+        assert_eq!(dep.mws().rejection_count(), 1);
+        // Retransmitting the whole batch now trips the replay guard.
+        let reply = dep.network().client("mws").call(&pdu).unwrap();
+        let Pdu::DepositBatchAck { results } = reply else {
+            panic!("expected batch ack");
+        };
+        assert_eq!(results[0].status, DepositOutcome::REPLAY);
+    }
+
+    #[test]
+    fn sharded_deployment_serves_single_deposits_too() {
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_shards: 3,
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["X", "Y"]);
+        let mut meter = dep.device("m");
+        let a = meter.deposit("X", b"one").unwrap();
+        let b = meter.deposit("Y", b"two").unwrap();
+        assert_ne!(a, b, "ids unique across shards");
+        let mut rc = dep.client("rc", "pw");
+        assert_eq!(rc.retrieve_and_decrypt(0).unwrap().len(), 2);
     }
 
     #[test]

@@ -1,13 +1,63 @@
 //! Scrapes the `Stats` admin PDU from each running daemon and prints the
 //! Prometheus-style exposition text, one section per daemon.
 //!
-//! USAGE: `mws-stats [addr ...]` — defaults to the three fixed ports
-//! (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable daemons are
+//! USAGE: `mws-stats [--shards] [addr ...]` — defaults to the three fixed
+//! ports (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable daemons are
 //! reported and skipped; the exit code is the number of scrape failures.
+//! With `--shards`, a warehouse section is followed by a per-shard summary
+//! table built from the `mws_store_shard_*` series (DESIGN.md §9).
 
 use mws_server::{ClientConfig, TcpClient};
 use mws_wire::Pdu;
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// The per-shard counter families, in summary-column order.
+const SHARD_COLS: [&str; 4] = [
+    "mws_store_shard_deposits_total",
+    "mws_store_shard_dedup_hits_total",
+    "mws_store_shard_group_commits_total",
+    "mws_store_shard_coalesced_total",
+];
+
+/// Parses the `mws_store_shard_*{shard="k"}` series out of an exposition
+/// dump into a per-shard table, or `None` when the daemon has no sharded
+/// warehouse (PKG, gatekeeper, unsharded MMS).
+fn shard_summary(text: &str) -> Option<String> {
+    let mut rows: BTreeMap<u64, [u64; 4]> = BTreeMap::new();
+    for line in text.lines() {
+        let Some((name_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Some((name, labels)) = name_labels.split_once('{') else {
+            continue;
+        };
+        let Some(col) = SHARD_COLS.iter().position(|c| *c == name) else {
+            continue;
+        };
+        let shard = labels
+            .trim_end_matches('}')
+            .split(',')
+            .find_map(|l| l.strip_prefix("shard=\""))
+            .map(|s| s.trim_end_matches('"'));
+        let (Some(Ok(shard)), Ok(value)) = (shard.map(str::parse::<u64>), value.parse::<u64>())
+        else {
+            continue;
+        };
+        rows.entry(shard).or_default()[col] = value;
+    }
+    if rows.is_empty() {
+        return None;
+    }
+    let mut out = String::from("# shard   deposits  dedup_hits  group_commits  coalesced\n");
+    for (shard, v) in rows {
+        out.push_str(&format!(
+            "# {shard:>5}  {:>9}  {:>10}  {:>13}  {:>9}\n",
+            v[0], v[1], v[2], v[3]
+        ));
+    }
+    Some(out)
+}
 
 fn scrape(addr: &str) -> Result<(String, String), String> {
     let sock = addr
@@ -36,10 +86,13 @@ fn main() {
     if targets.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "mws-stats — scrape the Stats admin PDU from MWS daemons\n\n\
-             USAGE: mws-stats [addr ...]   (default: the three fixed ports)"
+             USAGE: mws-stats [--shards] [addr ...]   (default: the three fixed ports)\n\n\
+             FLAGS:\n  --shards   append a per-shard warehouse summary table per section"
         );
         return;
     }
+    let shards = targets.iter().any(|a| a == "--shards");
+    targets.retain(|a| a != "--shards");
     if targets.is_empty() {
         targets = vec![
             "127.0.0.1:7101".into(),
@@ -53,6 +106,12 @@ fn main() {
             Ok((role, text)) => {
                 println!("# ---- {role} @ {addr} ----");
                 print!("{text}");
+                if shards {
+                    match shard_summary(&text) {
+                        Some(table) => print!("{table}"),
+                        None => println!("# (no sharded warehouse on this daemon)"),
+                    }
+                }
             }
             Err(e) => {
                 eprintln!("mws-stats: {addr}: {e}");

@@ -110,6 +110,8 @@ pub struct DaemonOpts {
     pub seed: u64,
     /// Worker pool size.
     pub workers: usize,
+    /// Message-warehouse shard count (MMS role; DESIGN.md §9).
+    pub shards: usize,
     /// Devices to provision, in registration order.
     pub devices: Vec<String>,
     /// Clients to provision, in registration order.
@@ -125,6 +127,7 @@ impl DaemonOpts {
             listen: format!("127.0.0.1:{}", role.default_port()),
             seed: 42,
             workers: 4,
+            shards: 1,
             devices: Vec::new(),
             clients: Vec::new(),
             upstream: format!("127.0.0.1:{}", Role::Mms.default_port()),
@@ -148,6 +151,7 @@ pub fn usage(role: Role) -> String {
          \x20 --listen <addr>         listen address (default 127.0.0.1:{port})\n\
          \x20 --seed <u64>            deployment master seed, identical across daemons (default 42)\n\
          \x20 --workers <n>           worker threads (default 4)\n\
+         \x20 --shards <n>            message-warehouse shards (default 1)\n\
          \x20 --device <sd_id>        provision a smart device (repeatable, order matters)\n\
          \x20 --client <id:pw[:a,b]>  provision an RC with attribute grants (repeatable, order matters){extra}\n\
          \x20 --help                  print this help",
@@ -183,6 +187,12 @@ where
                     .parse()
                     .map_err(|_| FlagError::Bad(format!("--workers expects a count, got '{v}'")))?;
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                opts.shards = v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    FlagError::Bad(format!("--shards expects a count >= 1, got '{v}'"))
+                })?;
+            }
             "--device" => opts.devices.push(value("--device")?),
             "--client" => opts
                 .clients
@@ -205,6 +215,7 @@ where
 pub fn provision(opts: &DaemonOpts) -> Deployment {
     let mut dep = Deployment::new(DeploymentConfig {
         seed: opts.seed,
+        message_shards: opts.shards,
         ..DeploymentConfig::test_default()
     });
     for sd_id in &opts.devices {
@@ -356,6 +367,15 @@ mod tests {
         );
         assert!(opts.clients[1].attributes.is_empty());
         assert_eq!(opts.upstream, "10.0.0.1:7101");
+    }
+
+    #[test]
+    fn shards_flag_parses_and_rejects_zero() {
+        let opts = parse_args(Role::Mms, argv(&["--shards", "4"])).unwrap();
+        assert_eq!(opts.shards, 4);
+        assert_eq!(parse_args(Role::Mms, argv(&[])).unwrap().shards, 1);
+        assert!(parse_args(Role::Mms, argv(&["--shards", "0"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--shards", "many"])).is_err());
     }
 
     #[test]

@@ -10,7 +10,10 @@
 //!   is self-delimiting, so stream framing is just concatenated frames),
 //!   tolerant of arbitrary split reads via `mws_wire::StreamDecoder`.
 //! * [`server`] — [`TcpServer`]: accept loop + bounded worker pool +
-//!   per-connection timeouts + graceful join-everything shutdown.
+//!   per-connection timeouts + graceful join-everything shutdown. Each
+//!   connection is pipelined: a reader thread decodes the next request
+//!   while the worker handles the previous one, with replies kept in
+//!   request order.
 //! * [`client`] — [`TcpClient`]: a persistent-connection socket
 //!   implementation of the `mws-net` [`Transport`](mws_net::Transport)
 //!   trait with connect/request timeouts, seeded decorrelated-jitter
@@ -28,7 +31,7 @@
 //! dependencies beyond the workspace's existing ones.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod chaos;
 pub mod client;

@@ -11,6 +11,14 @@
 //! self-connection wakes the accept loop out of `accept(2)`, dropping the
 //! channel sender drains the workers, and every thread is joined before
 //! [`TcpServer::shutdown`] returns.
+//!
+//! Connections are **pipelined**: each one gets a dedicated reader thread
+//! that decodes the next request off the socket while the worker is still
+//! handling the previous one, feeding a bounded queue
+//! ([`ServerConfig::pipeline_depth`]). The worker drains that queue in
+//! order, so replies always match request order — a client may write N
+//! frames back-to-back and read N replies, and decode cost overlaps
+//! handler cost instead of serializing behind it.
 
 use crate::framing::{is_timeout, write_frame};
 use crate::stats::{handle_us, stats};
@@ -25,6 +33,18 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning for a [`TcpServer`].
+///
+/// ```
+/// use mws_server::ServerConfig;
+///
+/// let cfg = ServerConfig::default();
+/// assert_eq!(cfg.pipeline_depth, 32);
+///
+/// // Tune a single knob, keep the rest at defaults.
+/// let tuned = ServerConfig { pipeline_depth: 4, ..ServerConfig::listen("127.0.0.1:0") };
+/// assert_eq!(tuned.pipeline_depth, 4);
+/// assert_eq!(tuned.workers, cfg.workers);
+/// ```
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Listen address; port 0 binds an ephemeral port (tests).
@@ -40,6 +60,12 @@ pub struct ServerConfig {
     pub read_poll: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
+    /// Per-connection pipeline: how many decoded-but-unhandled requests
+    /// the reader thread may run ahead of the handler. Past this the
+    /// reader stops pulling off the socket and TCP backpressure reaches
+    /// the client. `1` still overlaps decode with handling; `0` is
+    /// clamped to `1`.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -50,6 +76,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             read_poll: Duration::from_millis(50),
             write_timeout: Duration::from_secs(2),
+            pipeline_depth: 32,
         }
     }
 }
@@ -102,6 +129,7 @@ impl TcpServer {
             let mut service = factory();
             let read_poll = cfg.read_poll;
             let write_timeout = cfg.write_timeout;
+            let pipeline_depth = cfg.pipeline_depth.max(1);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("mws-worker-{i}"))
@@ -110,7 +138,14 @@ impl TcpServer {
                             if shutdown.load(Ordering::SeqCst) {
                                 break;
                             }
-                            serve_conn(stream, &mut service, &shutdown, read_poll, write_timeout);
+                            serve_conn(
+                                stream,
+                                &mut service,
+                                &shutdown,
+                                read_poll,
+                                write_timeout,
+                                pipeline_depth,
+                            );
                         }
                     })?,
             );
@@ -180,15 +215,30 @@ fn accept_loop(listener: TcpListener, tx: channel::Sender<TcpStream>, shutdown: 
     }
 }
 
+/// What the per-connection reader thread hands to the handler loop.
+enum Inbound {
+    /// A decoded request plus the trace context from its envelope.
+    Req(Pdu, Option<mws_obs::trace::TraceContext>),
+    /// The stream desynchronized; the rendered wire error ends the
+    /// connection after the already-decoded queue drains.
+    Desync(String),
+}
+
 /// Serves one connection until the peer closes, the stream corrupts, or
-/// shutdown is signalled. Frames may arrive in arbitrary splits; the
-/// [`StreamDecoder`] reassembles them.
+/// shutdown is signalled.
+///
+/// The socket is split in two (`try_clone` shares the fd): a reader
+/// thread decodes frames — tolerating arbitrary split reads via
+/// [`StreamDecoder`] — into a bounded queue while this thread handles
+/// requests and writes replies. Replies stay in request order because one
+/// handler drains one FIFO; the overlap is purely decode-vs-handle.
 fn serve_conn<S: Service>(
     mut stream: TcpStream,
     service: &mut S,
-    shutdown: &AtomicBool,
+    shutdown: &Arc<AtomicBool>,
     read_poll: Duration,
     write_timeout: Duration,
+    pipeline_depth: usize,
 ) {
     if stream.set_read_timeout(Some(read_poll)).is_err()
         || stream.set_write_timeout(Some(write_timeout)).is_err()
@@ -197,51 +247,114 @@ fn serve_conn<S: Service>(
     }
     let _ = stream.set_nodelay(true);
     stats().connections.inc();
+    let reader_stream = match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    };
+    let done = Arc::new(AtomicBool::new(false));
+    let (tx, rx) = channel::bounded::<Inbound>(pipeline_depth.max(1));
+    let reader = {
+        let done = done.clone();
+        let shutdown = shutdown.clone();
+        std::thread::Builder::new()
+            .name("mws-conn-reader".into())
+            .spawn(move || read_loop(reader_stream, &tx, &done, &shutdown))
+    };
+    let Ok(reader) = reader else { return };
+    serve_replies(&mut stream, service, shutdown, &rx, read_poll);
+    // Unwind the reader: the flag covers its timeout polls, the socket
+    // shutdown unblocks a read in progress, and dropping the receiver
+    // unparks a send() against a full queue.
+    done.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(Shutdown::Both);
+    drop(rx);
+    let _ = reader.join();
+}
+
+/// Reader half of a pipelined connection: socket bytes → decoded PDUs.
+fn read_loop(
+    mut stream: TcpStream,
+    tx: &channel::Sender<Inbound>,
+    done: &AtomicBool,
+    shutdown: &AtomicBool,
+) {
     let mut decoder = StreamDecoder::new();
     let mut buf = [0u8; 8 * 1024];
     loop {
         loop {
             match decoder.next_traced() {
                 Ok(Some((request, trace))) => {
-                    stats().requests.inc();
-                    // Re-enter the caller's trace scope for the whole
-                    // handle + reply, so every event the handler emits —
-                    // and the reply frame itself — carries the trace id.
-                    let _span = trace.map(mws_obs::trace::enter);
-                    let pdu = request.type_name();
-                    let started = Instant::now();
-                    let reply = service.handle(request);
-                    handle_us(pdu).record_duration(started.elapsed());
-                    if write_frame(&mut stream, &reply).is_err() {
+                    // A full queue blocks here, which stops the socket
+                    // reads below — TCP backpressure is the flow control.
+                    if tx.send(Inbound::Req(request, trace)).is_err() {
                         return;
                     }
                 }
                 Ok(None) => break,
                 Err(wire_err) => {
-                    stats().wire_errors.inc();
-                    mws_obs::warn!(target: "mws_server", "stream desynchronized, dropping connection",
-                        error = wire_err.to_string(),);
-                    // Desynchronized stream: tell the peer why, then drop.
-                    let _ = write_frame(
-                        &mut stream,
-                        &Pdu::Error {
-                            code: 400,
-                            detail: wire_err.to_string(),
-                        },
-                    );
-                    let _ = stream.shutdown(Shutdown::Both);
+                    // No resynchronizing a byte stream: stop decoding and
+                    // let the handler report after the queue drains.
+                    let _ = tx.send(Inbound::Desync(wire_err.to_string()));
                     return;
                 }
             }
         }
-        if shutdown.load(Ordering::SeqCst) {
+        if done.load(Ordering::SeqCst) || shutdown.load(Ordering::SeqCst) {
             return;
         }
         match stream.read(&mut buf) {
             Ok(0) => return, // clean close
             Ok(n) => decoder.feed(&buf[..n]),
-            Err(ref e) if is_timeout(e) => continue, // poll the shutdown flag
+            Err(ref e) if is_timeout(e) => continue, // poll the flags
             Err(_) => return,
+        }
+    }
+}
+
+/// Handler half of a pipelined connection: decoded PDUs → replies, in
+/// queue (= request) order.
+fn serve_replies<S: Service>(
+    stream: &mut TcpStream,
+    service: &mut S,
+    shutdown: &AtomicBool,
+    rx: &channel::Receiver<Inbound>,
+    poll: Duration,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        let inbound = match rx.recv_timeout(poll) {
+            Ok(inbound) => inbound,
+            Err(channel::RecvTimeoutError::Timeout) => continue, // poll the flag
+            Err(channel::RecvTimeoutError::Disconnected) => return, // reader gone
+        };
+        match inbound {
+            Inbound::Req(request, trace) => {
+                stats().requests.inc();
+                // How far the reader ran ahead — queue occupancy at
+                // dequeue time, 0 when decode isn't the bottleneck.
+                stats().pipeline_depth.record(rx.len() as u64);
+                // Re-enter the caller's trace scope for the whole
+                // handle + reply, so every event the handler emits —
+                // and the reply frame itself — carries the trace id.
+                let _span = trace.map(mws_obs::trace::enter);
+                let pdu = request.type_name();
+                let started = Instant::now();
+                let reply = service.handle(request);
+                handle_us(pdu).record_duration(started.elapsed());
+                if write_frame(stream, &reply).is_err() {
+                    return;
+                }
+            }
+            Inbound::Desync(detail) => {
+                stats().wire_errors.inc();
+                mws_obs::warn!(target: "mws_server", "stream desynchronized, dropping connection",
+                    error = detail.clone(),);
+                // Desynchronized stream: tell the peer why, then drop.
+                let _ = write_frame(stream, &Pdu::Error { code: 400, detail });
+                return;
+            }
         }
     }
 }
@@ -323,6 +436,67 @@ mod tests {
                 Pdu::DepositAck { message_id: id }
             );
         }
+    }
+
+    #[test]
+    fn slow_handler_still_replies_in_order_through_a_tiny_pipeline() {
+        // A 2-deep pipeline with a slow handler: the reader runs ahead,
+        // fills the queue, backpressures — and every reply still comes
+        // back in request order.
+        let server = TcpServer::spawn(
+            ServerConfig {
+                pipeline_depth: 2,
+                ..ServerConfig::default()
+            },
+            || {
+                |req: Pdu| {
+                    std::thread::sleep(Duration::from_millis(5));
+                    req
+                }
+            },
+        )
+        .unwrap();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        for id in 0..8u64 {
+            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+        }
+        s.write_all(&wire).unwrap();
+        for id in 0..8u64 {
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            assert_eq!(
+                decode_envelope(&frame).unwrap().0,
+                Pdu::DepositAck { message_id: id }
+            );
+        }
+    }
+
+    #[test]
+    fn queued_requests_are_answered_before_a_desync_closes() {
+        // Good frames followed by garbage on one write: the pipeline must
+        // answer every decoded request, then the 400, then close.
+        let server = echo_server();
+        let mut s = TcpStream::connect(server.local_addr()).unwrap();
+        let mut wire = Vec::new();
+        for id in 0..3u64 {
+            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+        }
+        wire.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        s.write_all(&wire).unwrap();
+        for id in 0..3u64 {
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            assert_eq!(
+                decode_envelope(&frame).unwrap().0,
+                Pdu::DepositAck { message_id: id }
+            );
+        }
+        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+        assert!(matches!(
+            decode_envelope(&frame).unwrap().0,
+            Pdu::Error { code: 400, .. }
+        ));
+        let mut rest = Vec::new();
+        assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
     }
 
     #[test]

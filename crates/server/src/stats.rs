@@ -15,6 +15,9 @@ pub(crate) struct ServerStats {
     pub requests: Counter,
     /// Connections dropped because the stream stopped parsing.
     pub wire_errors: Counter,
+    /// Queue occupancy at dequeue: how many decoded requests were waiting
+    /// behind the one being handled (0 = decode isn't the bottleneck).
+    pub pipeline_depth: Histogram,
     /// Client-side retransmissions after a retryable failure.
     pub client_retries: Counter,
     pub breaker_opened: Counter,
@@ -36,6 +39,7 @@ pub(crate) fn stats() -> &'static ServerStats {
             connections: r.counter("mws_server_connections_total"),
             requests: r.counter("mws_server_requests_total"),
             wire_errors: r.counter("mws_server_wire_errors_total"),
+            pipeline_depth: r.histogram("mws_server_pipeline_depth"),
             client_retries: r.counter("mws_server_client_retries_total"),
             breaker_opened: breaker("open"),
             breaker_half_open: breaker("half_open"),

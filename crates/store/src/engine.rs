@@ -18,6 +18,11 @@ use std::time::Instant;
 
 const OP_PUT: u8 = 1;
 const OP_DEL: u8 = 2;
+/// A group-committed batch of `OP_PUT` sub-entries carried in ONE WAL
+/// frame: the whole batch shares a single CRC, so recovery either replays
+/// every row or discards the frame — a torn batch can never surface a
+/// prefix of itself.
+const OP_BATCH: u8 = 3;
 
 /// Where the engine's WAL lives.
 #[derive(Debug, Clone)]
@@ -91,20 +96,32 @@ impl KvEngine {
         let mut map = BTreeMap::new();
         let mut dead_writes = 0usize;
         let mut replayed = 0u64;
-        for (_, payload) in wal.iter()? {
-            replayed += 1;
-            let (op, key, value) = decode_entry(&payload)?;
+        let mut apply = |op: u8, key: Vec<u8>, value: Vec<u8>| -> Result<()> {
             match op {
                 OP_PUT => {
                     if map.insert(key, value).is_some() {
                         dead_writes += 1;
                     }
+                    Ok(())
                 }
                 OP_DEL => {
                     map.remove(&key);
                     dead_writes += 1;
+                    Ok(())
                 }
-                _ => return Err(StoreError::Codec("unknown op")),
+                _ => Err(StoreError::Codec("unknown op")),
+            }
+        };
+        for (_, payload) in wal.iter()? {
+            replayed += 1;
+            if payload.first() == Some(&OP_BATCH) {
+                for entry in decode_batch(&payload)? {
+                    let (op, key, value) = decode_entry(&entry)?;
+                    apply(op, key, value)?;
+                }
+            } else {
+                let (op, key, value) = decode_entry(&payload)?;
+                apply(op, key, value)?;
             }
         }
         stats().replayed_records.add(replayed);
@@ -130,6 +147,42 @@ impl KvEngine {
             self.dead_writes += 1;
         }
         Ok(())
+    }
+
+    /// Inserts or replaces several rows through ONE group-committed WAL
+    /// append: the batch rides in a single `OP_BATCH` frame under one CRC,
+    /// so after a crash recovery replays either the whole batch or none of
+    /// it. One call costs one `append` regardless of batch size — the
+    /// storage half of the deposit group-commit protocol (DESIGN.md §9).
+    ///
+    /// An empty batch is a no-op; a single pair degrades to [`Self::put`]
+    /// (identical WAL bytes to the unbatched path).
+    pub fn put_many(&mut self, pairs: &[(Vec<u8>, Vec<u8>)]) -> Result<()> {
+        match pairs {
+            [] => Ok(()),
+            [(k, v)] => self.put(k, v),
+            _ => {
+                let mut payload = Vec::with_capacity(
+                    1 + pairs
+                        .iter()
+                        .map(|(k, v)| 4 + 5 + k.len() + v.len())
+                        .sum::<usize>(),
+                );
+                payload.push(OP_BATCH);
+                for (k, v) in pairs {
+                    let entry = encode_entry(OP_PUT, k, v);
+                    payload.extend_from_slice(&(entry.len() as u32).to_le_bytes());
+                    payload.extend_from_slice(&entry);
+                }
+                self.wal.append(&payload)?;
+                for (k, v) in pairs {
+                    if self.map.insert(k.clone(), v.clone()).is_some() {
+                        self.dead_writes += 1;
+                    }
+                }
+                Ok(())
+            }
+        }
     }
 
     /// Removes a row (idempotent).
@@ -248,6 +301,24 @@ fn encode_entry(op: u8, key: &[u8], value: &[u8]) -> Vec<u8> {
     out.extend_from_slice(key);
     out.extend_from_slice(value);
     out
+}
+
+/// Splits an `OP_BATCH` frame into its length-prefixed sub-entries.
+fn decode_batch(payload: &[u8]) -> Result<Vec<Vec<u8>>> {
+    let mut rest = &payload[1..];
+    let mut entries = Vec::new();
+    while !rest.is_empty() {
+        if rest.len() < 4 {
+            return Err(StoreError::Codec("batch length truncated"));
+        }
+        let n = u32::from_le_bytes(rest[..4].try_into().expect("4 bytes")) as usize;
+        if rest.len() < 4 + n {
+            return Err(StoreError::Codec("batch entry overruns frame"));
+        }
+        entries.push(rest[4..4 + n].to_vec());
+        rest = &rest[4 + n..];
+    }
+    Ok(entries)
 }
 
 fn decode_entry(payload: &[u8]) -> Result<(u8, Vec<u8>, Vec<u8>)> {
@@ -549,6 +620,76 @@ mod tests {
         kv.compact().unwrap();
         assert_eq!(kv.get(b"k").unwrap().unwrap(), b"49");
         assert_eq!(kv.garbage_ratio(), 0.0);
+    }
+
+    #[test]
+    fn put_many_is_one_wal_append_and_replays() {
+        let path = std::env::temp_dir().join(format!("mws-kv-batch-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> =
+                (0..5u8).map(|i| (vec![b'k', i], vec![b'v', i])).collect();
+            kv.put_many(&pairs).unwrap();
+            kv.sync().unwrap();
+            assert_eq!(kv.len(), 5);
+        }
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 5, "whole batch replayed from one frame");
+        assert_eq!(kv.get(&[b'k', 3]).unwrap().unwrap(), vec![b'v', 3]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn put_many_counts_a_single_append() {
+        let plan = crate::FaultPlan::new();
+        let mut kv = KvEngine::open(StorageKind::Memory.with_faults(plan.clone())).unwrap();
+        let before = plan.appends();
+        let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..8u8).map(|i| (vec![i], vec![i, i])).collect();
+        kv.put_many(&pairs).unwrap();
+        assert_eq!(plan.appends(), before + 1, "8 rows, one WAL append");
+        // Empty and singleton degenerate cleanly.
+        kv.put_many(&[]).unwrap();
+        assert_eq!(plan.appends(), before + 1);
+        kv.put_many(&[(b"solo".to_vec(), b"v".to_vec())]).unwrap();
+        assert_eq!(plan.appends(), before + 2);
+        assert_eq!(kv.len(), 9);
+    }
+
+    #[test]
+    fn torn_batch_append_is_all_or_nothing() {
+        let path = std::env::temp_dir().join(format!("mws-kv-tbatch-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let plan = crate::FaultPlan::new();
+        {
+            let kind = StorageKind::File(path.clone()).with_faults(plan.clone());
+            let mut kv = KvEngine::open(kind).unwrap();
+            kv.put(b"before", b"1").unwrap();
+            kv.sync().unwrap();
+            plan.tear_append(plan.appends());
+            let pairs: Vec<(Vec<u8>, Vec<u8>)> = (0..4u8).map(|i| (vec![i], vec![i])).collect();
+            assert!(kv.put_many(&pairs).is_err());
+        }
+        let kv = KvEngine::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(kv.len(), 1, "no partial batch survives the torn frame");
+        assert_eq!(kv.get(b"before").unwrap().unwrap(), b"1");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batched_rows_compact_and_overwrite_like_plain_puts() {
+        let mut kv = KvEngine::open(StorageKind::Memory).unwrap();
+        kv.put(b"a", b"old").unwrap();
+        kv.put_many(&[
+            (b"a".to_vec(), b"new".to_vec()),
+            (b"b".to_vec(), b"2".to_vec()),
+        ])
+        .unwrap();
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"new");
+        assert!(kv.garbage_ratio() > 0.0, "overwrite inside a batch counted");
+        kv.compact().unwrap();
+        assert_eq!(kv.len(), 2);
+        assert_eq!(kv.get(b"a").unwrap().unwrap(), b"new");
     }
 
     #[test]

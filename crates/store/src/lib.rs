@@ -19,6 +19,9 @@
 //!   Table 1 identity–attribute mapping, User Database).
 //! * [`flatfile`] — the prototype's flat-file layout, kept as the baseline
 //!   for experiment E8 (design decision D3).
+//! * [`shard`] — [`ShardedMessageDb`]: the message table striped N ways by
+//!   attribute hash ([`ShardRouter`]), each shard with its own WAL, fsync
+//!   cadence, compaction, and recovery (DESIGN.md §9).
 //!
 //! # Example
 //!
@@ -34,7 +37,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod engine;
 pub mod fault;
@@ -42,6 +45,7 @@ pub mod flatfile;
 pub mod message_db;
 pub mod policy_db;
 pub mod segment;
+pub mod shard;
 pub(crate) mod stats;
 pub mod tables;
 pub mod user_db;
@@ -49,8 +53,9 @@ pub mod user_db;
 pub use engine::{KvEngine, StorageKind};
 pub use fault::FaultPlan;
 pub use flatfile::FlatFileStore;
-pub use message_db::{MessageDb, MessageId, StoredMessage};
+pub use message_db::{MessageDb, MessageId, PendingDeposit, StoredMessage};
 pub use policy_db::{AttributeId, PolicyDb, PolicyRow};
+pub use shard::{shard_kinds, ShardRouter, ShardedMessageDb};
 pub use user_db::{UserDb, UserRecord};
 
 /// Storage-layer errors.

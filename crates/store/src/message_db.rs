@@ -38,11 +38,37 @@ pub struct StoredMessage {
     pub timestamp: u64,
 }
 
+/// One deposit awaiting storage — the row shape shared by the single and
+/// batched deposit paths ([`MessageDb::insert_batch_dedup`],
+/// [`crate::shard::ShardedMessageDb::deposit_batch`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PendingDeposit {
+    /// Attribute string `A` the message was encrypted under.
+    pub attribute: String,
+    /// Per-message nonce (dedup key together with `sd_id`).
+    pub nonce: Vec<u8>,
+    /// Compressed encoding of `U = rP`.
+    pub u: Vec<u8>,
+    /// Symmetric cipher id.
+    pub algo: u8,
+    /// The sealed symmetric ciphertext `C`.
+    pub sealed: Vec<u8>,
+    /// Identity of the depositing smart device.
+    pub sd_id: String,
+    /// Logical deposit timestamp.
+    pub timestamp: u64,
+}
+
 /// The message table plus its attribute index.
 #[derive(Debug)]
 pub struct MessageDb {
     kv: KvEngine,
     next_id: MessageId,
+    /// Id-space striding for sharded deployments: this table only ever
+    /// assigns ids congruent to its opening offset modulo `stride`, so N
+    /// striped tables share one global id space without coordination. The
+    /// unsharded default is `stride = 1`.
+    stride: u64,
     by_attribute: BTreeMap<String, Vec<MessageId>>,
     /// Deposit origin `(sd_id, nonce)` → id, for idempotent retransmission
     /// handling. Rebuilt from the message rows on open, so it is exactly as
@@ -97,13 +123,22 @@ fn decode(row: &[u8]) -> Result<StoredMessage> {
 impl MessageDb {
     /// Opens the table, rebuilding the attribute index by replay.
     pub fn open(kind: StorageKind) -> Result<Self> {
+        Self::open_with_stride(kind, 0, 1)
+    }
+
+    /// Opens the table with a strided id space: every id this table
+    /// assigns is congruent to `offset` modulo `stride`. Shard k of an
+    /// n-way warehouse opens with `(k, n)` so ids stay globally unique
+    /// and `id % n` routes reads back to the owning shard.
+    pub fn open_with_stride(kind: StorageKind, offset: u64, stride: u64) -> Result<Self> {
+        assert!(stride > 0 && offset < stride, "offset must be < stride");
         let kv = KvEngine::open(kind)?;
-        let mut next_id = 0;
+        let mut next_id = offset;
         let mut by_attribute: BTreeMap<String, Vec<MessageId>> = BTreeMap::new();
         let mut by_origin = BTreeMap::new();
         for (_, row) in kv.iter() {
             let msg = decode(row)?;
-            next_id = next_id.max(msg.id + 1);
+            next_id = next_id.max(msg.id + stride);
             by_origin.insert(origin_key(&msg.sd_id, &msg.nonce), msg.id);
             by_attribute.entry(msg.attribute).or_default().push(msg.id);
         }
@@ -113,6 +148,7 @@ impl MessageDb {
         Ok(Self {
             kv,
             next_id,
+            stride,
             by_attribute,
             by_origin,
         })
@@ -142,10 +178,68 @@ impl MessageDb {
             timestamp,
         };
         self.kv.put(&key_of(id), &encode(&msg))?;
-        self.next_id += 1;
+        self.next_id += self.stride;
         self.by_origin.insert(origin_key(sd_id, nonce), id);
         self.by_attribute.entry(msg.attribute).or_default().push(id);
         Ok(id)
+    }
+
+    /// Group-commits a batch of deposits in ONE WAL append: all fresh rows
+    /// share a single frame (and, after the caller's [`Self::sync`], a
+    /// single fsync), which is what makes batched deposits cheap. Per row
+    /// the result mirrors [`Self::insert_dedup`] — `(id, fresh)` where a
+    /// duplicate origin (against the table or an earlier row of the same
+    /// batch) returns the already-assigned id with `fresh = false`.
+    ///
+    /// All-or-nothing: on append failure no id is consumed and no index is
+    /// touched, so a retry after a torn append starts from clean state.
+    pub fn insert_batch_dedup(
+        &mut self,
+        rows: &[PendingDeposit],
+    ) -> Result<Vec<(MessageId, bool)>> {
+        let mut results = Vec::with_capacity(rows.len());
+        let mut pairs: Vec<(Vec<u8>, Vec<u8>)> = Vec::with_capacity(rows.len());
+        let mut staged: BTreeMap<Vec<u8>, MessageId> = BTreeMap::new();
+        let mut next = self.next_id;
+        for row in rows {
+            let okey = origin_key(&row.sd_id, &row.nonce);
+            if let Some(&id) = self.by_origin.get(&okey).or_else(|| staged.get(&okey)) {
+                results.push((id, false));
+                continue;
+            }
+            let id = next;
+            next += self.stride;
+            staged.insert(okey, id);
+            let msg = StoredMessage {
+                id,
+                attribute: row.attribute.clone(),
+                nonce: row.nonce.clone(),
+                u: row.u.clone(),
+                algo: row.algo,
+                sealed: row.sealed.clone(),
+                sd_id: row.sd_id.clone(),
+                timestamp: row.timestamp,
+            };
+            pairs.push((key_of(id), encode(&msg)));
+            results.push((id, true));
+        }
+        // One frame, one CRC: the WAL either replays every fresh row or
+        // none. Indices and the id cursor commit only after the append
+        // succeeds, so a failed batch leaves the table untouched.
+        self.kv.put_many(&pairs)?;
+        self.next_id = next;
+        for row in rows.iter() {
+            let okey = origin_key(&row.sd_id, &row.nonce);
+            if let Some(&id) = staged.get(&okey) {
+                if self.by_origin.insert(okey, id).is_none() {
+                    self.by_attribute
+                        .entry(row.attribute.clone())
+                        .or_default()
+                        .push(id);
+                }
+            }
+        }
+        Ok(results)
     }
 
     /// Like [`Self::insert`], but idempotent on the deposit origin
@@ -411,6 +505,103 @@ mod tests {
         assert!(!fresh);
         assert_eq!(db.len(), 1);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    fn pending(attr: &str, nonce: &[u8], sd: &str, ts: u64) -> PendingDeposit {
+        PendingDeposit {
+            attribute: attr.to_string(),
+            nonce: nonce.to_vec(),
+            u: b"\x02u".to_vec(),
+            algo: 1,
+            sealed: b"c".to_vec(),
+            sd_id: sd.to_string(),
+            timestamp: ts,
+        }
+    }
+
+    #[test]
+    fn strided_ids_stay_in_the_residue_class() {
+        let mut db = MessageDb::open_with_stride(StorageKind::Memory, 2, 4).unwrap();
+        let a = mk(&mut db, "A", "m1", 1);
+        let b = mk(&mut db, "A", "m2", 2);
+        assert_eq!(a, 2);
+        assert_eq!(b, 6);
+    }
+
+    #[test]
+    fn strided_reopen_continues_the_stripe() {
+        let path = std::env::temp_dir().join(format!("mws-md-stride-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db =
+                MessageDb::open_with_stride(StorageKind::File(path.clone()), 1, 3).unwrap();
+            assert_eq!(mk(&mut db, "A", "m", 1), 1);
+            assert_eq!(mk(&mut db, "A", "m2", 2), 4);
+            db.sync().unwrap();
+        }
+        let mut db = MessageDb::open_with_stride(StorageKind::File(path.clone()), 1, 3).unwrap();
+        assert_eq!(mk(&mut db, "A", "m3", 3), 7, "replay resumes after max id");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn batch_dedup_against_table_and_within_batch() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        let (prior, _) = db
+            .insert_dedup("A", b"n0", b"\x02u", 1, b"c", "m", 1)
+            .unwrap();
+        let rows = vec![
+            pending("A", b"n0", "m", 1), // dup of the stored row
+            pending("B", b"n1", "m", 2), // fresh
+            pending("B", b"n1", "m", 2), // dup within the batch
+            pending("C", b"n2", "m2", 3),
+        ];
+        let got = db.insert_batch_dedup(&rows).unwrap();
+        assert_eq!(got[0], (prior, false));
+        assert!(got[1].1);
+        assert_eq!(got[2], (got[1].0, false));
+        assert!(got[3].1);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.by_attribute("B").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn batch_survives_reopen_with_indices() {
+        let path = std::env::temp_dir().join(format!("mws-md-batch-{}.wal", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+            let rows: Vec<PendingDeposit> = (0..6u8)
+                .map(|i| pending("A", &[i], "m", i as u64))
+                .collect();
+            assert!(db.insert_batch_dedup(&rows).unwrap().iter().all(|r| r.1));
+            db.sync().unwrap();
+        }
+        let mut db = MessageDb::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.by_attribute("A").unwrap().len(), 6);
+        // Origin dedup holds across the reopen for batched rows too.
+        let again = db
+            .insert_batch_dedup(&[pending("A", &[3], "m", 3)])
+            .unwrap();
+        assert!(!again[0].1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn failed_batch_leaves_the_table_clean() {
+        let plan = crate::FaultPlan::new();
+        let mut db = MessageDb::open(StorageKind::Memory.with_faults(plan.clone())).unwrap();
+        mk(&mut db, "A", "m0", 1);
+        plan.fail_append(plan.appends());
+        let rows = vec![pending("B", b"x", "m", 2), pending("B", b"y", "m", 3)];
+        assert!(db.insert_batch_dedup(&rows).is_err());
+        assert_eq!(db.len(), 1, "no partial state from the failed batch");
+        assert!(db.by_attribute("B").unwrap().is_empty());
+        // A retry reuses the ids the failed batch never consumed.
+        let got = db.insert_batch_dedup(&rows).unwrap();
+        assert_eq!(got[0].0, 1);
+        assert!(got.iter().all(|r| r.1));
     }
 
     #[test]

@@ -34,7 +34,7 @@ pub use envelope::{
     decode_envelope, decode_envelope_traced, encode_envelope, encode_envelope_auto,
     encode_envelope_traced, header_len,
 };
-pub use pdu::{Pdu, RelayEntry, WireMessage};
+pub use pdu::{DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
 pub use stream::StreamDecoder;
 
 /// Protocol version carried in every envelope.

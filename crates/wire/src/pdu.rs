@@ -57,6 +57,21 @@ pub enum Pdu {
         /// Assigned message id.
         message_id: u64,
     },
+    /// SD deposit batch: several deposits from one device in one PDU, so
+    /// the warehouse can group-commit rows landing on the same shard into
+    /// a single WAL append + fsync (DESIGN.md §9).
+    DepositBatch {
+        /// Depositing device identity (shared by every item).
+        sd_id: String,
+        /// The batched deposits, each individually authenticated.
+        items: Vec<DepositItem>,
+    },
+    /// MWS acknowledgment of a batch: one outcome per item, in order.
+    /// Sent only after every stored item is durable on its shard.
+    DepositBatchAck {
+        /// Per-item outcomes, index-aligned with the request's items.
+        results: Vec<DepositOutcome>,
+    },
 
     // ---- MWS – RC phase ----
     /// RC retrieval: `ID_RC ‖ E(HashPassword, ID_RC ‖ T ‖ N)`.
@@ -184,6 +199,51 @@ pub enum Pdu {
     },
 }
 
+/// One deposit inside a [`Pdu::DepositBatch`]. The fields mirror
+/// [`Pdu::DepositRequest`] minus the device identity, which is hoisted to
+/// the batch; the MAC covers the same per-deposit fields as a single
+/// deposit's, so batching changes framing but not authentication.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DepositItem {
+    /// Device timestamp `T`.
+    pub timestamp: u64,
+    /// Compressed `U = rP`.
+    pub u: Vec<u8>,
+    /// Symmetric cipher id.
+    pub algo: u8,
+    /// Sealed ciphertext `C`.
+    pub sealed: Vec<u8>,
+    /// Attribute string `A`.
+    pub attribute: String,
+    /// Per-message nonce.
+    pub nonce: Vec<u8>,
+    /// Deposit authenticator (HMAC or Cha–Cheon signature).
+    pub mac: Vec<u8>,
+}
+
+/// Per-item outcome in a [`Pdu::DepositBatchAck`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DepositOutcome {
+    /// One of the `DepositOutcome::*` status constants.
+    pub status: u8,
+    /// The warehoused id for `STORED`/`DUPLICATE`; 0 otherwise.
+    pub message_id: u64,
+}
+
+impl DepositOutcome {
+    /// Stored fresh and durable.
+    pub const STORED: u8 = 0;
+    /// Origin `(sd_id, nonce)` already warehoused; `message_id` is the
+    /// original row's id.
+    pub const DUPLICATE: u8 = 1;
+    /// Authentication failed (bad MAC or unknown device).
+    pub const REJECTED: u8 = 2;
+    /// Timestamp outside the freshness window or nonce replayed.
+    pub const REPLAY: u8 = 3;
+    /// The owning shard failed to store or fsync the row; retry later.
+    pub const STORAGE_ERROR: u8 = 4;
+}
+
 /// One edge-verified deposit relayed toward the central warehouse.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RelayEntry {
@@ -211,6 +271,8 @@ impl Pdu {
         match self {
             Pdu::DepositRequest { .. } => 0x01,
             Pdu::DepositAck { .. } => 0x02,
+            Pdu::DepositBatch { .. } => 0x03,
+            Pdu::DepositBatchAck { .. } => 0x04,
             Pdu::RetrieveRequest { .. } => 0x10,
             Pdu::RetrieveResponse { .. } => 0x11,
             Pdu::PkgAuthRequest { .. } => 0x20,
@@ -235,6 +297,8 @@ impl Pdu {
         match self {
             Pdu::DepositRequest { .. } => "deposit_request",
             Pdu::DepositAck { .. } => "deposit_ack",
+            Pdu::DepositBatch { .. } => "deposit_batch",
+            Pdu::DepositBatchAck { .. } => "deposit_batch_ack",
             Pdu::RetrieveRequest { .. } => "retrieve_request",
             Pdu::RetrieveResponse { .. } => "retrieve_response",
             Pdu::PkgAuthRequest { .. } => "pkg_auth_request",
@@ -278,6 +342,24 @@ impl Pdu {
             }
             Pdu::DepositAck { message_id } => {
                 w.u64(*message_id);
+            }
+            Pdu::DepositBatch { sd_id, items } => {
+                w.string(sd_id).u32(items.len() as u32);
+                for i in items {
+                    w.u64(i.timestamp)
+                        .bytes(&i.u)
+                        .u8(i.algo)
+                        .bytes(&i.sealed)
+                        .string(&i.attribute)
+                        .bytes(&i.nonce)
+                        .bytes(&i.mac);
+                }
+            }
+            Pdu::DepositBatchAck { results } => {
+                w.u32(results.len() as u32);
+                for r in results {
+                    w.u8(r.status).u64(r.message_id);
+                }
             }
             Pdu::RetrieveRequest {
                 rc_id,
@@ -386,6 +468,40 @@ impl Pdu {
             0x02 => Pdu::DepositAck {
                 message_id: r.u64()?,
             },
+            0x03 => {
+                let sd_id = r.string()?;
+                let n = r.u32()? as usize;
+                if n > crate::MAX_BODY / 16 {
+                    return Err(WireError::BadLength);
+                }
+                let mut items = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    items.push(DepositItem {
+                        timestamp: r.u64()?,
+                        u: r.bytes()?,
+                        algo: r.u8()?,
+                        sealed: r.bytes()?,
+                        attribute: r.string()?,
+                        nonce: r.bytes()?,
+                        mac: r.bytes()?,
+                    });
+                }
+                Pdu::DepositBatch { sd_id, items }
+            }
+            0x04 => {
+                let n = r.u32()? as usize;
+                if n > crate::MAX_BODY / 9 {
+                    return Err(WireError::BadLength);
+                }
+                let mut results = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    results.push(DepositOutcome {
+                        status: r.u8()?,
+                        message_id: r.u64()?,
+                    });
+                }
+                Pdu::DepositBatchAck { results }
+            }
             0x10 => Pdu::RetrieveRequest {
                 rc_id: r.string()?,
                 auth: r.bytes()?,
@@ -505,6 +621,41 @@ mod tests {
                 mac: vec![7; 32],
             },
             Pdu::DepositAck { message_id: 17 },
+            Pdu::DepositBatch {
+                sd_id: "meter-7".into(),
+                items: vec![
+                    DepositItem {
+                        timestamp: 42,
+                        u: vec![2; 65],
+                        algo: 3,
+                        sealed: vec![9; 40],
+                        attribute: "ELECTRIC-APT-SV-CA".into(),
+                        nonce: vec![1, 2, 3],
+                        mac: vec![7; 32],
+                    },
+                    DepositItem {
+                        timestamp: 0,
+                        u: vec![],
+                        algo: 0,
+                        sealed: vec![],
+                        attribute: String::new(),
+                        nonce: vec![],
+                        mac: vec![],
+                    },
+                ],
+            },
+            Pdu::DepositBatchAck {
+                results: vec![
+                    DepositOutcome {
+                        status: DepositOutcome::STORED,
+                        message_id: 17,
+                    },
+                    DepositOutcome {
+                        status: DepositOutcome::STORAGE_ERROR,
+                        message_id: 0,
+                    },
+                ],
+            },
             Pdu::RetrieveRequest {
                 rc_id: "C-Services".into(),
                 auth: vec![5; 24],
@@ -666,5 +817,19 @@ mod tests {
         w.bytes(b"token").u32(u32::MAX);
         let body = w.finish();
         assert!(Pdu::decode_body(0x11, &body).is_err());
+    }
+
+    #[test]
+    fn hostile_batch_counts_bounded() {
+        // A DepositBatch declaring 2^32-1 items must fail fast...
+        let mut w = WireWriter::new();
+        w.string("meter").u32(u32::MAX);
+        let body = w.finish();
+        assert!(Pdu::decode_body(0x03, &body).is_err());
+        // ...and so must its ack.
+        let mut w = WireWriter::new();
+        w.u32(u32::MAX);
+        let body = w.finish();
+        assert!(Pdu::decode_body(0x04, &body).is_err());
     }
 }

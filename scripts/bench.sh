@@ -1,15 +1,38 @@
 #!/usr/bin/env bash
-# Crypto benchmark baseline: regenerates BENCH_crypto.json at the repo root.
+# Benchmark baselines, regenerated at the repo root.
 #
-# Iteration counts are pinned inside the binary (200 @ Toy, 40 @ Light,
-# median of 5 runs per row) so two machines produce comparable JSON shapes
-# and any row can be diffed against a committed baseline.
+# Targets:
+#   scripts/bench.sh             # crypto microbenches  -> BENCH_crypto.json
+#   scripts/bench.sh --server    # socket load benchmark -> BENCH_server.json
+#   scripts/bench.sh --all       # both
 #
-# Run from the repository root: scripts/bench.sh
+# Iteration counts are pinned inside the binaries (crypto: 200 @ Toy,
+# 40 @ Light, median of 5 runs per row; server: 16 clients, 6,400 single +
+# 10,240 batched deposits per shard count) so two machines produce
+# comparable JSON shapes and any row can be diffed against a committed
+# baseline.
+#
+# Run from the repository root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "==> cargo run --release -p mws-bench --bin crypto_bench"
-cargo run --release -p mws-bench --bin crypto_bench >/dev/null
+target="${1:-crypto}"
 
-echo "==> BENCH_crypto.json written"
+run_crypto() {
+  echo "==> cargo run --release -p mws-bench --bin crypto_bench"
+  cargo run --release -p mws-bench --bin crypto_bench >/dev/null
+  echo "==> BENCH_crypto.json written"
+}
+
+run_server() {
+  echo "==> cargo run --release -p mws-bench --bin load_bench"
+  cargo run --release -p mws-bench --bin load_bench
+  echo "==> BENCH_server.json written"
+}
+
+case "${target}" in
+  crypto)       run_crypto ;;
+  --server)     run_server ;;
+  --all)        run_crypto; run_server ;;
+  *)            echo "usage: scripts/bench.sh [--server|--all]" >&2; exit 2 ;;
+esac

@@ -45,9 +45,16 @@ cargo test -q -p mws \
   --test persistence --test policy_table --test protocol_flow \
   --test revocation --test tcp_deployment --test utility_scenario
 
+echo "==> offline doctests (crates under #![deny(missing_docs)])"
+cargo test -q -p mws-store -p mws-server --doc
+
 echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
-# The crypto_bench binary is serde-free, so it builds against the stubs
-# even though the rest of mws-bench (report, criterion benches) cannot.
+# The crypto_bench and load_bench binaries are serde-free, so they build
+# against the stubs even though the rest of mws-bench (report, criterion
+# benches) cannot.
 cargo run -q --release -p mws-bench --bin crypto_bench -- --smoke
+
+echo "==> load_bench --smoke (durable-before-ack + dedup under socket load)"
+cargo run -q --release -p mws-bench --bin load_bench -- --smoke
 
 echo "==> offline check passed (stubs unpatch on exit)"

@@ -5,6 +5,7 @@
 # Usage:
 #   scripts/stats.sh                      # the three fixed ports
 #   scripts/stats.sh 127.0.0.1:7101 ...   # explicit daemon addresses
+#   scripts/stats.sh --shards [...]       # + per-shard warehouse summary
 #
 # Exit code = number of daemons that could not be scraped.
 set -euo pipefail

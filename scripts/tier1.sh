@@ -10,6 +10,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+echo "==> cargo test --doc -q"
+cargo test --doc -q
+
 echo "==> cargo fmt --check"
 cargo fmt --check
 
@@ -18,6 +21,9 @@ cargo clippy --all-targets -- -D warnings
 
 echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
 cargo run --release -p mws-bench --bin crypto_bench -- --smoke
+
+echo "==> load_bench --smoke (durable-before-ack + dedup under socket load)"
+cargo run --release -p mws-bench --bin load_bench -- --smoke
 
 echo "==> MWS_LOG=warn smoke (happy path emits no error-level events)"
 SMOKE_OUT="$(MWS_LOG=warn cargo test -q -p mws --test observability -- --nocapture 2>&1)"

@@ -175,6 +175,16 @@ pub mod channel {
             }
         }
 
+        /// Messages currently queued (racy by nature, like the real API).
+        pub fn len(&self) -> usize {
+            self.shared.queue.lock().unwrap().len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut queue = self.shared.queue.lock().unwrap();
             if let Some(value) = queue.pop_front() {

@@ -503,6 +503,142 @@ fn daemon_restart_with_drops_and_torn_append_converges() {
 }
 
 // ---------------------------------------------------------------------------
+// Scenario F: per-shard recovery isolation — a torn WAL append on shard 1
+// while one DepositBatch carries items for shards 0 AND 1. The shard-0
+// half of the batch must land durably, the shard-1 half must fail closed
+// (no nonce recorded, honest retransmission accepted), and a restart must
+// recover each shard independently.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn torn_batch_on_one_shard_leaves_the_other_shard_untouched() {
+    use mws_store::ShardRouter;
+    use mws_wire::DepositOutcome;
+
+    /// Mines an attribute string the 2-way router sends to `shard`.
+    fn attr_on_shard(router: &ShardRouter, shard: usize, tag: &str) -> String {
+        (0u32..)
+            .map(|salt| format!("{tag}-{salt}"))
+            .find(|a| router.route(a) == shard)
+            .expect("router covers both residues")
+    }
+
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "torn-shard-batch",
+            seed,
+        };
+        let dir = chaos_dir("shard-batch", seed);
+        let plan = FaultPlan::default();
+        let config = DeploymentConfig {
+            seed,
+            storage_dir: Some(dir.clone()),
+            message_shards: 2,
+            // The fault plan rides ONLY on shard 1's WAL; shard 0 is clean.
+            message_shard_faults: vec![(1, plan.clone())],
+            ..DeploymentConfig::test_default()
+        };
+        let router = ShardRouter::new(2);
+        let attr0 = attr_on_shard(&router, 0, "CHAOS-S0");
+        let attr1 = attr_on_shard(&router, 1, "CHAOS-S1");
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        {
+            let mut dep = Deployment::new(config.clone());
+            dep.register_device("meter-1");
+            dep.register_client("rc", "pw", &[&attr0, &attr1]);
+            let mut meter = dep.device("meter-1");
+
+            // A clean cross-shard batch first: both shards take one group
+            // commit, which also advances shard 1's append counter.
+            let outcomes = meter
+                .deposit_batch(&[(&attr0, b"clean-0".as_slice()), (&attr1, b"clean-1")])
+                .unwrap_or_else(|e| panic!("seed {seed}: clean batch failed: {e}"));
+            assert!(
+                outcomes.iter().all(|o| o.status == DepositOutcome::STORED),
+                "seed {seed}: clean batch must store on both shards"
+            );
+            acked.push(b"clean-0".to_vec());
+            acked.push(b"clean-1".to_vec());
+
+            // Tear shard 1's NEXT append mid-write, then send one batch
+            // whose items split across both shards.
+            plan.tear_append(plan.appends());
+            let pdu = meter
+                .compose_deposit_batch(&[(&attr0, b"split-0".as_slice()), (&attr1, b"split-1")]);
+            let mws = dep.network().client("mws");
+            let results = match mws.call(&pdu) {
+                Ok(Pdu::DepositBatchAck { results }) => results,
+                other => panic!("seed {seed}: batch not acked: {other:?}"),
+            };
+            assert_eq!(
+                results[0].status,
+                DepositOutcome::STORED,
+                "seed {seed}: shard 0 item must commit despite shard 1's torn append"
+            );
+            assert_eq!(
+                results[1].status,
+                DepositOutcome::STORAGE_ERROR,
+                "seed {seed}: shard 1 item must fail closed on the torn append"
+            );
+            acked.push(b"split-0".to_vec());
+
+            // Honest retransmission of the identical frame: the stored
+            // item answers REPLAY (nonce recorded after durability), the
+            // failed item's nonce was never recorded, so it stores now.
+            let results = match mws.call(&pdu) {
+                Ok(Pdu::DepositBatchAck { results }) => results,
+                other => panic!("seed {seed}: resend not acked: {other:?}"),
+            };
+            assert_eq!(
+                results[0].status,
+                DepositOutcome::REPLAY,
+                "seed {seed}: resending a stored item must not store twice"
+            );
+            assert_eq!(
+                results[1].status,
+                DepositOutcome::STORED,
+                "seed {seed}: the failed item's retransmission must be accepted"
+            );
+            acked.push(b"split-1".to_vec());
+
+            assert_eq!(
+                dep.mws().message_count(),
+                acked.len(),
+                "seed {seed}: exactly the acked items are warehoused"
+            );
+            assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        }
+        // Crash-restart over the same shard WALs, faults off: shard 1's
+        // torn frame must be discarded by ITS recovery alone, shard 0's
+        // rows must be untouched, and the union must be the acked set.
+        let mut dep = Deployment::new(DeploymentConfig {
+            message_shard_faults: Vec::new(),
+            ..config
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &[&attr0, &attr1]);
+        assert_eq!(
+            dep.mws().message_count(),
+            acked.len(),
+            "seed {seed}: reopen lost acked rows (or resurrected the torn batch)"
+        );
+        let store = dep.mws().store_handle();
+        assert_eq!(
+            store.shard_len(0),
+            2,
+            "seed {seed}: shard 0 must recover exactly its two rows"
+        );
+        assert_eq!(
+            store.shard_len(1),
+            2,
+            "seed {seed}: shard 1 must recover exactly its two rows"
+        );
+        assert_converged(&mut dep, "rc", "pw", &acked, seed);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Scenario E: health/readiness PDUs served by all three daemons, and the
 // circuit breaker protecting a client from a dead one.
 // ---------------------------------------------------------------------------
