@@ -25,6 +25,11 @@
 //! * default — pinned workload, writes `BENCH_server.json`
 //! * `--smoke` — tiny run, no file output; asserts every deposit is acked
 //!   STORED and that duplicates dedup (used by `scripts/tier1.sh`)
+//! * `--cluster` — N ∈ {1, 2, 4} warehouse nodes behind a
+//!   `ClusterRouter` at R = min(2, N): quorum-ack p50/p99 and scale-out
+//!   throughput, spliced into `BENCH_server.json` as the `cluster` key
+//! * `--cluster --smoke` — one 3-node row, no file output; asserts every
+//!   deposit quorum-acks and lands exactly R copies
 //!
 //! JSON is hand-written: this binary must compile against the offline
 //! serde stub, so it cannot use derive macros.
@@ -293,6 +298,200 @@ fn bench_shards(n: usize, dir: &std::path::Path, w: &Workload) -> Row {
     }
 }
 
+/// One cluster size's results (DESIGN.md §10): quorum-acked deposits
+/// through a [`ClusterRouter`] over `nodes` warehouse processes.
+struct ClusterRow {
+    nodes: usize,
+    replicas: usize,
+    write_quorum: usize,
+    quorum: ModeReport,
+}
+
+/// Spawns `n` warehouse nodes on ephemeral ports — every device
+/// registered identically on each, the multi-process analogue of
+/// seed-deterministic provisioning — and drives the quorum write path.
+fn bench_cluster(n: usize, dir: &std::path::Path, w: &Workload) -> ClusterRow {
+    use mws_cluster::{ClusterConfig, ClusterNode, ClusterRouter};
+
+    // R = 2 everywhere a second node exists; N = 1 is the no-replication
+    // baseline the scaling rows are read against.
+    let replicas = n.min(2);
+    let write_quorum = replicas;
+    let mut devices = Vec::with_capacity(w.clients);
+    for i in 0..w.clients {
+        // No shard mining here: the ring, not the shard router, decides
+        // placement, and it hashes the whole attribute string.
+        devices.push((
+            format!("bench-sd-{i}"),
+            vec![i as u8 + 1; 32],
+            format!("LOAD-CL-{i}"),
+        ));
+    }
+    let mut services = Vec::with_capacity(n);
+    let mut servers = Vec::with_capacity(n);
+    for k in 0..n {
+        let node_dir = dir.join(format!("node-{k}"));
+        std::fs::create_dir_all(&node_dir).expect("bench dir");
+        let kinds = mws_store::shard_kinds(&StorageKind::File(node_dir.join("messages.wal")), 2);
+        let mws = MwsService::new_sharded(
+            DeviceRegistry::new(),
+            kinds,
+            StorageKind::Memory,
+            StorageKind::Memory,
+            b"load-bench-secret",
+            LogicalClock::new(),
+            ReplayPolicy::standard(),
+            7,
+            DeviceAuthVerifier::Mac,
+        )
+        .expect("service open");
+        for (sd_id, mac_key, _) in &devices {
+            mws.register_device(sd_id, mac_key);
+        }
+        let server = TcpServer::spawn(
+            ServerConfig {
+                workers: w.clients,
+                ..ServerConfig::default()
+            },
+            || mws.as_service(),
+        )
+        .expect("server spawn");
+        services.push(mws);
+        servers.push(server);
+    }
+    let nodes: Vec<ClusterNode> = servers
+        .iter()
+        .enumerate()
+        .map(|(k, s)| {
+            // One pooled connection per driving client: the round-robin
+            // pool must never cap in-flight quorum writes below the
+            // offered concurrency.
+            let pool = (0..w.clients)
+                .map(|_| mws_server::TcpClient::new(s.local_addr()).into_client())
+                .collect();
+            ClusterNode::new(format!("node-{k}"), pool)
+        })
+        .collect();
+    let router = ClusterRouter::new(
+        nodes,
+        ClusterConfig::new(replicas, write_quorum),
+        mws_core::protocol::replica_key(b"load-bench-secret"),
+    );
+
+    let started = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, (sd_id, mac_key, attribute))| {
+                let router = &router;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(w.per_client);
+                    for seq in 0..w.per_client {
+                        let item = craft_item(
+                            mac_key, sd_id, attribute, 0, 3, n as u16, i as u16, seq as u64,
+                        );
+                        let req = item_to_request(sd_id, item);
+                        let t0 = Instant::now();
+                        let reply = router.handle(req);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        assert!(
+                            matches!(reply, Pdu::DepositAck { .. }),
+                            "quorum deposit not acked: {reply:?}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let deposits = (w.clients * w.per_client) as u64;
+
+    // Replication accounting: every acked deposit must be durable on
+    // exactly R nodes (all nodes stayed up, so no sloppy-walk extras).
+    let total: usize = services.iter().map(|s| s.message_count()).sum();
+    assert_eq!(
+        total,
+        deposits as usize * replicas,
+        "acked rows must have exactly R copies"
+    );
+
+    let (p50, p99) = quantiles(lat.into_iter().flatten().collect());
+    for mut s in servers {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(dir).ok();
+    ClusterRow {
+        nodes: n,
+        replicas,
+        write_quorum,
+        quorum: ModeReport {
+            deposits,
+            secs,
+            deposits_per_sec: deposits as f64 / secs,
+            p50_us: p50,
+            p99_us: p99,
+        },
+    }
+}
+
+/// Renders the cluster rows and splices them into `BENCH_server.json` as
+/// its final `"cluster"` key — replacing any previous cluster section,
+/// preserving the shard rows a prior default run wrote.
+fn splice_cluster_json(rows: &[ClusterRow], w: &Workload) -> String {
+    let mut block = String::from("  \"cluster\": {\n");
+    let _ = writeln!(
+        block,
+        "    \"clients\": {}, \"per_client\": {},",
+        w.clients, w.per_client
+    );
+    block.push_str("    \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        let m = &row.quorum;
+        let _ = writeln!(
+            block,
+            "      {{ \"nodes\": {}, \"replicas\": {}, \"write_quorum\": {}, \"deposits\": {}, \"secs\": {:.3}, \"deposits_per_sec\": {:.1}, \"quorum_p50_us\": {}, \"quorum_p99_us\": {} }}{}",
+            row.nodes,
+            row.replicas,
+            row.write_quorum,
+            m.deposits,
+            m.secs,
+            m.deposits_per_sec,
+            m.p50_us,
+            m.p99_us,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    block.push_str("    ],\n");
+    // The scale-out headline compares equal replication cost: 4 nodes vs
+    // 2 nodes, both writing R = 2 copies per deposit.
+    let find = |n: usize| rows.iter().find(|r| r.nodes == n);
+    let scaleout = match (find(4), find(2)) {
+        (Some(hi), Some(lo)) => hi.quorum.deposits_per_sec / lo.quorum.deposits_per_sec,
+        _ => 0.0,
+    };
+    let overhead = match (find(2), find(1)) {
+        (Some(r2), Some(r1)) => r2.quorum.deposits_per_sec / r1.quorum.deposits_per_sec,
+        _ => 0.0,
+    };
+    let _ = writeln!(
+        block,
+        "    \"scaleout_4_nodes_over_2\": {scaleout:.2},\n    \"replication_2_nodes_over_1\": {overhead:.2}\n  }}"
+    );
+
+    const MARKER: &str = ",\n  \"cluster\": {";
+    let base = std::fs::read_to_string("BENCH_server.json")
+        .ok()
+        .map(|s| match s.find(MARKER) {
+            Some(at) => s[..at].to_string(),
+            None => s.trim_end().trim_end_matches('}').trim_end().to_string(),
+        })
+        .unwrap_or_else(|| String::from("{\n  \"bench\": \"load_bench\""));
+    format!("{base},\n{block}}}\n")
+}
+
 fn render_mode(out: &mut String, name: &str, m: &ModeReport, trailing_comma: bool) {
     let _ = writeln!(
         out,
@@ -347,8 +546,60 @@ fn render_json(rows: &[Row], w: &Workload) -> String {
     out
 }
 
+/// `--cluster` entry: N ∈ {1, 2, 4} warehouse nodes at R = min(2, N).
+/// Smoke mode runs one 3-node row with no file output — the quorum-path
+/// equivalent of the single-warehouse smoke gate.
+fn run_cluster(smoke: bool) {
+    let w = if smoke {
+        Workload {
+            clients: 2,
+            per_client: 10,
+            batches: 0,
+            batch_size: 0,
+            smoke: true,
+        }
+    } else {
+        Workload {
+            clients: 8,
+            per_client: 150,
+            batches: 0,
+            batch_size: 0,
+            smoke: false,
+        }
+    };
+    let node_counts: &[usize] = if smoke { &[3] } else { &[1, 2, 4] };
+    let base = std::env::temp_dir().join(format!("mws-cluster-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for &n in node_counts {
+        let row = bench_cluster(n, &base.join(format!("nodes-{n}")), &w);
+        eprintln!(
+            "nodes={}  R={} W={}  quorum: {:>8.0} dep/s (p50 {:>5}µs, p99 {:>6}µs)",
+            row.nodes,
+            row.replicas,
+            row.write_quorum,
+            row.quorum.deposits_per_sec,
+            row.quorum.p50_us,
+            row.quorum.p99_us,
+        );
+        rows.push(row);
+    }
+    std::fs::remove_dir_all(&base).ok();
+    if smoke {
+        eprintln!("load_bench --cluster --smoke: every deposit quorum-acked with exactly R copies");
+        return;
+    }
+    let json = splice_cluster_json(&rows, &w);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_server.json (cluster section)");
+}
+
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--cluster") {
+        run_cluster(smoke);
+        return;
+    }
     let w = if smoke {
         Workload {
             clients: 2,

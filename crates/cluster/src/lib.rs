@@ -1,0 +1,35 @@
+//! Multi-warehouse scale-out for the Message Warehousing Service.
+//!
+//! The paper's deployment is one MWS server (§VI.C); everything below it
+//! in this repo — sharded WALs, group commit, the gatekeeper front door —
+//! still funnels through that single process. This crate turns N
+//! independent warehouse daemons into one logical warehouse:
+//!
+//! * [`HashRing`] — consistent hashing with virtual nodes, keyed on the
+//!   attribute string with the same FNV-1a the in-process shard router
+//!   uses. Membership changes remap an expected `keys/N`, not everything.
+//! * [`ClusterRouter`] — replicates every deposit to R ring replicas and
+//!   acks after W durable reports; fans retrieves out to all live nodes,
+//!   merges by nonce, and read-repairs divergence over a MAC'd replica
+//!   plane ([`mws_wire::Pdu::ReplicaPull`] / [`mws_wire::Pdu::ReplicaPush`]).
+//! * [`HealthProber`] — periodic Health-PDU probes; a node that restarts
+//!   is caught up from a live peer before it rejoins reads.
+//!
+//! The crate is transport-agnostic: nodes are [`mws_net::Client`]s, which
+//! are bus endpoints in tests and TCP connection pools in the daemons.
+//! End-to-end confidentiality is untouched by all of this — every
+//! replicated byte is the device's original IBE-sealed deposit, and the
+//! router verifies nothing it couldn't verify as a network observer
+//! (integrity of the replica plane rides a key derived from the
+//! MWS–PKG secret, never message plaintext).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod health;
+pub mod ring;
+pub mod router;
+
+pub use health::HealthProber;
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{ClusterConfig, ClusterNode, ClusterRouter};

@@ -1,0 +1,1124 @@
+//! R-way replicated routing across warehouse nodes (DESIGN.md §10).
+//!
+//! The router is the cluster's write path. Every deposit is forwarded —
+//! byte-identical, original device MAC and all — to the R ring replicas of
+//! its attribute; each node verifies and stores it independently, and the
+//! device's ack is only issued after W of them reported the row durable.
+//! This works *because* provisioning is seed-deterministic: every node in
+//! the cluster derives the same device keys, policy tables and AID
+//! assignment from the shared deployment seed, so a replica doesn't trust
+//! the router — it re-verifies the device's own authenticator, exactly as
+//! if the device had connected directly.
+//!
+//! Reads fan out: a retrieve is forwarded to every live node, each of
+//! which runs its own gatekeeper check against the single forwarded auth
+//! blob (independent replay guards, same two-guard pattern as the
+//! gatekeeper front door). Responses merge by nonce — the one identity a
+//! row keeps across nodes, since each node assigns its own message ids —
+//! and divergence between live replicas triggers read-repair over the
+//! MAC'd replica plane ([`Pdu::ReplicaPull`]/[`Pdu::ReplicaPush`]).
+
+use crate::ring::HashRing;
+use mws_crypto::{ct_eq, Hmac, Sha256};
+use mws_net::{Client, NetError, Service};
+use mws_obs::{metric_name, Counter, Gauge, Histogram};
+use mws_wire::pdu::{replica_push_bytes, replica_rows_bytes};
+use mws_wire::{DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
+use parking_lot::RwLock;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Per-forward retry budget against one node (transient socket faults;
+/// anything longer marks the node down and the ring walk moves on).
+const FORWARD_ATTEMPTS: u32 = 2;
+
+/// Rows per [`Pdu::ReplicaPull`] page during catch-up.
+const CATCHUP_PAGE: u32 = 512;
+
+/// Replication shape: R copies, acked at W.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterConfig {
+    /// Copies of every row (`R`): the replica-set size on the ring.
+    pub replicas: usize,
+    /// Durable acks required before the device's ack (`W ≤ R`). `W ≥ 2`
+    /// with `R = 2` survives losing any single node without losing an
+    /// acked row; `W = 1` trades that guarantee for latency.
+    pub write_quorum: usize,
+    /// Virtual nodes per physical node on the ring.
+    pub vnodes: usize,
+}
+
+impl ClusterConfig {
+    /// R copies acked at W, with the default vnode count. Panics on a
+    /// quorum larger than the replica set or a zero anywhere.
+    pub fn new(replicas: usize, write_quorum: usize) -> Self {
+        assert!(replicas >= 1 && write_quorum >= 1, "R and W start at 1");
+        assert!(write_quorum <= replicas, "W cannot exceed R");
+        Self {
+            replicas,
+            write_quorum,
+            vnodes: crate::ring::DEFAULT_VNODES,
+        }
+    }
+}
+
+/// One warehouse node as the router sees it: a name (its ring identity),
+/// a connection pool, and a liveness flag flipped by probes and by
+/// transport failures on the data path.
+pub struct ClusterNode {
+    name: String,
+    pool: Vec<Client>,
+    rr: AtomicUsize,
+    up: AtomicBool,
+    forwards: Counter,
+    errors: Counter,
+    up_gauge: Gauge,
+}
+
+impl ClusterNode {
+    /// A node reachable through any client in `pool` (picked round-robin;
+    /// a pool wider than one lets concurrent forwards overlap on
+    /// transports that serialize per connection). Panics on an empty pool.
+    pub fn new(name: impl Into<String>, pool: Vec<Client>) -> Self {
+        let name = name.into();
+        assert!(!pool.is_empty(), "a node needs at least one client");
+        let r = mws_obs::registry();
+        let labeled = |base| r.counter(&metric_name(base, &[("node", &name)]));
+        let forwards = labeled("mws_cluster_forwards_total");
+        let errors = labeled("mws_cluster_node_errors_total");
+        let up_gauge = r.gauge(&metric_name("mws_cluster_node_up", &[("node", &name)]));
+        up_gauge.set(1);
+        Self {
+            name,
+            pool,
+            rr: AtomicUsize::new(0),
+            up: AtomicBool::new(true),
+            forwards,
+            errors,
+            up_gauge,
+        }
+    }
+
+    /// The node's ring identity.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Current liveness as the router believes it.
+    pub fn is_up(&self) -> bool {
+        self.up.load(Ordering::Relaxed)
+    }
+
+    /// Flips liveness; returns true when the state actually changed.
+    fn set_up(&self, up: bool) -> bool {
+        let was = self.up.swap(up, Ordering::Relaxed);
+        self.up_gauge.set(up as i64);
+        was != up
+    }
+
+    fn client(&self) -> &Client {
+        &self.pool[self.rr.fetch_add(1, Ordering::Relaxed) % self.pool.len()]
+    }
+
+    /// One forwarded call with the node's bookkeeping: transport failure
+    /// marks the node down (the prober will mark it back up).
+    fn call(&self, req: &Pdu) -> Result<Pdu, NetError> {
+        self.forwards.inc();
+        match self.client().call_with_retry(req, FORWARD_ATTEMPTS) {
+            Ok(reply) => Ok(reply),
+            Err(e) => {
+                self.errors.inc();
+                if self.set_up(false) {
+                    mws_obs::warn!(target: "mws_cluster", "node marked down",
+                        node = self.name.clone(), error = e.to_string(),);
+                }
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Ring + membership, swapped atomically on change so in-flight requests
+/// keep a consistent view.
+struct Topology {
+    ring: HashRing,
+    nodes: Vec<Arc<ClusterNode>>,
+}
+
+impl Topology {
+    fn up_count(&self) -> usize {
+        self.nodes.iter().filter(|n| n.is_up()).count()
+    }
+}
+
+/// The cluster router: N warehouse daemons presented as one logical
+/// warehouse, with R-way replicated writes, quorum acks, fan-out reads
+/// and read-repair. Bind [`Self::as_service`] where a single warehouse
+/// service used to sit.
+pub struct ClusterRouter {
+    topo: RwLock<Arc<Topology>>,
+    cfg: ClusterConfig,
+    replica_key: Vec<u8>,
+    /// AID → attribute string, fed by the integrator from its (seed-
+    /// deterministic, hence cluster-wide identical) policy table; the
+    /// router needs it to turn a diverging retrieve row back into the
+    /// attribute the replica plane repairs by.
+    aid_attrs: RwLock<BTreeMap<u64, String>>,
+}
+
+impl ClusterRouter {
+    /// A router over the given nodes. `replica_key` authenticates the
+    /// replica plane; derive it from the MWS–PKG secret the same way the
+    /// warehouses do (`mws-core`'s `replica_key`) so both sides agree.
+    pub fn new(nodes: Vec<ClusterNode>, cfg: ClusterConfig, replica_key: Vec<u8>) -> Arc<Self> {
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        let nodes: Vec<Arc<ClusterNode>> = nodes.into_iter().map(Arc::new).collect();
+        let names: Vec<String> = nodes.iter().map(|n| n.name.clone()).collect();
+        Arc::new(Self {
+            topo: RwLock::new(Arc::new(Topology {
+                ring: HashRing::new(&names, cfg.vnodes),
+                nodes,
+            })),
+            cfg,
+            replica_key,
+            aid_attrs: RwLock::new(BTreeMap::new()),
+        })
+    }
+
+    /// The replication shape.
+    pub fn config(&self) -> ClusterConfig {
+        self.cfg
+    }
+
+    /// Hot-swaps the member list. Nodes whose name survives keep their
+    /// handle — liveness state, pool and counters carry over — so a
+    /// membership edit never resets what the router learned about the
+    /// survivors. The ring rebuilds with minimal remapping (see `ring`).
+    pub fn set_nodes(&self, nodes: Vec<ClusterNode>) {
+        assert!(!nodes.is_empty(), "a cluster needs at least one node");
+        let mut topo = self.topo.write();
+        let arcs: Vec<Arc<ClusterNode>> = nodes
+            .into_iter()
+            .map(|n| {
+                topo.nodes
+                    .iter()
+                    .find(|o| o.name == n.name)
+                    .cloned()
+                    .unwrap_or_else(|| Arc::new(n))
+            })
+            .collect();
+        let names: Vec<String> = arcs.iter().map(|n| n.name.clone()).collect();
+        *topo = Arc::new(Topology {
+            ring: HashRing::new(&names, self.cfg.vnodes),
+            nodes: arcs,
+        });
+    }
+
+    /// Teaches the router the AID → attribute mapping read-repair routes
+    /// by. Extends (never clears), so incremental grants just re-feed.
+    pub fn set_attribute_names<I: IntoIterator<Item = (u64, String)>>(&self, pairs: I) {
+        self.aid_attrs.write().extend(pairs);
+    }
+
+    /// Node names in member order, with liveness (observability surface).
+    pub fn node_states(&self) -> Vec<(String, bool)> {
+        let topo = self.topo.read().clone();
+        topo.nodes
+            .iter()
+            .map(|n| (n.name.clone(), n.is_up()))
+            .collect()
+    }
+
+    /// A bindable service facade; clones share the router.
+    pub fn as_service(self: &Arc<Self>) -> impl Service + 'static {
+        let this = self.clone();
+        move |req: Pdu| this.handle(req)
+    }
+
+    /// Routes one request.
+    pub fn handle(&self, req: Pdu) -> Pdu {
+        match req {
+            Pdu::DepositRequest { ref attribute, .. } => {
+                let attribute = attribute.clone();
+                let start = Instant::now();
+                let reply = self.forward_deposit(&attribute, &req);
+                stats().deposit_quorum_us.record_duration(start.elapsed());
+                reply
+            }
+            Pdu::DepositBatch { sd_id, items } => {
+                let start = Instant::now();
+                let reply = self.forward_batch(sd_id, items);
+                stats().deposit_quorum_us.record_duration(start.elapsed());
+                reply
+            }
+            Pdu::RetrieveRequest { .. } => self.fan_retrieve(&req),
+            Pdu::HealthRequest => {
+                let topo = self.topo.read().clone();
+                let up = topo.up_count();
+                Pdu::HealthResponse {
+                    role: "cluster".into(),
+                    ready: up >= self.cfg.write_quorum,
+                    detail: format!(
+                        "{up}/{} nodes up, R={} W={}",
+                        topo.nodes.len(),
+                        self.cfg.replicas,
+                        self.cfg.write_quorum
+                    ),
+                }
+            }
+            Pdu::StatsRequest => Pdu::StatsResponse {
+                role: "cluster".into(),
+                text: mws_obs::registry().exposition(),
+            },
+            _ => err(400, "unexpected PDU at cluster router"),
+        }
+    }
+
+    /// Forwards one deposit along the attribute's ring walk until W nodes
+    /// reported the row durable. A durable report is a [`Pdu::DepositAck`]
+    /// *or* a 409: a node 409s a nonce only after recording it, and it
+    /// records only after its shard fsynced the row — either answer proves
+    /// the copy exists. Transport failures extend the walk past the
+    /// preferred replica set (sloppy quorum), so R=2/W=2 keeps acking
+    /// with one of three nodes dead.
+    fn forward_deposit(&self, attribute: &str, req: &Pdu) -> Pdu {
+        let topo = self.topo.read().clone();
+        let pref = topo.ring.preference(attribute);
+        let mut durable: Vec<(usize, Pdu)> = Vec::new(); // (node idx, reply)
+        let mut reject: Option<Pdu> = None;
+        let mut walk = pref.into_iter().filter(|&i| topo.nodes[i].is_up());
+        loop {
+            let need = self.cfg.replicas.saturating_sub(durable.len());
+            if need == 0 {
+                break;
+            }
+            let wave: Vec<usize> = walk.by_ref().take(need).collect();
+            if wave.is_empty() {
+                break;
+            }
+            let replies = fan_out(&topo, &wave, req);
+            for (idx, result) in replies {
+                match result {
+                    Ok(reply) if is_durable_ack(&reply) => durable.push((idx, reply)),
+                    Ok(other) => {
+                        // A protocol reject (bad MAC, stale timestamp):
+                        // every node verifies the same evidence, so one
+                        // verdict speaks for all — no point walking on.
+                        reject.get_or_insert(other);
+                    }
+                    Err(_) => {} // marked down inside ClusterNode::call
+                }
+            }
+            if reject.is_some() {
+                break;
+            }
+        }
+        if durable.len() >= self.cfg.write_quorum {
+            stats().deposits_acked.inc();
+            return durable
+                .iter()
+                .find_map(|(idx, reply)| match reply {
+                    Pdu::DepositAck { message_id } => Some(Pdu::DepositAck {
+                        message_id: remap_id(*idx, *message_id),
+                    }),
+                    _ => None,
+                })
+                // Every durable report was a 409 replay: answer as one
+                // warehouse would.
+                .unwrap_or_else(|| durable.into_iter().next().expect("non-empty").1);
+        }
+        if let Some(reject) = reject {
+            return reject;
+        }
+        stats().quorum_failures.inc();
+        err(
+            503,
+            &format!(
+                "write quorum not reached ({}/{})",
+                durable.len(),
+                self.cfg.write_quorum
+            ),
+        )
+    }
+
+    /// Forwards a deposit batch. Items are regrouped by replica set — a
+    /// batch may span attributes living on different nodes — and each
+    /// group rides one sub-batch per target, so the per-shard group
+    /// commit on every node still sees the whole group. Outcomes merge
+    /// per item under the same W rule as single deposits.
+    fn forward_batch(&self, sd_id: String, items: Vec<DepositItem>) -> Pdu {
+        let topo = self.topo.read().clone();
+        let mut results = vec![
+            DepositOutcome {
+                status: DepositOutcome::STORAGE_ERROR,
+                message_id: 0,
+            };
+            items.len()
+        ];
+        // Group item indices by their attribute's ring walk.
+        let mut groups: BTreeMap<Vec<usize>, Vec<usize>> = BTreeMap::new();
+        for (i, item) in items.iter().enumerate() {
+            groups
+                .entry(topo.ring.preference(&item.attribute))
+                .or_default()
+                .push(i);
+        }
+        for (pref, member_idx) in groups {
+            let sub: Vec<DepositItem> = member_idx.iter().map(|&i| items[i].clone()).collect();
+            let req = Pdu::DepositBatch {
+                sd_id: sd_id.clone(),
+                items: sub,
+            };
+            // durable[j] = nodes that hold item j of this group.
+            let mut durable: Vec<Vec<(usize, DepositOutcome)>> = vec![Vec::new(); member_idx.len()];
+            let mut answered = 0usize;
+            let mut walk = pref.into_iter().filter(|&i| topo.nodes[i].is_up());
+            while answered < self.cfg.replicas {
+                let wave: Vec<usize> = walk.by_ref().take(self.cfg.replicas - answered).collect();
+                if wave.is_empty() {
+                    break;
+                }
+                for (idx, result) in fan_out(&topo, &wave, &req) {
+                    let Ok(Pdu::DepositBatchAck { results: acks }) = result else {
+                        continue;
+                    };
+                    if acks.len() != member_idx.len() {
+                        continue; // malformed; treat as no answer
+                    }
+                    answered += 1;
+                    for (j, outcome) in acks.into_iter().enumerate() {
+                        if is_durable_status(outcome.status) {
+                            durable[j].push((idx, outcome));
+                        } else if durable[j].is_empty() {
+                            // Keep the reject verdict visible unless a
+                            // durable copy overrides it.
+                            results[member_idx[j]] = outcome;
+                        }
+                    }
+                }
+            }
+            for (j, holders) in durable.into_iter().enumerate() {
+                if holders.len() >= self.cfg.write_quorum {
+                    // Prefer a STORED verdict; any holder proves the row.
+                    let &(idx, outcome) = holders
+                        .iter()
+                        .find(|(_, o)| o.status == DepositOutcome::STORED)
+                        .unwrap_or(&holders[0]);
+                    results[member_idx[j]] = DepositOutcome {
+                        status: outcome.status,
+                        message_id: remap_id(idx, outcome.message_id),
+                    };
+                } else if !holders.is_empty() {
+                    // Some copies exist but below W: report a storage
+                    // error so the device retries (idempotent on every
+                    // node that already holds it).
+                    stats().quorum_failures.inc();
+                }
+            }
+        }
+        stats().deposits_acked.inc();
+        Pdu::DepositBatchAck { results }
+    }
+
+    /// Fans a retrieve out to every live node, merges by nonce, and
+    /// repairs divergence. Each node independently verifies the forwarded
+    /// auth blob (their replay guards are distinct, so the single copy
+    /// passes everywhere), and each assigns its own message ids — so the
+    /// merged view keys rows by nonce and namespaces ids by node index.
+    fn fan_retrieve(&self, req: &Pdu) -> Pdu {
+        let topo = self.topo.read().clone();
+        let live: Vec<usize> = (0..topo.nodes.len())
+            .filter(|&i| topo.nodes[i].is_up())
+            .collect();
+        let mut successes: Vec<(usize, Vec<u8>, Vec<WireMessage>)> = Vec::new();
+        let mut reject: Option<Pdu> = None;
+        for (idx, result) in fan_out(&topo, &live, req) {
+            match result {
+                Ok(Pdu::RetrieveResponse { token, messages }) => {
+                    successes.push((idx, token, messages))
+                }
+                Ok(other) => {
+                    reject.get_or_insert(other);
+                }
+                Err(_) => {}
+            }
+        }
+        if successes.is_empty() {
+            return reject.unwrap_or_else(|| err(503, "no live warehouse node"));
+        }
+        successes.sort_by_key(|(idx, _, _)| *idx);
+        let mut merged: Vec<WireMessage> = Vec::new();
+        let mut seen: BTreeSet<Vec<u8>> = BTreeSet::new();
+        for (idx, _, messages) in &successes {
+            for m in messages {
+                if seen.insert(m.nonce.clone()) {
+                    let mut m = m.clone();
+                    m.message_id = remap_id(*idx, m.message_id);
+                    merged.push(m);
+                }
+            }
+        }
+        merged.sort_by(|a, b| (a.timestamp, &a.nonce).cmp(&(b.timestamp, &b.nonce)));
+        stats().retrieves_merged.inc();
+        if let Pdu::RetrieveRequest { limit: 0, .. } = req {
+            // Only un-truncated responses prove divergence; a limited page
+            // legitimately differs between nodes (their ids order rows
+            // differently).
+            self.read_repair(&topo, &successes, &seen);
+        }
+        let token = successes.into_iter().next().expect("non-empty").1;
+        Pdu::RetrieveResponse {
+            token,
+            messages: merged,
+        }
+    }
+
+    /// Pushes rows a lagging replica is missing, detected by comparing
+    /// each live node's nonce set against the merged union. Rows travel
+    /// over the replica plane: pulled (with attribute and origin identity
+    /// intact) from a node that has them, MAC-verified, and pushed to the
+    /// laggard, which stores them through the same durable origin-dedup
+    /// path as a device retransmission.
+    fn read_repair(
+        &self,
+        topo: &Topology,
+        successes: &[(usize, Vec<u8>, Vec<WireMessage>)],
+        union: &BTreeSet<Vec<u8>>,
+    ) {
+        let aid_attrs = self.aid_attrs.read();
+        // (laggard, attribute) → donor holding the attribute's rows.
+        let mut repairs: BTreeMap<(usize, String), usize> = BTreeMap::new();
+        for (idx, _, messages) in successes {
+            let have: BTreeSet<&Vec<u8>> = messages.iter().map(|m| &m.nonce).collect();
+            if have.len() == union.len() {
+                continue;
+            }
+            for (donor_idx, _, donor_msgs) in successes {
+                for m in donor_msgs {
+                    if have.contains(&m.nonce) {
+                        continue;
+                    }
+                    let Some(attr) = aid_attrs.get(&m.aid) else {
+                        continue; // can't name the attribute; skip
+                    };
+                    if topo.ring.replicas(attr, self.cfg.replicas).contains(idx) {
+                        repairs.insert((*idx, attr.clone()), *donor_idx);
+                    }
+                }
+            }
+        }
+        for ((laggard, attribute), donor) in repairs {
+            let rows = self.pull_rows(&topo.nodes[donor], &attribute);
+            if rows.is_empty() {
+                continue;
+            }
+            self.push_rows(&topo.nodes[laggard], rows);
+        }
+    }
+
+    /// Pulls one attribute's full rows from a node over the replica
+    /// plane, verifying the response MAC. Returns nothing on any failure
+    /// — repair is best-effort; the next divergent read retries it.
+    fn pull_rows(&self, node: &ClusterNode, attribute: &str) -> Vec<RelayEntry> {
+        let mut all = Vec::new();
+        let mut after = 0u64;
+        loop {
+            let req = Pdu::ReplicaPull {
+                attribute: attribute.to_string(),
+                after,
+                max: CATCHUP_PAGE,
+            };
+            let Ok(Pdu::ReplicaRows { rows, done, mac }) = node.call(&req) else {
+                return Vec::new();
+            };
+            let expect = Hmac::<Sha256>::mac(&self.replica_key, &replica_rows_bytes(&rows, done));
+            if !ct_eq(&mac, &expect) {
+                mws_obs::warn!(target: "mws_cluster", "replica rows MAC mismatch",
+                    node = node.name.clone(),);
+                return Vec::new();
+            }
+            if let Some(last) = rows.last() {
+                after = last.seq + 1;
+            }
+            all.extend(rows);
+            if done {
+                return all;
+            }
+        }
+    }
+
+    /// Pushes rows to a node over the replica plane (chunked, MAC'd).
+    fn push_rows(&self, node: &ClusterNode, rows: Vec<RelayEntry>) {
+        for chunk in rows.chunks(CATCHUP_PAGE as usize) {
+            let mac = Hmac::<Sha256>::mac(&self.replica_key, &replica_push_bytes(chunk));
+            match node.call(&Pdu::ReplicaPush {
+                rows: chunk.to_vec(),
+                mac,
+            }) {
+                Ok(Pdu::ReplicaPushAck { stored, .. }) => {
+                    stats().repair_rows.add(u64::from(stored));
+                    if stored > 0 {
+                        mws_obs::info!(target: "mws_cluster", "replica repaired",
+                            node = node.name.clone(), rows = u64::from(stored),);
+                    }
+                }
+                _ => return, // best-effort; leave the rest for next time
+            }
+        }
+    }
+
+    /// Probes every node with a Health PDU, updating liveness. A node
+    /// coming back up is caught up before it rejoins the read path: rows
+    /// deposited while it was down (acked by the sloppy quorum on other
+    /// nodes) are pulled from a live peer and pushed to it, filtered to
+    /// the attributes the ring places on it. Returns the up count.
+    pub fn probe_once(&self) -> usize {
+        let topo = self.topo.read().clone();
+        let mut recovered = Vec::new();
+        for (idx, node) in topo.nodes.iter().enumerate() {
+            let healthy = matches!(
+                node.client().call(&Pdu::HealthRequest),
+                Ok(Pdu::HealthResponse { ready: true, .. })
+            );
+            if node.set_up(healthy) {
+                mws_obs::info!(target: "mws_cluster", "node liveness changed",
+                    node = node.name.clone(), up = healthy,);
+                if healthy {
+                    recovered.push(idx);
+                }
+            }
+        }
+        for idx in recovered {
+            self.catch_up(&topo, idx);
+        }
+        topo.up_count()
+    }
+
+    /// Replays everything a recovered node should hold from a live donor:
+    /// a paged full-scan pull, filtered to rows whose attribute the ring
+    /// replicates onto the recovered node, pushed through the idempotent
+    /// origin-dedup store. Rows it already has count as dedup hits; rows
+    /// it missed while down become durable before the push acks.
+    fn catch_up(&self, topo: &Topology, idx: usize) {
+        let Some(donor) = (0..topo.nodes.len()).find(|&i| i != idx && topo.nodes[i].is_up()) else {
+            return;
+        };
+        let donor = &topo.nodes[donor];
+        let target = &topo.nodes[idx];
+        let rows = self.pull_rows(donor, "");
+        let mine: Vec<RelayEntry> = rows
+            .into_iter()
+            .filter(|row| {
+                topo.ring
+                    .replicas(&row.attribute, self.cfg.replicas)
+                    .contains(&idx)
+            })
+            .collect();
+        if mine.is_empty() {
+            return;
+        }
+        stats().catchup_rows.add(mine.len() as u64);
+        mws_obs::info!(target: "mws_cluster", "catching node up",
+            node = target.name.clone(), donor = donor.name.clone(),
+            rows = mine.len() as u64,);
+        self.push_rows(target, mine);
+    }
+}
+
+/// Forwards `req` to each target in parallel, pairing replies with the
+/// node index. One OS thread per in-flight forward — replica sets are
+/// small (R, or the live node count on reads), so a scoped spawn per wave
+/// costs far less than the quorum wait it overlaps.
+fn fan_out(topo: &Topology, targets: &[usize], req: &Pdu) -> Vec<(usize, Result<Pdu, NetError>)> {
+    if targets.len() == 1 {
+        let idx = targets[0];
+        return vec![(idx, topo.nodes[idx].call(req))];
+    }
+    // The caller's thread takes the last target itself: an R-replica
+    // fan-out costs R-1 spawns, not R, and the common R=2 write path
+    // spawns exactly once per deposit.
+    let (&last, rest) = targets.split_last().expect("targets checked non-empty");
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = rest
+            .iter()
+            .map(|&idx| {
+                let node = &topo.nodes[idx];
+                (idx, scope.spawn(move || node.call(req)))
+            })
+            .collect();
+        let own = (last, topo.nodes[last].call(req));
+        let mut replies: Vec<_> = handles
+            .into_iter()
+            .map(|(idx, h)| (idx, h.join().expect("forward thread panicked")))
+            .collect();
+        replies.push(own);
+        replies
+    })
+}
+
+/// Does this reply prove the node holds the row durably? An ack is
+/// explicit; a 409 means the node's replay guard knows the nonce, which
+/// it only learns *after* the owning shard fsyncs (PR 2's durable-
+/// before-record invariant) — so a replayed retransmission still counts
+/// toward the write quorum.
+fn is_durable_ack(reply: &Pdu) -> bool {
+    matches!(reply, Pdu::DepositAck { .. } | Pdu::Error { code: 409, .. })
+}
+
+/// Batch-item analog of [`is_durable_ack`].
+fn is_durable_status(status: u8) -> bool {
+    matches!(
+        status,
+        DepositOutcome::STORED | DepositOutcome::DUPLICATE | DepositOutcome::REPLAY
+    )
+}
+
+/// Namespaces a node-local message id with the node's member index, so
+/// ids stay unique in the merged view (node ids overlap freely — each
+/// warehouse numbers its own rows).
+fn remap_id(node_idx: usize, id: u64) -> u64 {
+    ((node_idx as u64) << 56) | (id & ((1 << 56) - 1))
+}
+
+fn err(code: u16, detail: &str) -> Pdu {
+    Pdu::Error {
+        code,
+        detail: detail.to_string(),
+    }
+}
+
+/// Router-wide counters/latency (preregistered on first use).
+struct RouterStats {
+    deposits_acked: Counter,
+    quorum_failures: Counter,
+    retrieves_merged: Counter,
+    repair_rows: Counter,
+    catchup_rows: Counter,
+    deposit_quorum_us: Histogram,
+}
+
+fn stats() -> &'static RouterStats {
+    static STATS: std::sync::OnceLock<RouterStats> = std::sync::OnceLock::new();
+    STATS.get_or_init(|| {
+        let r = mws_obs::registry();
+        RouterStats {
+            deposits_acked: r.counter("mws_cluster_deposits_acked_total"),
+            quorum_failures: r.counter("mws_cluster_quorum_failures_total"),
+            retrieves_merged: r.counter("mws_cluster_retrieves_merged_total"),
+            repair_rows: r.counter("mws_cluster_repair_rows_total"),
+            catchup_rows: r.counter("mws_cluster_catchup_rows_total"),
+            deposit_quorum_us: r.histogram("mws_cluster_deposit_quorum_us"),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mws_net::Network;
+    use mws_wire::fnv1a64;
+    use parking_lot::Mutex;
+
+    /// A toy warehouse faithful to the router-visible contract: dedup by
+    /// nonce, 409 on replayed nonces, retrieve listing, and the MAC'd
+    /// replica plane. Shared behind a mutex so tests can inspect state.
+    #[derive(Default)]
+    struct ToyStore {
+        rows: BTreeMap<Vec<u8>, RelayEntry>,
+        replay: BTreeSet<Vec<u8>>,
+        next_id: u64,
+    }
+
+    const KEY: &[u8] = b"toy-replica-key";
+
+    fn toy_service(store: Arc<Mutex<ToyStore>>) -> impl Service + 'static {
+        move |req: Pdu| {
+            let mut s = store.lock();
+            match req {
+                Pdu::DepositRequest {
+                    sd_id,
+                    timestamp,
+                    u,
+                    algo,
+                    sealed,
+                    attribute,
+                    nonce,
+                    ..
+                } => {
+                    if s.replay.contains(&nonce) {
+                        return Pdu::Error {
+                            code: 409,
+                            detail: "replayed".into(),
+                        };
+                    }
+                    s.next_id += 1;
+                    let id = s.next_id;
+                    s.replay.insert(nonce.clone());
+                    s.rows.insert(
+                        nonce.clone(),
+                        RelayEntry {
+                            seq: id,
+                            sd_id,
+                            timestamp,
+                            u,
+                            algo,
+                            sealed,
+                            attribute,
+                            nonce,
+                        },
+                    );
+                    Pdu::DepositAck { message_id: id }
+                }
+                Pdu::DepositBatch { sd_id, items } => {
+                    let results = items
+                        .into_iter()
+                        .map(|item| {
+                            if s.replay.contains(&item.nonce) {
+                                return DepositOutcome {
+                                    status: DepositOutcome::REPLAY,
+                                    message_id: 0,
+                                };
+                            }
+                            s.next_id += 1;
+                            let id = s.next_id;
+                            s.replay.insert(item.nonce.clone());
+                            s.rows.insert(
+                                item.nonce.clone(),
+                                RelayEntry {
+                                    seq: id,
+                                    sd_id: sd_id.clone(),
+                                    timestamp: item.timestamp,
+                                    u: item.u,
+                                    algo: item.algo,
+                                    sealed: item.sealed,
+                                    attribute: item.attribute,
+                                    nonce: item.nonce,
+                                },
+                            );
+                            DepositOutcome {
+                                status: DepositOutcome::STORED,
+                                message_id: id,
+                            }
+                        })
+                        .collect();
+                    Pdu::DepositBatchAck { results }
+                }
+                Pdu::RetrieveRequest { .. } => {
+                    let messages = s
+                        .rows
+                        .values()
+                        .map(|r| WireMessage {
+                            message_id: r.seq,
+                            u: r.u.clone(),
+                            algo: r.algo,
+                            sealed: r.sealed.clone(),
+                            aid: fnv1a64(r.attribute.as_bytes()),
+                            nonce: r.nonce.clone(),
+                            timestamp: r.timestamp,
+                            aad: Vec::new(),
+                        })
+                        .collect();
+                    Pdu::RetrieveResponse {
+                        token: b"tok".to_vec(),
+                        messages,
+                    }
+                }
+                Pdu::ReplicaPull {
+                    attribute,
+                    after,
+                    max,
+                } => {
+                    let mut rows: Vec<RelayEntry> = s
+                        .rows
+                        .values()
+                        .filter(|r| {
+                            (attribute.is_empty() || r.attribute == attribute) && r.seq >= after
+                        })
+                        .cloned()
+                        .collect();
+                    rows.sort_by_key(|r| r.seq);
+                    let max = if max == 0 { usize::MAX } else { max as usize };
+                    let done = rows.len() <= max;
+                    rows.truncate(max);
+                    let mac = Hmac::<Sha256>::mac(KEY, &replica_rows_bytes(&rows, done));
+                    Pdu::ReplicaRows { rows, done, mac }
+                }
+                Pdu::ReplicaPush { rows, mac } => {
+                    if !ct_eq(&mac, &Hmac::<Sha256>::mac(KEY, &replica_push_bytes(&rows))) {
+                        return Pdu::Error {
+                            code: 401,
+                            detail: "bad replica mac".into(),
+                        };
+                    }
+                    let mut stored = 0;
+                    let mut deduped = 0;
+                    for mut row in rows {
+                        if s.rows.contains_key(&row.nonce) {
+                            deduped += 1;
+                        } else {
+                            s.next_id += 1;
+                            row.seq = s.next_id;
+                            s.rows.insert(row.nonce.clone(), row);
+                            stored += 1;
+                        }
+                    }
+                    Pdu::ReplicaPushAck { stored, deduped }
+                }
+                Pdu::HealthRequest => Pdu::HealthResponse {
+                    role: "mms".into(),
+                    ready: true,
+                    detail: String::new(),
+                },
+                _ => Pdu::Error {
+                    code: 400,
+                    detail: "unexpected".into(),
+                },
+            }
+        }
+    }
+
+    struct Cluster {
+        net: Network,
+        stores: Vec<Arc<Mutex<ToyStore>>>,
+        router: Arc<ClusterRouter>,
+    }
+
+    fn cluster(n: usize, r: usize, w: usize) -> Cluster {
+        let net = Network::new();
+        let mut stores = Vec::new();
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            let store = Arc::new(Mutex::new(ToyStore::default()));
+            let name = format!("node-{i}");
+            net.bind(&name, toy_service(store.clone()));
+            nodes.push(ClusterNode::new(&name, vec![net.client(&name)]));
+            stores.push(store);
+        }
+        let router = ClusterRouter::new(nodes, ClusterConfig::new(r, w), KEY.to_vec());
+        Cluster {
+            net,
+            stores,
+            router,
+        }
+    }
+
+    fn deposit(attr: &str, nonce: &[u8]) -> Pdu {
+        Pdu::DepositRequest {
+            sd_id: "m".into(),
+            timestamp: 1,
+            u: b"\x02u".to_vec(),
+            algo: 1,
+            sealed: b"c".to_vec(),
+            attribute: attr.into(),
+            nonce: nonce.to_vec(),
+            mac: b"mac".to_vec(),
+        }
+    }
+
+    fn retrieve() -> Pdu {
+        Pdu::RetrieveRequest {
+            rc_id: "rc".into(),
+            auth: b"auth".to_vec(),
+            since: 0,
+            limit: 0,
+        }
+    }
+
+    fn holders(c: &Cluster, nonce: &[u8]) -> Vec<usize> {
+        (0..c.stores.len())
+            .filter(|&i| c.stores[i].lock().rows.contains_key(nonce))
+            .collect()
+    }
+
+    #[test]
+    fn deposit_lands_on_exactly_the_ring_replicas() {
+        let c = cluster(3, 2, 2);
+        for i in 0..16u8 {
+            let attr = format!("ATTR-{i}");
+            let reply = c.router.handle(deposit(&attr, &[i]));
+            assert!(matches!(reply, Pdu::DepositAck { .. }), "{reply:?}");
+            let mut expect = c.router.topo.read().ring.replicas(&attr, 2);
+            expect.sort_unstable();
+            assert_eq!(holders(&c, &[i]), expect);
+        }
+    }
+
+    #[test]
+    fn retransmission_still_acks_through_dedup() {
+        let c = cluster(3, 2, 2);
+        let first = c.router.handle(deposit("A", b"n1"));
+        let again = c.router.handle(deposit("A", b"n1"));
+        // Both replicas 409 the replay; the quorum is met either way.
+        assert!(matches!(first, Pdu::DepositAck { .. }));
+        assert!(matches!(again, Pdu::Error { code: 409, .. }), "{again:?}");
+        assert_eq!(holders(&c, b"n1").len(), 2, "no third copy appeared");
+    }
+
+    #[test]
+    fn sloppy_quorum_survives_a_dead_primary() {
+        let c = cluster(3, 2, 2);
+        // Find an attribute whose primary is node 0, then kill node 0.
+        let topo = c.router.topo.read().clone();
+        let attr = (0..)
+            .map(|i| format!("K{i}"))
+            .find(|a| topo.ring.replicas(a, 1)[0] == 0)
+            .unwrap();
+        drop(topo);
+        c.net.unbind("node-0");
+        let reply = c.router.handle(deposit(&attr, b"nx"));
+        assert!(matches!(reply, Pdu::DepositAck { .. }), "{reply:?}");
+        let have = holders(&c, b"nx");
+        assert_eq!(have, vec![1, 2], "walk spilled past the dead primary");
+        assert!(!c.router.topo.read().nodes[0].is_up(), "failure marked");
+    }
+
+    #[test]
+    fn quorum_failure_is_an_honest_503() {
+        let c = cluster(3, 2, 2);
+        c.net.unbind("node-0");
+        c.net.unbind("node-1");
+        let reply = c.router.handle(deposit("A", b"n"));
+        assert!(matches!(reply, Pdu::Error { code: 503, .. }), "{reply:?}");
+    }
+
+    #[test]
+    fn batch_groups_by_replica_set_and_merges_outcomes() {
+        let c = cluster(3, 2, 2);
+        let items: Vec<DepositItem> = (0..8u8)
+            .map(|i| DepositItem {
+                timestamp: 1,
+                u: b"\x02u".to_vec(),
+                algo: 1,
+                sealed: b"c".to_vec(),
+                attribute: format!("ATTR-{i}"),
+                nonce: vec![i],
+                mac: b"mac".to_vec(),
+            })
+            .collect();
+        let reply = c.router.handle(Pdu::DepositBatch {
+            sd_id: "m".into(),
+            items,
+        });
+        let Pdu::DepositBatchAck { results } = reply else {
+            panic!("expected batch ack");
+        };
+        assert_eq!(results.len(), 8);
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(r.status, DepositOutcome::STORED, "item {i}");
+            assert_eq!(holders(&c, &[i as u8]).len(), 2, "item {i} replicated");
+        }
+    }
+
+    #[test]
+    fn retrieve_merges_unique_rows_across_nodes() {
+        let c = cluster(3, 2, 2);
+        for i in 0..12u8 {
+            c.router.handle(deposit(&format!("ATTR-{i}"), &[i]));
+        }
+        let Pdu::RetrieveResponse { token, messages } = c.router.handle(retrieve()) else {
+            panic!("expected retrieve response");
+        };
+        assert_eq!(token, b"tok");
+        assert_eq!(messages.len(), 12, "union without duplicates");
+        let mut ids: Vec<u64> = messages.iter().map(|m| m.message_id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 12, "remapped ids stay unique");
+    }
+
+    #[test]
+    fn read_repair_heals_a_diverged_replica() {
+        let c = cluster(3, 2, 2);
+        let reply = c.router.handle(deposit("A", b"n1"));
+        assert!(matches!(reply, Pdu::DepositAck { .. }));
+        let reps = c.router.topo.read().ring.replicas("A", 2);
+        // Simulate a lost row on one replica (torn disk, rolled-back WAL).
+        let laggard = reps[1];
+        c.stores[laggard].lock().rows.clear();
+        c.router
+            .set_attribute_names([(fnv1a64(b"A"), "A".to_string())]);
+        let Pdu::RetrieveResponse { messages, .. } = c.router.handle(retrieve()) else {
+            panic!("expected retrieve response");
+        };
+        assert_eq!(messages.len(), 1, "survivor still serves the row");
+        assert!(
+            c.stores[laggard].lock().rows.contains_key(b"n1".as_slice()),
+            "divergent replica repaired from the donor"
+        );
+    }
+
+    #[test]
+    fn restarted_node_catches_up_before_rejoining() {
+        let c = cluster(3, 2, 2);
+        c.net.unbind("node-0");
+        c.router.probe_once(); // notice the death
+        let mut mine = Vec::new();
+        for i in 0..32u8 {
+            let attr = format!("ATTR-{i}");
+            let reply = c.router.handle(deposit(&attr, &[i]));
+            assert!(matches!(reply, Pdu::DepositAck { .. }));
+            if c.router.topo.read().ring.replicas(&attr, 2).contains(&0) {
+                mine.push(i);
+            }
+        }
+        assert!(!mine.is_empty(), "some attributes place on node 0");
+        assert!(holders(&c, &[mine[0]]).len() >= 2, "spilled while down");
+        // Restart: rebind the same store (its pre-crash rows intact).
+        c.net.bind("node-0", toy_service(c.stores[0].clone()));
+        c.router.probe_once(); // notice recovery + catch up
+        assert!(c.router.topo.read().nodes[0].is_up());
+        for i in mine {
+            assert!(
+                c.stores[0].lock().rows.contains_key(&vec![i]),
+                "row {i} pushed during catch-up"
+            );
+        }
+    }
+
+    #[test]
+    fn membership_change_keeps_surviving_state() {
+        let c = cluster(3, 2, 2);
+        c.net.unbind("node-2");
+        c.router.probe_once(); // observe the death
+
+        // Grow to 4 nodes; the down state of node-2 must carry over.
+        let store = Arc::new(Mutex::new(ToyStore::default()));
+        c.net.bind("node-3", toy_service(store.clone()));
+        let nodes: Vec<ClusterNode> = (0..4)
+            .map(|i| {
+                let name = format!("node-{i}");
+                ClusterNode::new(&name, vec![c.net.client(&name)])
+            })
+            .collect();
+        c.router.set_nodes(nodes);
+        let states = c.router.node_states();
+        assert_eq!(states.len(), 4);
+        assert!(!states[2].1, "node-2 still known dead after the swap");
+        assert!(states[3].1, "new node starts up");
+    }
+
+    #[test]
+    fn health_aggregates_membership() {
+        let c = cluster(3, 2, 2);
+        let Pdu::HealthResponse {
+            role,
+            ready,
+            detail,
+        } = c.router.handle(Pdu::HealthRequest)
+        else {
+            panic!("expected health response");
+        };
+        assert_eq!(role, "cluster");
+        assert!(ready);
+        assert!(detail.contains("3/3"), "{detail}");
+        c.net.unbind("node-0");
+        c.net.unbind("node-1");
+        c.router.probe_once();
+        let Pdu::HealthResponse { ready, detail, .. } = c.router.handle(Pdu::HealthRequest) else {
+            panic!("expected health response");
+        };
+        assert!(!ready, "below write quorum: {detail}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Property-based tests for the consistent-hash ring: balance within
+//! tolerance across ~1k virtual nodes, and minimal disruption when
+//! membership changes (the two properties that make ring routing safe to
+//! deploy — a hash that clumped or a membership edit that remapped the
+//! world would both show up here).
+
+use mws_cluster::HashRing;
+use proptest::prelude::*;
+
+fn names(n: usize) -> Vec<String> {
+    (0..n)
+        .map(|i| format!("warehouse-{i}.example:7101"))
+        .collect()
+}
+
+/// Keys that look like the deposit path's attribute strings.
+fn arb_keys() -> impl Strategy<Value = Vec<String>> {
+    prop::collection::hash_set("[A-Z]{2,8}-[0-9]{1,6}", 256..512)
+        .prop_map(|set| set.into_iter().collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// With ~1k vnodes (4 nodes × 256), every node's share of primary
+    /// ownership lands within ±50% of the fair 1/N — loose enough for
+    /// hash variance on a few hundred keys, tight enough to catch a
+    /// clumped ring (an unbalanced ring concentrates 2–3× on one node).
+    #[test]
+    fn thousand_vnode_ring_balances_within_tolerance(keys in arb_keys()) {
+        let n = 4;
+        let ring = HashRing::new(&names(n), 256);
+        let mut counts = vec![0usize; n];
+        for key in &keys {
+            counts[ring.replicas(key, 1)[0]] += 1;
+        }
+        let fair = keys.len() as f64 / n as f64;
+        for (idx, &c) in counts.iter().enumerate() {
+            let share = c as f64;
+            prop_assert!(
+                share > fair * 0.5 && share < fair * 1.5,
+                "node {idx} owns {c} of {} keys (fair {fair:.0})",
+                keys.len()
+            );
+        }
+    }
+
+    /// Replica sets (R = 2) spread load too: no node appears in more
+    /// than twice its fair share of replica slots.
+    #[test]
+    fn replica_slots_balance(keys in arb_keys()) {
+        let n = 4;
+        let r = 2;
+        let ring = HashRing::new(&names(n), 256);
+        let mut counts = vec![0usize; n];
+        for key in &keys {
+            for idx in ring.replicas(key, r) {
+                counts[idx] += 1;
+            }
+        }
+        let fair = (keys.len() * r) as f64 / n as f64;
+        for (idx, &c) in counts.iter().enumerate() {
+            prop_assert!(
+                (c as f64) < fair * 2.0,
+                "node {idx} holds {c} replica slots (fair {fair:.0})"
+            );
+        }
+    }
+
+    /// Adding one node to an N-node ring remaps at most keys/(N+1) plus
+    /// slack — the minimal-disruption property that makes scale-out a
+    /// bounded migration instead of a full reshuffle.
+    #[test]
+    fn adding_a_node_remaps_minimally(keys in arb_keys(), n in 2usize..6) {
+        let before = HashRing::new(&names(n), 128);
+        let after = HashRing::new(&names(n + 1), 128);
+        let moved = keys
+            .iter()
+            .filter(|k| before.replicas(k, 1)[0] != after.replicas(k, 1)[0])
+            .count();
+        // Expected keys/(N+1); allow 2× for hash variance plus a small
+        // additive floor for tiny samples.
+        let bound = (keys.len() as f64 * 2.0 / (n + 1) as f64) + 8.0;
+        prop_assert!(
+            (moved as f64) <= bound,
+            "{moved} of {} keys moved adding node {} (bound {bound:.0})",
+            keys.len(),
+            n + 1
+        );
+        // And every key that moved, moved TO the new node: growth never
+        // shuffles keys between survivors.
+        for key in &keys {
+            let (b, a) = (before.replicas(key, 1)[0], after.replicas(key, 1)[0]);
+            if b != a {
+                prop_assert_eq!(a, n, "key moved between surviving nodes");
+            }
+        }
+    }
+
+    /// Removing a node remaps exactly the keys it owned: survivors' keys
+    /// never move (their first surviving ring point is untouched).
+    #[test]
+    fn removing_a_node_strands_no_survivor_keys(keys in arb_keys(), n in 3usize..7) {
+        let full = HashRing::new(&names(n), 128);
+        let less = HashRing::new(&names(n - 1), 128);
+        for key in &keys {
+            let owner = full.replicas(key, 1)[0];
+            if owner != n - 1 {
+                prop_assert_eq!(less.replicas(key, 1)[0], owner);
+            }
+        }
+    }
+
+    /// The full replica set is stable under growth for most keys: a key
+    /// whose R-set avoids the new node keeps its exact R-set.
+    #[test]
+    fn replica_sets_only_change_toward_the_new_node(keys in arb_keys(), n in 2usize..6) {
+        let before = HashRing::new(&names(n), 128);
+        let after = HashRing::new(&names(n + 1), 128);
+        for key in &keys {
+            let b = before.replicas(key, 2);
+            let a = after.replicas(key, 2);
+            if !a.contains(&n) {
+                prop_assert_eq!(&b, &a, "R-set changed without involving the new node");
+            }
+        }
+    }
+}

@@ -30,6 +30,12 @@ pub(crate) struct CoreStats {
     pub pkg_auth_rejected: Counter,
     pub pkg_keys_served: Counter,
     pub pkg_keys_rejected: Counter,
+    /// Rows served to peers over the cluster replica plane.
+    pub replica_rows_served: Counter,
+    /// Rows made durable by replica pushes (repair/catch-up writes).
+    pub replica_rows_stored: Counter,
+    /// Replica-plane requests discarded for a bad MAC.
+    pub replica_mac_rejected: Counter,
 }
 
 pub(crate) fn stats() -> &'static CoreStats {
@@ -66,6 +72,9 @@ pub(crate) fn stats() -> &'static CoreStats {
             pkg_auth_rejected: r.counter("mws_pkg_auth_rejected_total"),
             pkg_keys_served: key("served"),
             pkg_keys_rejected: key("rejected"),
+            replica_rows_served: r.counter("mws_core_replica_rows_served_total"),
+            replica_rows_stored: r.counter("mws_core_replica_rows_stored_total"),
+            replica_mac_rejected: r.counter("mws_core_replica_mac_rejected_total"),
         }
     })
 }

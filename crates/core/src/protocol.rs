@@ -18,18 +18,31 @@ use crate::policy::AttrPattern;
 use crate::registry::DeviceRegistry;
 use crate::sda::{DeviceAuthVerifier, SdAuthenticator, SD_IDENTITY_PREFIX};
 use crate::token::{TicketContent, TokenGenerator};
-use mws_crypto::{HmacDrbg, RsaKeyPair, RsaPublicKey};
+use mws_crypto::{ct_eq, Hmac, HmacDrbg, RsaKeyPair, RsaPublicKey, Sha256};
 use mws_ibe::{CipherAlgo, IbeSystem};
 use mws_net::{Client, FaultConfig, Network};
 use mws_pairing::SecurityLevel;
 use mws_store::{FaultPlan, PendingDeposit, PolicyRow, ShardedMessageDb, StorageKind};
-use mws_wire::{DepositItem, DepositOutcome, Pdu, WireMessage};
+use mws_wire::pdu::{replica_push_bytes, replica_rows_bytes};
+use mws_wire::{DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
 use parking_lot::Mutex;
 use rand::RngCore;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 pub use crate::client::{ReceivingClient, RetrievedMessage};
+
+/// Derives the cluster replica-plane MAC key from the MWS–PKG secret.
+/// Every warehouse replica provisions the same secret from the shared
+/// deployment seed, so routers and warehouses agree on this key without a
+/// distribution step; the label separates it from the secret's ticket and
+/// token uses.
+pub fn replica_key(mws_pkg_secret: &[u8]) -> Vec<u8> {
+    Hmac::<Sha256>::mac(mws_pkg_secret, b"mws-cluster-replica")
+}
+
+/// Default page size a [`Pdu::ReplicaPull`] with `max = 0` is served at.
+const REPLICA_PULL_DEFAULT_MAX: usize = 512;
 
 /// The warehouse service state.
 struct MwsInner {
@@ -54,6 +67,9 @@ pub struct MwsService {
     inner: Arc<Mutex<MwsInner>>,
     store: Arc<ShardedMessageDb>,
     clock: LogicalClock,
+    /// MAC key for the cluster replica plane ([`Pdu::ReplicaPull`] /
+    /// [`Pdu::ReplicaPush`]), derived from the MWS–PKG secret.
+    replica_key: Vec<u8>,
 }
 
 impl MwsService {
@@ -100,6 +116,7 @@ impl MwsService {
     ) -> Result<Self, CoreError> {
         let mms = MessageManagementSystem::open_sharded(message_storages, policy_storage)?;
         let store = mms.store_handle();
+        let replica_key = replica_key(mws_pkg_secret);
         Ok(Self {
             inner: Arc::new(Mutex::new(MwsInner {
                 sda: SdAuthenticator::with_verifier(registry, replay.clone(), device_auth),
@@ -112,6 +129,7 @@ impl MwsService {
             })),
             store,
             clock,
+            replica_key,
         })
     }
 
@@ -157,8 +175,103 @@ impl MwsService {
                 stats().deposit_batch_us.record_duration(start.elapsed());
                 reply
             }
+            Pdu::ReplicaPull {
+                attribute,
+                after,
+                max,
+            } => self.handle_replica_pull(&attribute, after, max),
+            Pdu::ReplicaPush { rows, mac } => self.handle_replica_push(rows, &mac),
             other => self.inner.lock().handle(other),
         }
+    }
+
+    /// Serves full rows to a cluster peer: one attribute's, or a paged
+    /// full scan when `attribute` is empty (node catch-up). The reply
+    /// carries attribute strings and origin identities — material the
+    /// client-facing protocol deliberately withholds — so it is MAC'd
+    /// under the replica key and only useful to a holder of it; the
+    /// sealed payloads themselves stay IBE-encrypted either way.
+    fn handle_replica_pull(&self, attribute: &str, after: u64, max: u32) -> Pdu {
+        let max = if max == 0 {
+            REPLICA_PULL_DEFAULT_MAX
+        } else {
+            max as usize
+        };
+        let fetched = if attribute.is_empty() {
+            let mut all = Vec::new();
+            for attr in self.store.attributes() {
+                match self.store.by_attribute(&attr) {
+                    Ok(rows) => all.extend(rows),
+                    Err(_) => return err(500, "replica scan failure"),
+                }
+            }
+            all
+        } else {
+            match self.store.by_attribute(attribute) {
+                Ok(rows) => rows,
+                Err(_) => return err(500, "replica scan failure"),
+            }
+        };
+        let mut newer: Vec<_> = fetched.into_iter().filter(|m| m.id >= after).collect();
+        newer.sort_unstable_by_key(|m| m.id);
+        let done = newer.len() <= max;
+        newer.truncate(max);
+        let rows: Vec<RelayEntry> = newer
+            .into_iter()
+            .map(|m| RelayEntry {
+                seq: m.id,
+                sd_id: m.sd_id,
+                timestamp: m.timestamp,
+                u: m.u,
+                algo: m.algo,
+                sealed: m.sealed,
+                attribute: m.attribute,
+                nonce: m.nonce,
+            })
+            .collect();
+        stats().replica_rows_served.add(rows.len() as u64);
+        let mac = Hmac::<Sha256>::mac(&self.replica_key, &replica_rows_bytes(&rows, done));
+        Pdu::ReplicaRows { rows, done, mac }
+    }
+
+    /// Stores rows a cluster peer pushed (read-repair or catch-up) through
+    /// the same durable origin-dedup path a device retransmission takes:
+    /// each row fsyncs on its shard before the ack counts it, and a row
+    /// already present under its `(sd_id, nonce)` origin is a dedup hit,
+    /// not a second copy. The SDA replay guard is deliberately *not*
+    /// touched — a later live retransmission of the same deposit must
+    /// still converge to the same single row instead of 409ing.
+    fn handle_replica_push(&self, rows: Vec<RelayEntry>, mac: &[u8]) -> Pdu {
+        let expect = Hmac::<Sha256>::mac(&self.replica_key, &replica_push_bytes(&rows));
+        if !ct_eq(mac, &expect) {
+            stats().replica_mac_rejected.inc();
+            mws_obs::warn!(target: "mws_core", "replica push rejected", reason = "bad mac",);
+            return err(401, "replica MAC verification failed");
+        }
+        let mut stored = 0u32;
+        let mut deduped = 0u32;
+        for row in rows {
+            let pending = PendingDeposit {
+                attribute: row.attribute,
+                nonce: row.nonce,
+                u: row.u,
+                algo: row.algo,
+                sealed: row.sealed,
+                sd_id: row.sd_id,
+                timestamp: row.timestamp,
+            };
+            match self.store.deposit(&pending) {
+                Ok((_, true)) => stored += 1,
+                Ok((_, false)) => deduped += 1,
+                Err(_) => return err(500, "storage failure"),
+            }
+        }
+        stats().replica_rows_stored.add(u64::from(stored));
+        if stored > 0 {
+            mws_obs::debug!(target: "mws_core", "replica push stored",
+                stored = u64::from(stored), deduped = u64::from(deduped),);
+        }
+        Pdu::ReplicaPushAck { stored, deduped }
     }
 
     /// One deposit: verify under the service lock, append + fsync on the
@@ -732,6 +845,7 @@ pub struct Deployment {
     mws: MwsService,
     pkg: PkgService,
     rng: HmacDrbg,
+    mws_pkg_secret: Vec<u8>,
     device_keys: HashMap<String, DeviceCredential>,
     client_keys: HashMap<String, RsaKeyPair>,
 }
@@ -801,6 +915,7 @@ impl Deployment {
             mws,
             pkg,
             rng,
+            mws_pkg_secret,
             device_keys: HashMap::new(),
             client_keys: HashMap::new(),
         }
@@ -954,6 +1069,14 @@ impl Deployment {
     /// The shared IBE system.
     pub fn ibe(&self) -> &IbeSystem {
         &self.ibe
+    }
+
+    /// The cluster replica-plane MAC key (see [`replica_key`]). Seed-
+    /// deterministic like all provisioning: every replica deployment of
+    /// the same seed derives the same key, which is what lets a cluster
+    /// router authenticate the repair plane against all of them.
+    pub fn replica_key(&self) -> Vec<u8> {
+        replica_key(&self.mws_pkg_secret)
     }
 }
 
@@ -1357,5 +1480,122 @@ mod tests {
         let (_, wire_msgs) = rc.retrieve(0).unwrap();
         let sealed = &wire_msgs[0].sealed;
         assert!(!sealed.windows(secret.len()).any(|w| w == secret.as_slice()));
+    }
+
+    #[test]
+    fn replica_plane_round_trips_between_seed_replicas() {
+        // Two deployments from one seed = two cluster nodes: same device
+        // keys, same replica key. Rows pulled from one must push into the
+        // other durably, idempotently, and survive a later live
+        // retransmission of the same deposit.
+        let mut a = deployment();
+        let mut b = deployment();
+        for dep in [&mut a, &mut b] {
+            dep.register_device("m");
+            dep.register_client("rc", "pw", &["A"]);
+        }
+        assert_eq!(a.replica_key(), b.replica_key(), "seed-deterministic key");
+        let mut meter = a.device("m");
+        let pdu_one = meter.compose_deposit("A", b"one");
+        let mws_a_direct = a.network().client("mws");
+        assert!(matches!(
+            mws_a_direct.call(&pdu_one).unwrap(),
+            Pdu::DepositAck { .. }
+        ));
+        meter.deposit("A", b"two").unwrap();
+
+        let mws_a = a.network().client("mws");
+        let pull = Pdu::ReplicaPull {
+            attribute: String::new(),
+            after: 0,
+            max: 0,
+        };
+        let Pdu::ReplicaRows { rows, done, mac } = mws_a.call(&pull).unwrap() else {
+            panic!("expected replica rows");
+        };
+        assert_eq!(rows.len(), 2);
+        assert!(done);
+        let expect = Hmac::<Sha256>::mac(&a.replica_key(), &replica_rows_bytes(&rows, done));
+        assert_eq!(mac, expect, "rows are MAC'd under the replica key");
+
+        // Push into B: both rows fresh, then both dedup on a second push.
+        let mws_b = b.network().client("mws");
+        let mac = Hmac::<Sha256>::mac(&b.replica_key(), &replica_push_bytes(&rows));
+        let push = Pdu::ReplicaPush {
+            rows: rows.clone(),
+            mac,
+        };
+        let Pdu::ReplicaPushAck { stored, deduped } = mws_b.call(&push).unwrap() else {
+            panic!("expected push ack");
+        };
+        assert_eq!((stored, deduped), (2, 0));
+        assert_eq!(b.mws().message_count(), 2);
+        let Pdu::ReplicaPushAck { stored, deduped } = mws_b.call(&push).unwrap() else {
+            panic!("expected push ack");
+        };
+        assert_eq!((stored, deduped), (0, 2), "push is idempotent");
+
+        // The replicated rows decrypt end-to-end on the receiving node.
+        let mut rc = b.client("rc", "pw");
+        let msgs = rc.retrieve_and_decrypt(0).unwrap();
+        let mut plain: Vec<&[u8]> = msgs.iter().map(|m| m.plaintext.as_slice()).collect();
+        plain.sort_unstable();
+        assert_eq!(plain, vec![b"one".as_slice(), b"two"]);
+
+        // A tampered MAC is rejected before anything is stored.
+        let bad = Pdu::ReplicaPush {
+            rows: rows.clone(),
+            mac: vec![0; 32],
+        };
+        assert!(matches!(
+            mws_b.call(&bad).unwrap(),
+            Pdu::Error { code: 401, .. }
+        ));
+
+        // The device retransmitting its original deposit to B (same nonce
+        // the replica push already carried) still converges: the push
+        // never touched B's replay guard, so the deposit verifies fresh
+        // and answers from the origin-dedup index — one row, one ack.
+        assert!(matches!(
+            mws_b.call(&pdu_one).unwrap(),
+            Pdu::DepositAck { .. }
+        ));
+        assert_eq!(b.mws().message_count(), 2, "retransmission deduped");
+    }
+
+    #[test]
+    fn replica_pull_pages_with_cursor() {
+        let mut dep = deployment();
+        dep.register_device("m");
+        dep.register_client("rc", "pw", &["A"]);
+        let mut meter = dep.device("m");
+        for i in 0..5u8 {
+            meter.deposit("A", &[i]).unwrap();
+        }
+        let mws = dep.network().client("mws");
+        let mut after = 0;
+        let mut seen = Vec::new();
+        loop {
+            let Pdu::ReplicaRows { rows, done, .. } = mws
+                .call(&Pdu::ReplicaPull {
+                    attribute: "A".into(),
+                    after,
+                    max: 2,
+                })
+                .unwrap()
+            else {
+                panic!("expected replica rows");
+            };
+            assert!(rows.len() <= 2, "page size respected");
+            if let Some(last) = rows.last() {
+                after = last.seq + 1;
+            }
+            seen.extend(rows);
+            if done {
+                break;
+            }
+        }
+        assert_eq!(seen.len(), 5);
+        assert!(seen.windows(2).all(|w| w[0].seq < w[1].seq), "id order");
     }
 }

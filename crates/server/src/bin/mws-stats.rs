@@ -1,11 +1,14 @@
 //! Scrapes the `Stats` admin PDU from each running daemon and prints the
 //! Prometheus-style exposition text, one section per daemon.
 //!
-//! USAGE: `mws-stats [--shards] [addr ...]` — defaults to the three fixed
-//! ports (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable daemons are
-//! reported and skipped; the exit code is the number of scrape failures.
-//! With `--shards`, a warehouse section is followed by a per-shard summary
-//! table built from the `mws_store_shard_*` series (DESIGN.md §9).
+//! USAGE: `mws-stats [--shards] [--cluster] [addr ...]` — defaults to the
+//! three fixed ports (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable
+//! daemons are reported and skipped; the exit code is the number of scrape
+//! failures. With `--shards`, a warehouse section is followed by a
+//! per-shard summary table built from the `mws_store_shard_*` series
+//! (DESIGN.md §9). With `--cluster`, a cluster-mode front door's section
+//! is followed by a per-node membership table built from the
+//! `mws_cluster_*` series (DESIGN.md §10).
 
 use mws_server::{ClientConfig, TcpClient};
 use mws_wire::Pdu;
@@ -59,6 +62,70 @@ fn shard_summary(text: &str) -> Option<String> {
     Some(out)
 }
 
+/// The per-node cluster counter families, in summary-column order.
+const CLUSTER_COLS: [&str; 3] = [
+    "mws_cluster_forwards_total",
+    "mws_cluster_node_errors_total",
+    "mws_cluster_node_up",
+];
+
+/// Cluster-level totals worth a summary line, with short headings.
+const CLUSTER_TOTALS: [(&str, &str); 5] = [
+    ("mws_cluster_deposits_acked_total", "acked"),
+    ("mws_cluster_quorum_failures_total", "quorum_fail"),
+    ("mws_cluster_retrieves_merged_total", "merged"),
+    ("mws_cluster_repair_rows_total", "repaired"),
+    ("mws_cluster_catchup_rows_total", "caught_up"),
+];
+
+/// Parses the `mws_cluster_*` series out of an exposition dump into a
+/// per-node membership table plus a totals line, or `None` when the
+/// daemon runs no cluster router (MMS, PKG, single-upstream gatekeeper).
+fn cluster_summary(text: &str) -> Option<String> {
+    let mut nodes: BTreeMap<String, [u64; 3]> = BTreeMap::new();
+    let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
+    for line in text.lines() {
+        let Some((name_labels, value)) = line.rsplit_once(' ') else {
+            continue;
+        };
+        let Ok(value) = value.parse::<u64>() else {
+            continue;
+        };
+        if let Some((name, labels)) = name_labels.split_once('{') {
+            let Some(col) = CLUSTER_COLS.iter().position(|c| *c == name) else {
+                continue;
+            };
+            let Some(node) = labels
+                .trim_end_matches('}')
+                .split(',')
+                .find_map(|l| l.strip_prefix("node=\""))
+                .map(|s| s.trim_end_matches('"'))
+            else {
+                continue;
+            };
+            nodes.entry(node.to_string()).or_default()[col] = value;
+        } else if let Some((_, head)) = CLUSTER_TOTALS.iter().find(|(n, _)| *n == name_labels) {
+            totals.insert(head, value);
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    let mut out = String::from("# node                    forwards  errors  up\n");
+    for (node, v) in &nodes {
+        out.push_str(&format!(
+            "# {node:<22}  {:>8}  {:>6}  {:>2}\n",
+            v[0], v[1], v[2]
+        ));
+    }
+    let line: Vec<String> = CLUSTER_TOTALS
+        .iter()
+        .map(|(_, head)| format!("{head}={}", totals.get(head).copied().unwrap_or(0)))
+        .collect();
+    out.push_str(&format!("# cluster: {}\n", line.join(" ")));
+    Some(out)
+}
+
 fn scrape(addr: &str) -> Result<(String, String), String> {
     let sock = addr
         .parse()
@@ -86,13 +153,15 @@ fn main() {
     if targets.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "mws-stats — scrape the Stats admin PDU from MWS daemons\n\n\
-             USAGE: mws-stats [--shards] [addr ...]   (default: the three fixed ports)\n\n\
-             FLAGS:\n  --shards   append a per-shard warehouse summary table per section"
+             USAGE: mws-stats [--shards] [--cluster] [addr ...]   (default: the three fixed ports)\n\n\
+             FLAGS:\n  --shards    append a per-shard warehouse summary table per section\n\
+             \x20 --cluster   append a per-node cluster membership table per section"
         );
         return;
     }
     let shards = targets.iter().any(|a| a == "--shards");
-    targets.retain(|a| a != "--shards");
+    let cluster = targets.iter().any(|a| a == "--cluster");
+    targets.retain(|a| a != "--shards" && a != "--cluster");
     if targets.is_empty() {
         targets = vec![
             "127.0.0.1:7101".into(),
@@ -110,6 +179,12 @@ fn main() {
                     match shard_summary(&text) {
                         Some(table) => print!("{table}"),
                         None => println!("# (no sharded warehouse on this daemon)"),
+                    }
+                }
+                if cluster {
+                    match cluster_summary(&text) {
+                        Some(table) => print!("{table}"),
+                        None => println!("# (no cluster router on this daemon)"),
                     }
                 }
             }

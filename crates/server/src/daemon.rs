@@ -118,6 +118,14 @@ pub struct DaemonOpts {
     pub clients: Vec<ClientSpec>,
     /// Upstream MMS address (gatekeeper role only).
     pub upstream: String,
+    /// Cluster member addresses (gatekeeper role only). Non-empty turns
+    /// the front door into a [`crate::ClusterFrontdoor`] over these nodes
+    /// instead of a single-upstream relay.
+    pub cluster_nodes: Vec<String>,
+    /// Ring replication factor R (cluster mode).
+    pub replicas: usize,
+    /// Durable acks required before a deposit acks, W ≤ R (cluster mode).
+    pub write_quorum: usize,
 }
 
 impl DaemonOpts {
@@ -131,14 +139,27 @@ impl DaemonOpts {
             devices: Vec::new(),
             clients: Vec::new(),
             upstream: format!("127.0.0.1:{}", Role::Mms.default_port()),
+            cluster_nodes: Vec::new(),
+            replicas: 2,
+            write_quorum: 2,
         }
     }
 }
 
+/// TCP connections per cluster node (replica fan-out runs one thread per
+/// target; a couple of pooled sockets keeps them from serializing).
+const CLUSTER_POOL: usize = 2;
+
+/// Cluster health-probe cadence.
+const PROBE_EVERY_MS: u64 = 500;
+
 /// Flag summary for `--help` / parse errors.
 pub fn usage(role: Role) -> String {
     let extra = if role == Role::Gatekeeper {
-        "\n  --upstream <addr>       MMS address to relay to (default 127.0.0.1:7101)"
+        "\n  --upstream <addr>       MMS address to relay to (default 127.0.0.1:7101)\n\
+         \x20 --cluster-node <addr>   warehouse cluster member (repeatable; any given turns on cluster mode)\n\
+         \x20 --replicas <n>          copies of every row across the cluster (default 2)\n\
+         \x20 --write-quorum <n>      durable acks before a deposit acks, <= replicas (default 2)"
     } else {
         ""
     };
@@ -198,6 +219,22 @@ where
                 .clients
                 .push(ClientSpec::parse(&value("--client")?).map_err(FlagError::Bad)?),
             "--upstream" if role == Role::Gatekeeper => opts.upstream = value("--upstream")?,
+            "--cluster-node" if role == Role::Gatekeeper => {
+                opts.cluster_nodes.push(value("--cluster-node")?)
+            }
+            "--replicas" if role == Role::Gatekeeper => {
+                let v = value("--replicas")?;
+                opts.replicas = v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                    FlagError::Bad(format!("--replicas expects a count >= 1, got '{v}'"))
+                })?;
+            }
+            "--write-quorum" if role == Role::Gatekeeper => {
+                let v = value("--write-quorum")?;
+                opts.write_quorum =
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!("--write-quorum expects a count >= 1, got '{v}'"))
+                    })?;
+            }
             "--help" | "-h" => return Err(FlagError::Help(usage(role))),
             other => {
                 return Err(FlagError::Bad(format!(
@@ -206,6 +243,12 @@ where
                 )))
             }
         }
+    }
+    if opts.write_quorum > opts.replicas {
+        return Err(FlagError::Bad(format!(
+            "--write-quorum {} cannot exceed --replicas {}",
+            opts.write_quorum, opts.replicas
+        )));
     }
     Ok(opts)
 }
@@ -243,6 +286,47 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
         Role::Pkg => {
             let pkg = dep.pkg().clone();
             TcpServer::spawn(cfg, || pkg.as_service())
+        }
+        Role::Gatekeeper if !opts.cluster_nodes.is_empty() => {
+            // Cluster mode: the front door fans out over the member
+            // warehouses instead of relaying to one upstream. Each node
+            // gets a small connection pool so replica fan-out threads
+            // never serialize on one socket.
+            let mut nodes = Vec::new();
+            for addr in &opts.cluster_nodes {
+                let sock: std::net::SocketAddr = addr.parse().map_err(|e| {
+                    std::io::Error::new(
+                        std::io::ErrorKind::InvalidInput,
+                        format!("--cluster-node '{addr}': {e}"),
+                    )
+                })?;
+                let pool = (0..CLUSTER_POOL)
+                    .map(|_| TcpClient::new(sock).into_client())
+                    .collect();
+                nodes.push(mws_cluster::ClusterNode::new(addr.clone(), pool));
+            }
+            let cluster_cfg = mws_cluster::ClusterConfig::new(opts.replicas, opts.write_quorum);
+            let router = mws_cluster::ClusterRouter::new(nodes, cluster_cfg, dep.replica_key());
+            router.set_attribute_names(
+                dep.mws()
+                    .policy_table()
+                    .into_iter()
+                    .map(|row| (row.attribute_id, row.attribute)),
+            );
+            let front = crate::cluster::ClusterFrontdoor::new(
+                dep.clock().clone(),
+                mws_core::clock::ReplayPolicy::standard(),
+                router,
+            );
+            for c in &opts.clients {
+                let public_key = dep
+                    .mws()
+                    .client_public_key(&c.rc_id)
+                    .expect("client provisioned in this replica");
+                front.register(&c.rc_id, &c.password, &public_key);
+            }
+            front.start_prober(std::time::Duration::from_millis(PROBE_EVERY_MS));
+            TcpServer::spawn(cfg, || front.as_service())
         }
         Role::Gatekeeper => {
             let upstream_addr = opts.upstream.parse().map_err(|e| {
@@ -403,6 +487,55 @@ mod tests {
             parse_args(Role::Pkg, argv(&["--frobnicate"])),
             Err(FlagError::Bad(msg)) if msg.contains("unknown flag")
         ));
+    }
+
+    #[test]
+    fn cluster_flags_parse_on_the_gatekeeper_only() {
+        let opts = parse_args(
+            Role::Gatekeeper,
+            argv(&[
+                "--cluster-node",
+                "127.0.0.1:7111",
+                "--cluster-node",
+                "127.0.0.1:7112",
+                "--cluster-node",
+                "127.0.0.1:7113",
+                "--replicas",
+                "2",
+                "--write-quorum",
+                "2",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opts.cluster_nodes.len(), 3);
+        assert_eq!((opts.replicas, opts.write_quorum), (2, 2));
+        // Defaults: no cluster, R = W = 2.
+        let plain = parse_args(Role::Gatekeeper, argv(&[])).unwrap();
+        assert!(plain.cluster_nodes.is_empty());
+        assert_eq!((plain.replicas, plain.write_quorum), (2, 2));
+        assert!(
+            parse_args(Role::Mms, argv(&["--cluster-node", "x:1"])).is_err(),
+            "only the front door clusters"
+        );
+    }
+
+    #[test]
+    fn write_quorum_cannot_exceed_replicas() {
+        let err = parse_args(
+            Role::Gatekeeper,
+            argv(&["--replicas", "2", "--write-quorum", "3"]),
+        )
+        .unwrap_err();
+        assert!(matches!(err, FlagError::Bad(msg) if msg.contains("cannot exceed")));
+        assert!(parse_args(Role::Gatekeeper, argv(&["--replicas", "0"])).is_err());
+        assert!(parse_args(Role::Gatekeeper, argv(&["--write-quorum", "zero"])).is_err());
+        // R = 3, W = 1 is legal (latency over durability, caller's choice).
+        let opts = parse_args(
+            Role::Gatekeeper,
+            argv(&["--replicas", "3", "--write-quorum", "1"]),
+        )
+        .unwrap();
+        assert_eq!((opts.replicas, opts.write_quorum), (3, 1));
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   breaker that fails fast while a peer is down.
 //! * [`gateway`] — [`GatekeeperFrontdoor`]: the standalone Gatekeeper
 //!   server that authenticates RCs and relays to the warehouse.
+//! * [`cluster`] — [`ClusterFrontdoor`]: the same front door in cluster
+//!   mode, routing deposits and retrieves through an
+//!   [`mws_cluster::ClusterRouter`] across N warehouse daemons.
 //! * [`chaos`] — [`ChaosProxy`]: a seed-deterministic chaos TCP relay
 //!   injecting stalls, mid-frame truncation and connection resets between
 //!   real sockets (the transport half of the chaos harness).
@@ -35,6 +38,7 @@
 
 pub mod chaos;
 pub mod client;
+pub mod cluster;
 pub mod daemon;
 pub mod framing;
 pub mod gateway;
@@ -43,6 +47,7 @@ pub(crate) mod stats;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientConfig, TcpClient};
+pub use cluster::ClusterFrontdoor;
 pub use daemon::{DaemonOpts, FlagError, Role};
 pub use gateway::GatekeeperFrontdoor;
 pub use server::{ServerConfig, TcpServer};

@@ -16,6 +16,7 @@ use crate::engine::StorageKind;
 use crate::message_db::{MessageDb, MessageId, PendingDeposit, StoredMessage};
 use crate::Result;
 use mws_obs::{metric_name, Counter};
+use mws_wire::fnv1a64;
 use std::path::PathBuf;
 use std::sync::{Mutex, MutexGuard};
 
@@ -63,17 +64,6 @@ impl ShardRouter {
     pub fn shard_of_id(&self, id: MessageId) -> usize {
         (id % self.shards as u64) as usize
     }
-}
-
-/// FNV-1a, 64-bit: tiny, stable, and well-distributed on short ASCII keys
-/// like attribute strings. Not keyed — shard placement is not a secret.
-fn fnv1a64(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
 }
 
 /// Per-shard metric handles, registered when the shard opens so the

@@ -1,0 +1,51 @@
+//! Stable non-cryptographic hashing shared by every placement decision.
+//!
+//! Both the in-process shard router (`mws-store`) and the cluster's
+//! consistent-hash ring (`mws-cluster`) key placement on the attribute
+//! string. They MUST agree on one hash implementation: a deposit routed by
+//! one build of the code must land where another build (or a restarted
+//! process) expects it. Keeping the function here — in the lowest-level
+//! protocol crate — makes it part of the wire contract rather than an
+//! implementation detail either subsystem could drift on.
+
+/// FNV-1a, 64-bit: tiny, stable, and well-distributed on short ASCII keys
+/// like attribute strings. Not keyed — placement is not a secret.
+///
+/// ```
+/// use mws_wire::fnv1a64;
+///
+/// // Deterministic across processes, platforms and versions.
+/// assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+/// assert_eq!(fnv1a64(b"ELECTRIC-APT-SV-CA"), fnv1a64(b"ELECTRIC-APT-SV-CA"));
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Published FNV-1a test vectors (offset basis and "a").
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn spreads_short_keys() {
+        let mut hit = [false; 8];
+        for i in 0..256 {
+            hit[(fnv1a64(format!("ATTR-{i}").as_bytes()) % 8) as usize] = true;
+        }
+        assert!(hit.iter().all(|&h| h), "256 keys cover all 8 residues");
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod codec;
 pub mod envelope;
+pub mod hash;
 pub mod pdu;
 pub mod stream;
 
@@ -34,7 +35,8 @@ pub use envelope::{
     decode_envelope, decode_envelope_traced, encode_envelope, encode_envelope_auto,
     encode_envelope_traced, header_len,
 };
-pub use pdu::{DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
+pub use hash::fnv1a64;
+pub use pdu::{replica_plane_bytes, DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
 pub use stream::StreamDecoder;
 
 /// Protocol version carried in every envelope.

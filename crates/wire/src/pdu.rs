@@ -162,6 +162,52 @@ pub enum Pdu {
         mac: Vec<u8>,
     },
 
+    // ---- Cluster replica plane (DESIGN.md §10) ----
+    /// Warehouse-to-warehouse row fetch for read-repair and node catch-up:
+    /// full rows (attribute + origin identity included) for one attribute —
+    /// or every attribute when `attribute` is empty — with id `>= after`.
+    /// Answered only to peers holding the cluster replica key (the reply
+    /// is MAC'd; a mismatching verifier discards it).
+    ReplicaPull {
+        /// Attribute to fetch, or `""` for a full catch-up scan.
+        attribute: String,
+        /// Resume cursor: only rows with message id at or above this
+        /// (resume a page walk at `last.seq + 1`).
+        after: u64,
+        /// Maximum rows per response (0 = server default).
+        max: u32,
+    },
+    /// Reply to [`Pdu::ReplicaPull`]: rows in id order.
+    ReplicaRows {
+        /// The rows, `seq` carrying the answering node's message id.
+        rows: Vec<RelayEntry>,
+        /// True when no further rows exist above the last returned id.
+        done: bool,
+        /// `HMAC(replica key, canonical rows ‖ done)` — replica-plane
+        /// integrity (same construction as [`Pdu::RelayBatch`]).
+        mac: Vec<u8>,
+    },
+    /// Replica repair write: rows another node durably holds, pushed to a
+    /// lagging replica. The receiver verifies the MAC, then stores each
+    /// row idempotently by its `(sd_id, nonce)` origin — the same dedup
+    /// identity a device retransmission carries, so repair and live
+    /// traffic can never double-store a message.
+    ReplicaPush {
+        /// Full rows to (re)store; `seq` is the pushing node's id and is
+        /// NOT preserved — the receiver assigns its own ids.
+        rows: Vec<RelayEntry>,
+        /// `HMAC(replica key, canonical rows)`.
+        mac: Vec<u8>,
+    },
+    /// Reply to [`Pdu::ReplicaPush`]: how many rows were fresh vs already
+    /// present, all durable before this ack.
+    ReplicaPushAck {
+        /// Rows stored fresh (and fsynced) by this push.
+        stored: u32,
+        /// Rows already present under the same origin.
+        deduped: u32,
+    },
+
     // ---- Operations ----
     /// Liveness/readiness probe; every daemon answers it without
     /// authentication (it carries no message data).
@@ -265,6 +311,69 @@ pub struct RelayEntry {
     pub nonce: Vec<u8>,
 }
 
+/// Encodes a length-prefixed run of [`RelayEntry`] rows (shared by the
+/// distribution-point and replica planes).
+fn write_relay_entries(w: &mut WireWriter, entries: &[RelayEntry]) {
+    w.u32(entries.len() as u32);
+    for e in entries {
+        w.u64(e.seq)
+            .string(&e.sd_id)
+            .u64(e.timestamp)
+            .bytes(&e.u)
+            .u8(e.algo)
+            .bytes(&e.sealed)
+            .string(&e.attribute)
+            .bytes(&e.nonce);
+    }
+}
+
+/// Decodes a length-prefixed run of [`RelayEntry`] rows, bounding the
+/// declared count against [`crate::MAX_BODY`].
+fn read_relay_entries(r: &mut WireReader) -> Result<Vec<RelayEntry>, WireError> {
+    let n = r.u32()? as usize;
+    if n > crate::MAX_BODY / 16 {
+        return Err(WireError::BadLength);
+    }
+    let mut entries = Vec::with_capacity(n.min(1024));
+    for _ in 0..n {
+        entries.push(RelayEntry {
+            seq: r.u64()?,
+            sd_id: r.string()?,
+            timestamp: r.u64()?,
+            u: r.bytes()?,
+            algo: r.u8()?,
+            sealed: r.bytes()?,
+            attribute: r.string()?,
+            nonce: r.bytes()?,
+        });
+    }
+    Ok(entries)
+}
+
+/// Canonical bytes the cluster replica plane MACs: the PDU type byte (so a
+/// [`Pdu::ReplicaRows`] MAC can never be replayed as a [`Pdu::ReplicaPush`]
+/// or vice versa), the length-prefixed rows exactly as framed on the wire,
+/// and the `done` flag (`false` for pushes, which have none). Both sides of
+/// the plane — the warehouse answering a pull and the cluster router
+/// pushing repairs — compute `HMAC(replica key, these bytes)` over it.
+pub fn replica_plane_bytes(type_byte: u8, rows: &[RelayEntry], done: bool) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(type_byte);
+    write_relay_entries(&mut w, rows);
+    w.u8(done as u8);
+    w.finish()
+}
+
+/// MAC input of a [`Pdu::ReplicaRows`] reply.
+pub fn replica_rows_bytes(rows: &[RelayEntry], done: bool) -> Vec<u8> {
+    replica_plane_bytes(0x61, rows, done)
+}
+
+/// MAC input of a [`Pdu::ReplicaPush`] (no `done` flag; pinned false).
+pub fn replica_push_bytes(rows: &[RelayEntry]) -> Vec<u8> {
+    replica_plane_bytes(0x62, rows, false)
+}
+
 impl Pdu {
     /// Message-type byte for the envelope.
     pub fn type_byte(&self) -> u8 {
@@ -283,6 +392,10 @@ impl Pdu {
             Pdu::ParamsResponse { .. } => 0x31,
             Pdu::RelayPull { .. } => 0x40,
             Pdu::RelayBatch { .. } => 0x41,
+            Pdu::ReplicaPull { .. } => 0x60,
+            Pdu::ReplicaRows { .. } => 0x61,
+            Pdu::ReplicaPush { .. } => 0x62,
+            Pdu::ReplicaPushAck { .. } => 0x63,
             Pdu::HealthRequest => 0x50,
             Pdu::HealthResponse { .. } => 0x51,
             Pdu::StatsRequest => 0x52,
@@ -309,6 +422,10 @@ impl Pdu {
             Pdu::ParamsResponse { .. } => "params_response",
             Pdu::RelayPull { .. } => "relay_pull",
             Pdu::RelayBatch { .. } => "relay_batch",
+            Pdu::ReplicaPull { .. } => "replica_pull",
+            Pdu::ReplicaRows { .. } => "replica_rows",
+            Pdu::ReplicaPush { .. } => "replica_push",
+            Pdu::ReplicaPushAck { .. } => "replica_push_ack",
             Pdu::HealthRequest => "health_request",
             Pdu::HealthResponse { .. } => "health_response",
             Pdu::StatsRequest => "stats_request",
@@ -419,18 +536,26 @@ impl Pdu {
                 w.u64(*after).u32(*max);
             }
             Pdu::RelayBatch { entries, next, mac } => {
-                w.u32(entries.len() as u32);
-                for e in entries {
-                    w.u64(e.seq)
-                        .string(&e.sd_id)
-                        .u64(e.timestamp)
-                        .bytes(&e.u)
-                        .u8(e.algo)
-                        .bytes(&e.sealed)
-                        .string(&e.attribute)
-                        .bytes(&e.nonce);
-                }
+                write_relay_entries(&mut w, entries);
                 w.u64(*next).bytes(mac);
+            }
+            Pdu::ReplicaPull {
+                attribute,
+                after,
+                max,
+            } => {
+                w.string(attribute).u64(*after).u32(*max);
+            }
+            Pdu::ReplicaRows { rows, done, mac } => {
+                write_relay_entries(&mut w, rows);
+                w.u8(u8::from(*done)).bytes(mac);
+            }
+            Pdu::ReplicaPush { rows, mac } => {
+                write_relay_entries(&mut w, rows);
+                w.bytes(mac);
+            }
+            Pdu::ReplicaPushAck { stored, deduped } => {
+                w.u32(*stored).u32(*deduped);
             }
             Pdu::HealthRequest => {}
             Pdu::HealthResponse {
@@ -558,30 +683,29 @@ impl Pdu {
                 after: r.u64()?,
                 max: r.u32()?,
             },
-            0x41 => {
-                let n = r.u32()? as usize;
-                if n > crate::MAX_BODY / 16 {
-                    return Err(WireError::BadLength);
-                }
-                let mut entries = Vec::with_capacity(n.min(1024));
-                for _ in 0..n {
-                    entries.push(RelayEntry {
-                        seq: r.u64()?,
-                        sd_id: r.string()?,
-                        timestamp: r.u64()?,
-                        u: r.bytes()?,
-                        algo: r.u8()?,
-                        sealed: r.bytes()?,
-                        attribute: r.string()?,
-                        nonce: r.bytes()?,
-                    });
-                }
-                Pdu::RelayBatch {
-                    entries,
-                    next: r.u64()?,
-                    mac: r.bytes()?,
-                }
-            }
+            0x41 => Pdu::RelayBatch {
+                entries: read_relay_entries(&mut r)?,
+                next: r.u64()?,
+                mac: r.bytes()?,
+            },
+            0x60 => Pdu::ReplicaPull {
+                attribute: r.string()?,
+                after: r.u64()?,
+                max: r.u32()?,
+            },
+            0x61 => Pdu::ReplicaRows {
+                rows: read_relay_entries(&mut r)?,
+                done: r.u8()? != 0,
+                mac: r.bytes()?,
+            },
+            0x62 => Pdu::ReplicaPush {
+                rows: read_relay_entries(&mut r)?,
+                mac: r.bytes()?,
+            },
+            0x63 => Pdu::ReplicaPushAck {
+                stored: r.u32()?,
+                deduped: r.u32()?,
+            },
             0x50 => Pdu::HealthRequest,
             0x51 => Pdu::HealthResponse {
                 role: r.string()?,
@@ -742,6 +866,42 @@ mod tests {
                 next: 20,
                 mac: vec![7; 32],
             },
+            Pdu::ReplicaPull {
+                attribute: "ELECTRIC-APT9".into(),
+                after: 42,
+                max: 256,
+            },
+            Pdu::ReplicaRows {
+                rows: vec![RelayEntry {
+                    seq: 43,
+                    sd_id: "meter-3".into(),
+                    timestamp: 9,
+                    u: vec![2; 65],
+                    algo: 1,
+                    sealed: vec![6; 40],
+                    attribute: "ELECTRIC-APT9".into(),
+                    nonce: vec![8; 16],
+                }],
+                done: true,
+                mac: vec![9; 32],
+            },
+            Pdu::ReplicaPush {
+                rows: vec![RelayEntry {
+                    seq: 0,
+                    sd_id: String::new(),
+                    timestamp: 0,
+                    u: vec![],
+                    algo: 0,
+                    sealed: vec![],
+                    attribute: String::new(),
+                    nonce: vec![],
+                }],
+                mac: vec![1; 32],
+            },
+            Pdu::ReplicaPushAck {
+                stored: 3,
+                deduped: 1,
+            },
             Pdu::HealthRequest,
             Pdu::HealthResponse {
                 role: "mms".into(),
@@ -831,5 +991,16 @@ mod tests {
         w.u32(u32::MAX);
         let body = w.finish();
         assert!(Pdu::decode_body(0x04, &body).is_err());
+    }
+
+    #[test]
+    fn hostile_replica_row_counts_bounded() {
+        // ReplicaRows and ReplicaPush declaring 2^32-1 rows must fail fast.
+        for type_byte in [0x61u8, 0x62] {
+            let mut w = WireWriter::new();
+            w.u32(u32::MAX);
+            let body = w.finish();
+            assert!(Pdu::decode_body(type_byte, &body).is_err());
+        }
     }
 }

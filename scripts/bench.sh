@@ -4,7 +4,8 @@
 # Targets:
 #   scripts/bench.sh             # crypto microbenches  -> BENCH_crypto.json
 #   scripts/bench.sh --server    # socket load benchmark -> BENCH_server.json
-#   scripts/bench.sh --all       # both
+#   scripts/bench.sh --cluster   # N-node quorum benchmark -> cluster key in BENCH_server.json
+#   scripts/bench.sh --all       # all of the above
 #
 # Iteration counts are pinned inside the binaries (crypto: 200 @ Toy,
 # 40 @ Light, median of 5 runs per row; server: 16 clients, 6,400 single +
@@ -30,9 +31,16 @@ run_server() {
   echo "==> BENCH_server.json written"
 }
 
+run_cluster() {
+  echo "==> cargo run --release -p mws-bench --bin load_bench -- --cluster"
+  cargo run --release -p mws-bench --bin load_bench -- --cluster
+  echo "==> BENCH_server.json cluster section written"
+}
+
 case "${target}" in
   crypto)       run_crypto ;;
   --server)     run_server ;;
-  --all)        run_crypto; run_server ;;
-  *)            echo "usage: scripts/bench.sh [--server|--all]" >&2; exit 2 ;;
+  --cluster)    run_cluster ;;
+  --all)        run_crypto; run_server; run_cluster ;;
+  *)            echo "usage: scripts/bench.sh [--server|--cluster|--all]" >&2; exit 2 ;;
 esac

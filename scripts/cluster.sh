@@ -1,0 +1,51 @@
+#!/usr/bin/env bash
+# Local 3-node warehouse cluster behind a cluster-mode front door.
+#
+# Spawns three mws-mmsd warehouse nodes (ports 7111-7113), one mws-pkgd
+# (7102) and one mws-gatekeeperd in cluster mode (7103, R=2 W=2), all
+# provisioned from the same seed so every node derives identical key
+# material. Ctrl-C tears the whole topology down.
+#
+# Usage:
+#   scripts/cluster.sh                 # seed 42, one device + one client
+#   MWS_SEED=7 scripts/cluster.sh     # a different deployment seed
+#
+# Poke it while it runs:
+#   scripts/stats.sh --cluster 127.0.0.1:7103   # per-node membership table
+#   kill %2  (in this script's job table)       # kill a node; deposits keep acking
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED="${MWS_SEED:-42}"
+PROVISION=(--seed "$SEED" --device meter-1 --client "utility:pw:ELECTRIC-APT9,WATER-APT9")
+NODES=(127.0.0.1:7111 127.0.0.1:7112 127.0.0.1:7113)
+
+echo "==> building daemons"
+cargo build -q --release -p mws-server --bins
+
+BIN=target/release
+PIDS=()
+cleanup() {
+  for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait 2>/dev/null || true
+}
+trap cleanup EXIT INT TERM
+
+for addr in "${NODES[@]}"; do
+  "$BIN/mws-mmsd" --listen "$addr" --shards 2 "${PROVISION[@]}" &
+  PIDS+=($!)
+  echo "==> warehouse node on $addr (pid $!)"
+done
+
+"$BIN/mws-pkgd" --listen 127.0.0.1:7102 "${PROVISION[@]}" &
+PIDS+=($!)
+echo "==> pkg on 127.0.0.1:7102 (pid $!)"
+
+"$BIN/mws-gatekeeperd" --listen 127.0.0.1:7103 "${PROVISION[@]}" \
+  --cluster-node "${NODES[0]}" --cluster-node "${NODES[1]}" --cluster-node "${NODES[2]}" \
+  --replicas 2 --write-quorum 2 &
+PIDS+=($!)
+echo "==> cluster front door on 127.0.0.1:7103 (pid $!)  [R=2 W=2 over ${#NODES[@]} nodes]"
+
+echo "==> cluster up; Ctrl-C to stop"
+wait

@@ -36,14 +36,15 @@ cargo build --workspace --exclude mws-bench
 
 echo "==> offline lib tests"
 cargo test -q -p mws-obs -p mws-bigint -p mws-crypto -p mws-pairing -p mws-ibe \
-  -p mws-store -p mws-wire -p mws-net -p mws-core -p mws-server --lib
+  -p mws-store -p mws-wire -p mws-net -p mws-core -p mws-cluster -p mws-server --lib
 
 echo "==> offline integration tests (non-property)"
 cargo test -q -p mws \
   --test architecture --test chaos --test confidentiality \
   --test config_matrix --test distribution_points --test observability \
   --test persistence --test policy_table --test protocol_flow \
-  --test revocation --test tcp_deployment --test utility_scenario
+  --test revocation --test tcp_deployment --test utility_scenario \
+  --test cluster_chaos
 
 echo "==> offline doctests (crates under #![deny(missing_docs)])"
 cargo test -q -p mws-store -p mws-server --doc
@@ -56,5 +57,8 @@ cargo run -q --release -p mws-bench --bin crypto_bench -- --smoke
 
 echo "==> load_bench --smoke (durable-before-ack + dedup under socket load)"
 cargo run -q --release -p mws-bench --bin load_bench -- --smoke
+
+echo "==> load_bench --cluster --smoke (3-node R=2 quorum acks, exactly R copies)"
+cargo run -q --release -p mws-bench --bin load_bench -- --cluster --smoke
 
 echo "==> offline check passed (stubs unpatch on exit)"

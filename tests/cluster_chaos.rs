@@ -1,0 +1,391 @@
+//! Cluster chaos: the 3-node / R=2 / W=2 warehouse under node kills and
+//! socket-level chaos, driven through the real TCP front door.
+//!
+//! Same reproduction contract as `tests/chaos.rs`: every fault schedule is
+//! drawn from seeded DRBGs, `MWS_CHAOS_SEED=<printed seed>` replays a
+//! failure bit-for-bit, and every assertion message carries the seed.
+//!
+//! Cluster invariants on top of the single-node suite's:
+//!
+//! 1. **Zero quorum-acked loss** — a deposit acked by the front door
+//!    survives killing *any* one node, because W = 2 put it on two.
+//! 2. **Availability through the kill** — deposits keep acking while a
+//!    node is down (sloppy quorum walks past the corpse).
+//! 3. **Catch-up on restart** — a returning node is backfilled with every
+//!    row whose replica set names it before it rejoins.
+//! 4. **Merged reads stay exactly-once** — fan-out retrieval through the
+//!    front door returns each acked payload exactly once, never a
+//!    replica-induced duplicate.
+
+use mws_cluster::{ClusterConfig, ClusterNode, ClusterRouter, HashRing, DEFAULT_VNODES};
+use mws_core::clock::ReplayPolicy;
+use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
+use mws_server::{
+    ChaosConfig, ChaosProxy, ClientConfig, ClusterFrontdoor, ServerConfig, TcpClient, TcpServer,
+};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The pinned seed schedule, or the single seed from `MWS_CHAOS_SEED`.
+fn seeds() -> Vec<u64> {
+    mws_obs::init_from_env();
+    match std::env::var("MWS_CHAOS_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("MWS_CHAOS_SEED must be an unsigned integer")],
+        Err(_) => vec![3, 17, 91],
+    }
+}
+
+/// Metrics snapshot on panic or pinned-seed runs (see `tests/chaos.rs`).
+struct StatsDumpGuard {
+    scenario: &'static str,
+    seed: u64,
+}
+
+impl Drop for StatsDumpGuard {
+    fn drop(&mut self) {
+        if std::thread::panicking() || std::env::var_os("MWS_CHAOS_SEED").is_some() {
+            eprintln!(
+                "---- metrics snapshot ({} seed {}) ----\n{}---- end snapshot ----",
+                self.scenario,
+                self.seed,
+                mws_obs::registry().exposition()
+            );
+        }
+    }
+}
+
+/// A TCP client tuned for chaos runs: fast retries, no breaker.
+fn chaos_tcp_client(addr: SocketAddr, seed: u64) -> TcpClient {
+    TcpClient::with_config(
+        addr,
+        ClientConfig {
+            request_timeout: Duration::from_millis(500),
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            breaker_threshold: 0,
+            seed,
+            ..ClientConfig::default()
+        },
+    )
+}
+
+/// Minimal supervisor over one warehouse node's TCP listener (same shape
+/// as the single-daemon chaos suite's).
+struct Supervisor {
+    addr: SocketAddr,
+    server: Option<TcpServer>,
+}
+
+impl Supervisor {
+    fn start(service: MwsService) -> Self {
+        let server =
+            TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind node");
+        Self {
+            addr: server.local_addr(),
+            server: Some(server),
+        }
+    }
+
+    fn kill(&mut self) {
+        if let Some(mut s) = self.server.take() {
+            s.shutdown();
+        }
+    }
+
+    fn restart(&mut self, service: MwsService) {
+        assert!(self.server.is_none(), "kill before restart");
+        for _ in 0..100 {
+            let svc = service.clone();
+            match TcpServer::spawn(ServerConfig::listen(&self.addr.to_string()), || {
+                svc.as_service()
+            }) {
+                Ok(s) => {
+                    self.server = Some(s);
+                    return;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(20)),
+            }
+        }
+        panic!("port {} never came back", self.addr);
+    }
+}
+
+/// Attributes spread across the ring so a kill actually hits some
+/// replica sets and misses others.
+const ATTRS: [&str; 6] = [
+    "CHAOS-A", "CHAOS-B", "CHAOS-C", "CHAOS-D", "CHAOS-E", "CHAOS-F",
+];
+
+fn node_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("node-{i}")).collect()
+}
+
+/// Three same-seed warehouse deployments — three `mws-mmsd` processes in
+/// the daemon picture — each on its own TCP listener.
+fn three_nodes(seed: u64) -> (Vec<Deployment>, Vec<Supervisor>) {
+    let deps: Vec<Deployment> = (0..3)
+        .map(|_| {
+            let mut dep = Deployment::new(DeploymentConfig {
+                seed,
+                ..DeploymentConfig::test_default()
+            });
+            dep.register_device("meter-1");
+            dep.register_client("rc", "pw", &ATTRS);
+            dep
+        })
+        .collect();
+    let sups: Vec<Supervisor> = deps
+        .iter()
+        .map(|d| Supervisor::start(d.mws().clone()))
+        .collect();
+    (deps, sups)
+}
+
+/// A cluster front door (R = 2, W = 2) over the supervised nodes, bound
+/// on its own TCP listener. `addr_of` lets a scenario splice a chaos
+/// proxy in front of one node.
+fn front_door(
+    deps: &[Deployment],
+    seed: u64,
+    addr_of: impl Fn(usize) -> SocketAddr,
+) -> (Arc<ClusterRouter>, ClusterFrontdoor, TcpServer) {
+    let nodes = deps
+        .iter()
+        .enumerate()
+        .map(|(i, _)| {
+            let pool = (0..2)
+                .map(|_| chaos_tcp_client(addr_of(i), seed).into_client())
+                .collect();
+            ClusterNode::new(format!("node-{i}"), pool)
+        })
+        .collect();
+    let router = ClusterRouter::new(nodes, ClusterConfig::new(2, 2), deps[0].replica_key());
+    router.set_attribute_names(
+        deps[0]
+            .mws()
+            .policy_table()
+            .into_iter()
+            .map(|row| (row.attribute_id, row.attribute)),
+    );
+    let front = ClusterFrontdoor::new(
+        deps[0].clock().clone(),
+        ReplayPolicy::standard(),
+        router.clone(),
+    );
+    front.register(
+        "rc",
+        "pw",
+        &deps[0].mws().client_public_key("rc").expect("registered"),
+    );
+    let server = {
+        let f = front.clone();
+        TcpServer::spawn(ServerConfig::default(), move || f.as_service()).expect("bind front door")
+    };
+    (router, front, server)
+}
+
+/// Retrieves through the front door and checks the merged view: every
+/// acked payload exactly once, unique remapped ids, stable on repeat.
+fn assert_cluster_converged(
+    deps: &mut [Deployment],
+    front_addr: SocketAddr,
+    acked: &[Vec<u8>],
+    seed: u64,
+) {
+    let pkg = deps[0].network().client("pkg");
+    let door = chaos_tcp_client(front_addr, seed).into_client();
+    let mut rc = deps[0].client_with("rc", "pw", door, pkg);
+    let msgs = rc
+        .retrieve_and_decrypt(0)
+        .unwrap_or_else(|e| panic!("seed {seed}: merged retrieval failed: {e}"));
+    let mut ids: Vec<u64> = msgs.iter().map(|m| m.message_id).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(
+        ids.len(),
+        msgs.len(),
+        "seed {seed}: replica fan-out delivered a message twice"
+    );
+    let mut got: Vec<Vec<u8>> = msgs.iter().map(|m| m.plaintext.clone()).collect();
+    let mut want: Vec<Vec<u8>> = acked.to_vec();
+    got.sort();
+    want.sort();
+    assert_eq!(
+        got, want,
+        "seed {seed}: merged retrieval != quorum-acked deposits"
+    );
+    let again = rc
+        .retrieve_and_decrypt(0)
+        .unwrap_or_else(|e| panic!("seed {seed}: repeat merged retrieval failed: {e}"));
+    assert_eq!(
+        again.len(),
+        msgs.len(),
+        "seed {seed}: merged view not stable across retrievals"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Scenario G: kill any node mid-traffic, keep depositing, restart it, and
+// require catch-up before it rejoins — with zero quorum-acked loss.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn killing_any_node_mid_traffic_loses_no_acked_deposit() {
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "cluster-kill-node",
+            seed,
+        };
+        let (mut deps, mut sups) = three_nodes(seed);
+        let addrs: Vec<SocketAddr> = sups.iter().map(|s| s.addr).collect();
+        let (router, _front, front_srv) = front_door(&deps, seed, |i| addrs[i]);
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(front_srv.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let mut per_attr = vec![0usize; ATTRS.len()];
+        let deposit = |meter: &mut mws_core::device::SmartDevice,
+                       acked: &mut Vec<Vec<u8>>,
+                       per_attr: &mut Vec<usize>,
+                       i: usize,
+                       tag: &str| {
+            let attr = ATTRS[i % ATTRS.len()];
+            let payload = format!("{tag}-{i}").into_bytes();
+            meter
+                .deposit_reliable(attr, &payload, 64)
+                .unwrap_or_else(|e| panic!("seed {seed}: {tag} deposit {i} never acked: {e}"));
+            acked.push(payload);
+            per_attr[i % ATTRS.len()] += 1;
+        };
+        for i in 0..6 {
+            deposit(&mut meter, &mut acked, &mut per_attr, i, "pre");
+        }
+        // The seed picks the victim, so the pinned schedule kills each of
+        // the three nodes across the default seed set.
+        let victim = (seed as usize) % 3;
+        sups[victim].kill();
+        router.probe_once(); // the router notices the corpse
+        assert!(
+            !router.node_states()[victim].1,
+            "seed {seed}: probe must mark the killed node down"
+        );
+        // Mid-kill traffic: the sloppy quorum keeps acking with W = 2.
+        for i in 6..12 {
+            deposit(&mut meter, &mut acked, &mut per_attr, i, "down");
+        }
+        // Every ack so far is durable on two *live* nodes.
+        let live_rows: usize = deps
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != victim)
+            .map(|(_, d)| d.mws().message_count())
+            .sum();
+        assert!(
+            live_rows >= acked.len() * 2 - deps[victim].mws().message_count().min(acked.len()),
+            "seed {seed}: surviving nodes hold fewer copies than W promised"
+        );
+        // Restart and let the prober's up-transition trigger catch-up.
+        sups[victim].restart(deps[victim].mws().clone());
+        router.probe_once();
+        assert!(
+            router.node_states()[victim].1,
+            "seed {seed}: restarted node must rejoin"
+        );
+        // Catch-up contract: every row whose replica set names the
+        // restarted node is now on it — including rows acked while it was
+        // dead. The test rebuilds the same ring to know which those are.
+        let ring = HashRing::new(&node_names(3), DEFAULT_VNODES);
+        let store = deps[victim].mws().store_handle();
+        for (k, attr) in ATTRS.iter().enumerate() {
+            if !ring.replicas(attr, 2).contains(&victim) {
+                continue;
+            }
+            let have = store.by_attribute(attr).expect("scan").len();
+            assert_eq!(
+                have, per_attr[k],
+                "seed {seed}: node {victim} missing {attr} rows after catch-up"
+            );
+        }
+        assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
+        drop(front_srv);
+        for s in &mut sups {
+            s.kill();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario H: one node behind a chaos proxy — stalls, truncation, resets
+// on its replica link. Quorum writes keep acking and nothing acked is
+// lost, even though one replica's socket misbehaves the whole run.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn chaos_proxy_on_one_replica_link_loses_no_acked_deposit() {
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "cluster-chaos-link",
+            seed,
+        };
+        let (mut deps, mut sups) = three_nodes(seed);
+        let mut proxy = ChaosProxy::spawn(
+            sups[1].addr,
+            ChaosConfig {
+                stall_rate: 0.15,
+                truncate_rate: 0.1,
+                reset_rate: 0.1,
+                stall: Duration::from_millis(20),
+                seed,
+            },
+        )
+        .expect("spawn chaos proxy");
+        let addrs: Vec<SocketAddr> = sups.iter().map(|s| s.addr).collect();
+        let proxied = proxy.local_addr();
+        let (router, _front, front_srv) =
+            front_door(&deps, seed, |i| if i == 1 { proxied } else { addrs[i] });
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(front_srv.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        for i in 0..12 {
+            let attr = ATTRS[i % ATTRS.len()];
+            let payload = format!("flaky-{i}").into_bytes();
+            meter
+                .deposit_reliable(attr, &payload, 64)
+                .unwrap_or_else(|e| panic!("seed {seed}: deposit {i} never acked: {e}"));
+            acked.push(payload);
+        }
+        // W = 2 durable copies per ack, possibly 3 where the sloppy walk
+        // extended past a stalled call; client retries never duplicate.
+        let total: usize = deps.iter().map(|d| d.mws().message_count()).sum();
+        assert!(
+            (acked.len() * 2..=acked.len() * 3).contains(&total),
+            "seed {seed}: {total} copies for {} acked rows is outside [2x, 3x]",
+            acked.len()
+        );
+        // A probe round lets the router re-admit the flaky node if a
+        // failed call benched it, then the merged view must be complete.
+        router.probe_once();
+        assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
+        proxy.shutdown();
+        drop(front_srv);
+        for s in &mut sups {
+            s.kill();
+        }
+    }
+}
