@@ -30,6 +30,13 @@
 //!   throughput, spliced into `BENCH_server.json` as the `cluster` key
 //! * `--cluster --smoke` — one 3-node row, no file output; asserts every
 //!   deposit quorum-acks and lands exactly R copies
+//! * `--rebalance` — a live `ClusterJoin` fired mid-load against a
+//!   3-node ring: quorum latency while arcs stream to the newcomer, the
+//!   transfer's own duration/row throughput, and an end check that every
+//!   acked row sits on all R replicas of the *grown* ring; spliced into
+//!   `BENCH_server.json` as the `rebalance` key
+//! * `--rebalance --smoke` — tiny run, no file output (the membership
+//!   gate `scripts/tier1.sh` runs)
 //!
 //! JSON is hand-written: this binary must compile against the offline
 //! serde stub, so it cannot use derive macros.
@@ -437,6 +444,491 @@ fn bench_cluster(n: usize, dir: &std::path::Path, w: &Workload) -> ClusterRow {
     }
 }
 
+/// One mid-load membership change's results (DESIGN.md §10).
+struct RebalanceRow {
+    nodes_before: usize,
+    nodes_after: usize,
+    replicas: usize,
+    quorum: ModeReport,
+    transfer_secs: f64,
+    arcs_moved: u64,
+    rows_moved: u64,
+}
+
+/// Counts the rows a warehouse holds for `attribute` over the replica
+/// plane (the pull request is open; only the reply is MAC'd).
+fn attribute_rows(client: &mws_net::Client, attribute: &str) -> usize {
+    let mut after = 0u64;
+    let mut count = 0;
+    loop {
+        match client.call(&Pdu::ReplicaPull {
+            attribute: attribute.to_string(),
+            after,
+            max: 0,
+        }) {
+            Ok(Pdu::ReplicaRows { rows, done, .. }) => {
+                count += rows.len();
+                let Some(last) = rows.last() else {
+                    return count;
+                };
+                if done {
+                    return count;
+                }
+                after = last.seq + 1;
+            }
+            other => panic!("replica pull failed: {other:?}"),
+        }
+    }
+}
+
+/// Spawns four warehouse nodes, routes over the first three, then orders
+/// `node-3` to join while the deposit load is running. The load pauses at
+/// a barrier only for the join *order* itself (so every pre-join deposit
+/// is durable before the ring swaps — the same quiesce a real operator
+/// gets from the epoch-gated MAC), then runs concurrently with the arc
+/// transfer. Ends by auditing placement against the grown ring.
+fn bench_rebalance(dir: &std::path::Path, w: &Workload) -> RebalanceRow {
+    use mws_cluster::{ClusterConfig, ClusterNode, ClusterRouter, HashRing, DEFAULT_VNODES};
+
+    let replicas = 2;
+    let mut devices = Vec::with_capacity(w.clients);
+    for i in 0..w.clients {
+        devices.push((
+            format!("bench-sd-{i}"),
+            vec![i as u8 + 1; 32],
+            format!("LOAD-RB-{i}"),
+        ));
+    }
+    let mut services = Vec::with_capacity(4);
+    let mut servers = Vec::with_capacity(4);
+    for k in 0..4 {
+        let node_dir = dir.join(format!("node-{k}"));
+        std::fs::create_dir_all(&node_dir).expect("bench dir");
+        let kinds = mws_store::shard_kinds(&StorageKind::File(node_dir.join("messages.wal")), 2);
+        let mws = MwsService::new_sharded(
+            DeviceRegistry::new(),
+            kinds,
+            StorageKind::Memory,
+            StorageKind::Memory,
+            b"load-bench-secret",
+            LogicalClock::new(),
+            ReplayPolicy::standard(),
+            7,
+            DeviceAuthVerifier::Mac,
+        )
+        .expect("service open");
+        for (sd_id, mac_key, _) in &devices {
+            mws.register_device(sd_id, mac_key);
+        }
+        let server = TcpServer::spawn(
+            ServerConfig {
+                // Headroom beyond the router's pool: the transfer worker
+                // and the end-of-run placement audit need slots too.
+                workers: w.clients + 2,
+                ..ServerConfig::default()
+            },
+            || mws.as_service(),
+        )
+        .expect("server spawn");
+        services.push(mws);
+        servers.push(server);
+    }
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    let clients = w.clients;
+    let pool = move |addr: std::net::SocketAddr| -> Vec<mws_net::Client> {
+        (0..clients)
+            .map(|_| mws_server::TcpClient::new(addr).into_client())
+            .collect()
+    };
+    let nodes: Vec<ClusterNode> = addrs[..3]
+        .iter()
+        .enumerate()
+        .map(|(k, addr)| ClusterNode::new(format!("node-{k}"), pool(*addr)))
+        .collect();
+    let replica_key = mws_core::protocol::replica_key(b"load-bench-secret");
+    let router = ClusterRouter::new(
+        nodes,
+        ClusterConfig::new(replicas, replicas),
+        replica_key.clone(),
+    );
+    // The ring plans arc transfers from the attribute universe, which a
+    // daemon learns from the policy table; the bench hands it over
+    // directly.
+    router.set_attribute_names(
+        devices
+            .iter()
+            .enumerate()
+            .map(|(i, (_, _, attr))| (i as u64, attr.clone())),
+    );
+    let addr3 = addrs[3];
+    router.set_node_factory(move |_| ClusterNode::new("node-3", pool(addr3)));
+
+    // Each client deposits the first half, waits at the barrier while the
+    // join order lands, then races the arc transfer with its second half.
+    let half = w.per_client / 2;
+    let barrier = std::sync::Barrier::new(clients + 1);
+    let started = Instant::now();
+    let mut transfer_secs = 0.0;
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, (sd_id, mac_key, attribute))| {
+                let router = &router;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(w.per_client);
+                    for seq in 0..w.per_client {
+                        if seq == half {
+                            barrier.wait(); // pre-join deposits durable
+                            barrier.wait(); // ring swapped, transfer live
+                        }
+                        let item =
+                            craft_item(mac_key, sd_id, attribute, 0, 4, 4, i as u16, seq as u64);
+                        let req = item_to_request(sd_id, item);
+                        let t0 = Instant::now();
+                        let reply = router.handle(req);
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        assert!(
+                            matches!(reply, Pdu::DepositAck { .. }),
+                            "quorum deposit not acked mid-rebalance: {reply:?}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let epoch = router.epoch();
+        let join = Pdu::ClusterJoin {
+            node: "node-3".into(),
+            epoch,
+            mac: mws_crypto::Hmac::<mws_crypto::Sha256>::mac(
+                &replica_key,
+                &mws_wire::cluster_join_bytes("node-3", epoch),
+            ),
+        };
+        let t0 = Instant::now();
+        let reply = router.handle(join);
+        assert!(
+            matches!(reply, Pdu::ClusterAdminAck { .. }),
+            "join refused: {reply:?}"
+        );
+        barrier.wait();
+        assert!(
+            router.wait_rebalance(std::time::Duration::from_secs(120)),
+            "arc transfer never finished"
+        );
+        transfer_secs = t0.elapsed().as_secs_f64();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let deposits = (w.clients * w.per_client) as u64;
+    let (arcs_moved, rows_moved) = match router.handle(Pdu::RebalanceStatus) {
+        Pdu::RebalanceReport {
+            arcs_done,
+            rows_moved,
+            transferring,
+            members,
+            ..
+        } => {
+            assert!(!transferring);
+            assert_eq!(members.len(), 4, "node-3 must be a member");
+            (arcs_done, rows_moved)
+        }
+        other => panic!("no rebalance report: {other:?}"),
+    };
+
+    // Placement audit against the grown ring: every acked row must sit on
+    // all R replicas the 4-node ring assigns its attribute, and *only*
+    // there — the evict finalizer drops the departed donor's copy, so the
+    // cluster ends at exactly R copies per row, not R-plus-stale. Dropping
+    // the router first releases its connection pools back to the servers.
+    drop(router);
+    let names: Vec<String> = (0..4).map(|k| format!("node-{k}")).collect();
+    let ring = HashRing::new(&names, DEFAULT_VNODES);
+    let auditors: Vec<mws_net::Client> = addrs
+        .iter()
+        .map(|a| mws_server::TcpClient::new(*a).into_client())
+        .collect();
+    for (_, _, attribute) in &devices {
+        let home = ring.replicas(attribute, replicas);
+        let mut total = 0;
+        for (idx, auditor) in auditors.iter().enumerate() {
+            let held = attribute_rows(auditor, attribute);
+            if home.contains(&idx) {
+                assert_eq!(
+                    held, w.per_client,
+                    "node-{idx} is missing rows for {attribute} after the join"
+                );
+            } else {
+                assert_eq!(
+                    held, 0,
+                    "node-{idx} kept a stale copy of {attribute} past the handover"
+                );
+            }
+            total += held;
+        }
+        assert_eq!(
+            total,
+            replicas * w.per_client,
+            "exactly R copies of {attribute}"
+        );
+    }
+
+    let (p50, p99) = quantiles(lat.into_iter().flatten().collect());
+    for mut s in servers {
+        s.shutdown();
+    }
+    std::fs::remove_dir_all(dir).ok();
+    RebalanceRow {
+        nodes_before: 3,
+        nodes_after: 4,
+        replicas,
+        quorum: ModeReport {
+            deposits,
+            secs,
+            deposits_per_sec: deposits as f64 / secs,
+            p50_us: p50,
+            p99_us: p99,
+        },
+        transfer_secs,
+        arcs_moved,
+        rows_moved,
+    }
+}
+
+/// p50/p99 of the same merged retrieve under each read-consistency mode
+/// (`--read-quorum quorum` vs `fastest`), over identical replicated data.
+struct ReadModeRow {
+    rows: usize,
+    quorum_p50_us: u64,
+    quorum_p99_us: u64,
+    fastest_p50_us: u64,
+    fastest_p99_us: u64,
+}
+
+/// Measures the read-consistency knob: a full client retrieve (password
+/// auth at the front door, replica fan-out, id-merge — no IBE
+/// decryption, which would swamp the network delta) against a
+/// quorum-merge router and a fastest-replica router over the same
+/// converged data. Two nodes at R = 2 means full replication, so both
+/// modes return the complete set and the delta is purely protocol cost
+/// (fan-out + nonce-merge vs a single forwarded hop).
+fn bench_read_modes(iters: usize, deposits: usize) -> ReadModeRow {
+    use mws_cluster::{ClusterConfig, ClusterNode, ClusterRouter, ReadConsistency};
+    use mws_core::protocol::{Deployment, DeploymentConfig};
+
+    let attrs: Vec<String> = (0..4).map(|i| format!("LOAD-RM-{i}")).collect();
+    let attr_refs: Vec<&str> = attrs.iter().map(|s| s.as_str()).collect();
+    let mut deps: Vec<Deployment> = (0..2)
+        .map(|_| {
+            let mut dep = Deployment::new(DeploymentConfig {
+                seed: 42,
+                ..DeploymentConfig::test_default()
+            });
+            dep.register_device("bench-sd");
+            dep.register_client("rc", "pw", &attr_refs);
+            dep
+        })
+        .collect();
+    let servers: Vec<TcpServer> = deps
+        .iter()
+        .map(|d| {
+            let mws = d.mws().clone();
+            TcpServer::spawn(ServerConfig::default(), move || mws.as_service()).expect("node")
+        })
+        .collect();
+    let addrs: Vec<std::net::SocketAddr> = servers.iter().map(|s| s.local_addr()).collect();
+    // Immutable snapshots of everything a front door needs, so the door
+    // builder does not hold `deps` borrowed while meters and collectors
+    // take it mutably.
+    let replica_key = deps[0].replica_key();
+    let policy: Vec<(u64, String)> = deps[0]
+        .mws()
+        .policy_table()
+        .into_iter()
+        .map(|row| (row.attribute_id, row.attribute))
+        .collect();
+    let clock = deps[0].clock().clone();
+    let rc_pub = deps[0].mws().client_public_key("rc").expect("registered");
+    let front_with = |read: ReadConsistency| {
+        let nodes = addrs
+            .iter()
+            .enumerate()
+            .map(|(k, a)| {
+                let pool = (0..2)
+                    .map(|_| mws_server::TcpClient::new(*a).into_client())
+                    .collect();
+                ClusterNode::new(format!("node-{k}"), pool)
+            })
+            .collect();
+        let router = ClusterRouter::new(
+            nodes,
+            ClusterConfig::new(2, 2).with_read(read),
+            replica_key.clone(),
+        );
+        router.set_attribute_names(policy.iter().cloned());
+        let front =
+            mws_server::ClusterFrontdoor::new(clock.clone(), ReplayPolicy::standard(), router);
+        front.register("rc", "pw", &rc_pub);
+        let f = front.clone();
+        TcpServer::spawn(ServerConfig::default(), move || f.as_service()).expect("front door")
+    };
+
+    // Seed the replicas once through the quorum write path.
+    {
+        let door = front_with(ReadConsistency::Quorum);
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "bench-sd",
+                mws_server::TcpClient::new(door.local_addr()).into_client(),
+                &pkg,
+            )
+            .expect("device bootstrap");
+        for i in 0..deposits {
+            meter
+                .deposit_reliable(&attrs[i % attrs.len()], format!("rm-{i}").as_bytes(), 64)
+                .expect("quorum ack");
+        }
+    }
+
+    let mut measure = |read: ReadConsistency| {
+        let door = front_with(read);
+        let pkg = deps[0].network().client("pkg");
+        let mut rc = deps[0].client_with(
+            "rc",
+            "pw",
+            mws_server::TcpClient::new(door.local_addr()).into_client(),
+            pkg,
+        );
+        let mut lat = Vec::with_capacity(iters);
+        for warm in 0..iters + 3 {
+            let t0 = Instant::now();
+            let (_, msgs) = rc.retrieve(0).expect("retrieve");
+            let us = t0.elapsed().as_micros() as u64;
+            // Both modes must see the full converged set — fastest trades
+            // staleness tolerance, not rows, once replicas agree.
+            assert_eq!(msgs.len(), deposits, "short read under {read:?}");
+            if warm >= 3 {
+                lat.push(us);
+            }
+        }
+        quantiles(lat)
+    };
+    let (quorum_p50_us, quorum_p99_us) = measure(ReadConsistency::Quorum);
+    let (fastest_p50_us, fastest_p99_us) = measure(ReadConsistency::Fastest);
+    ReadModeRow {
+        rows: deposits,
+        quorum_p50_us,
+        quorum_p99_us,
+        fastest_p50_us,
+        fastest_p99_us,
+    }
+}
+
+/// Renders the rebalance row and splices it into `BENCH_server.json` as
+/// its final `"rebalance"` key, preserving the shard and cluster sections
+/// earlier runs wrote.
+fn splice_rebalance_json(row: &RebalanceRow, reads: &ReadModeRow, w: &Workload) -> String {
+    let m = &row.quorum;
+    let mut block = String::from("  \"rebalance\": {\n");
+    let _ = writeln!(
+        block,
+        "    \"clients\": {}, \"per_client\": {}, \"nodes_before\": {}, \"nodes_after\": {}, \"replicas\": {},",
+        w.clients, w.per_client, row.nodes_before, row.nodes_after, row.replicas
+    );
+    let _ = writeln!(
+        block,
+        "    \"deposits\": {}, \"secs\": {:.3}, \"deposits_per_sec\": {:.1}, \"quorum_p50_us\": {}, \"quorum_p99_us\": {},",
+        m.deposits, m.secs, m.deposits_per_sec, m.p50_us, m.p99_us
+    );
+    let _ = writeln!(
+        block,
+        "    \"transfer_secs\": {:.3}, \"arcs_moved\": {}, \"rows_moved\": {}, \"rows_per_sec\": {:.1},",
+        row.transfer_secs,
+        row.arcs_moved,
+        row.rows_moved,
+        row.rows_moved as f64 / row.transfer_secs.max(1e-9)
+    );
+    let _ = writeln!(
+        block,
+        "    \"read_rows\": {}, \"read_quorum_p50_us\": {}, \"read_quorum_p99_us\": {}, \"read_fastest_p50_us\": {}, \"read_fastest_p99_us\": {},",
+        reads.rows,
+        reads.quorum_p50_us,
+        reads.quorum_p99_us,
+        reads.fastest_p50_us,
+        reads.fastest_p99_us
+    );
+    block.push_str("    \"all_acked_rows_on_all_grown_ring_replicas\": true,\n");
+    block.push_str("    \"exactly_r_copies_after_evict\": true\n  }");
+
+    const MARKER: &str = ",\n  \"rebalance\": {";
+    let base = std::fs::read_to_string("BENCH_server.json")
+        .ok()
+        .map(|s| match s.find(MARKER) {
+            Some(at) => s[..at].to_string(),
+            None => s.trim_end().trim_end_matches('}').trim_end().to_string(),
+        })
+        .unwrap_or_else(|| String::from("{\n  \"bench\": \"load_bench\""));
+    format!("{base},\n{block}\n}}\n")
+}
+
+/// `--rebalance` entry: one live join under load. Smoke keeps it tiny and
+/// writes nothing; the placement audit runs either way.
+fn run_rebalance(smoke: bool) {
+    let w = if smoke {
+        Workload {
+            clients: 2,
+            per_client: 10,
+            batches: 0,
+            batch_size: 0,
+            smoke: true,
+        }
+    } else {
+        Workload {
+            clients: 8,
+            per_client: 150,
+            batches: 0,
+            batch_size: 0,
+            smoke: false,
+        }
+    };
+    let base = std::env::temp_dir().join(format!("mws-rebalance-bench-{}", std::process::id()));
+    let row = bench_rebalance(&base, &w);
+    std::fs::remove_dir_all(&base).ok();
+    eprintln!(
+        "join 3→4 nodes  R={}  quorum under rebalance: {:>8.0} dep/s (p50 {:>5}µs, p99 {:>6}µs)",
+        row.replicas, row.quorum.deposits_per_sec, row.quorum.p50_us, row.quorum.p99_us,
+    );
+    eprintln!(
+        "arc transfer: {} arcs, {} rows in {:.3}s",
+        row.arcs_moved, row.rows_moved, row.transfer_secs,
+    );
+    let reads = if smoke {
+        bench_read_modes(8, 12)
+    } else {
+        bench_read_modes(60, 48)
+    };
+    eprintln!(
+        "read modes over {} rows: quorum p50 {:>5}µs p99 {:>6}µs | fastest p50 {:>5}µs p99 {:>6}µs",
+        reads.rows,
+        reads.quorum_p50_us,
+        reads.quorum_p99_us,
+        reads.fastest_p50_us,
+        reads.fastest_p99_us,
+    );
+    if smoke {
+        eprintln!("load_bench --rebalance --smoke: every acked row on all R grown-ring replicas");
+        return;
+    }
+    let json = splice_rebalance_json(&row, &reads, &w);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_server.json (rebalance section)");
+}
+
 /// Renders the cluster rows and splices them into `BENCH_server.json` as
 /// its final `"cluster"` key — replacing any previous cluster section,
 /// preserving the shard rows a prior default run wrote.
@@ -596,6 +1088,10 @@ fn run_cluster(smoke: bool) {
 
 fn main() {
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--rebalance") {
+        run_rebalance(smoke);
+        return;
+    }
     if std::env::args().any(|a| a == "--cluster") {
         run_cluster(smoke);
         return;

@@ -12,8 +12,16 @@
 //!   acks after W durable reports; fans retrieves out to all live nodes,
 //!   merges by nonce, and read-repairs divergence over a MAC'd replica
 //!   plane ([`mws_wire::Pdu::ReplicaPull`] / [`mws_wire::Pdu::ReplicaPush`]).
-//! * [`HealthProber`] — periodic Health-PDU probes; a node that restarts
-//!   is caught up from a live peer before it rejoins reads.
+//! * [`HealthProber`] — periodic Health-PDU probes with configurable
+//!   hysteresis; a node that restarts is caught up from a live peer
+//!   before it rejoins reads, and any hints owed to it are replayed.
+//! * [`HintBoard`] — hinted handoff: a write-wave replica that is down
+//!   gets its copy as a durable (WAL-backed) hint, replayed on recovery,
+//!   so acked rows converge to exactly R copies.
+//! * [`plan_transfers`] — live membership changes (`ClusterJoin` /
+//!   `ClusterDrain` admin PDUs, MAC'd with the replica key) swap the
+//!   ring immediately and stream exactly the remapped arcs in the
+//!   background.
 //!
 //! The crate is transport-agnostic: nodes are [`mws_net::Client`]s, which
 //! are bus endpoints in tests and TCP connection pools in the daemons.
@@ -26,10 +34,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod handoff;
 pub mod health;
+pub mod rebalance;
 pub mod ring;
 pub mod router;
 
+pub use handoff::HintBoard;
 pub use health::HealthProber;
+pub use rebalance::{plan_transfers, ArcTransfer};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use router::{ClusterConfig, ClusterNode, ClusterRouter};
+pub use router::{ClusterConfig, ClusterNode, ClusterRouter, NodeFactory, ReadConsistency};

@@ -1,0 +1,156 @@
+//! Arc-transfer planning for live membership changes (DESIGN.md §10).
+//!
+//! A membership change swaps the ring first — new writes land on the new
+//! placement immediately — and then streams history: every attribute
+//! whose replica set changed ("remapped arc") is pulled from a node that
+//! held it under the old ring and pushed to each node that inherits it
+//! under the new one, over the MAC'd replica plane. [`plan_transfers`]
+//! computes that work list, and the property tests pin its minimality:
+//! an arc appears in the plan *iff* its replica set actually changed, so
+//! a join or drain moves exactly the remapped rows — no over-transfer
+//! (wasted bandwidth), no under-transfer (rows stranded below R copies).
+//!
+//! The attribute universe is the policy table (fed to the router via
+//! `set_attribute_names`), which is seed-deterministic and identical on
+//! every node — the same property the write path already leans on.
+
+use crate::ring::HashRing;
+
+/// One remapped arc: an attribute whose replica set changed, the nodes
+/// that held it under the old ring (any live one can donate), and the
+/// nodes that inherit it under the new ring and need the rows pushed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArcTransfer {
+    /// The attribute whose rows move.
+    pub attribute: String,
+    /// Old replica set, in old preference order. During a drain this
+    /// includes the leaving node — it is a legitimate donor until the
+    /// transfer completes.
+    pub donors: Vec<String>,
+    /// `new replica set − old replica set`: the nodes owed a copy.
+    pub newcomers: Vec<String>,
+    /// `old replica set − new replica set`: the nodes that must drop
+    /// their copy once every newcomer holds the arc, so the change ends
+    /// at exactly R copies instead of leaking stale donors.
+    pub departed: Vec<String>,
+}
+
+/// Computes the minimal transfer set for a membership change from
+/// `old_names` to `new_names`: one [`ArcTransfer`] per attribute whose
+/// R-replica set differs between the two rings, and nothing else.
+pub fn plan_transfers(
+    old_names: &[String],
+    new_names: &[String],
+    vnodes: usize,
+    replicas: usize,
+    attributes: &[String],
+) -> Vec<ArcTransfer> {
+    let old_ring = HashRing::new(old_names, vnodes);
+    let new_ring = HashRing::new(new_names, vnodes);
+    attributes
+        .iter()
+        .filter_map(|attr| {
+            let old_set: Vec<&String> = old_ring
+                .replicas(attr, replicas)
+                .into_iter()
+                .map(|i| &old_names[i])
+                .collect();
+            let new_set: Vec<&String> = new_ring
+                .replicas(attr, replicas)
+                .into_iter()
+                .map(|i| &new_names[i])
+                .collect();
+            // Replica membership is a set property: survivors keep their
+            // ring points, so order among them never changes — but compare
+            // as sets anyway to keep the contract honest.
+            let changed =
+                old_set.len() != new_set.len() || old_set.iter().any(|n| !new_set.contains(n));
+            if !changed {
+                return None;
+            }
+            Some(ArcTransfer {
+                attribute: attr.clone(),
+                donors: old_set.iter().map(|s| s.to_string()).collect(),
+                newcomers: new_set
+                    .iter()
+                    .filter(|n| !old_set.contains(n))
+                    .map(|s| s.to_string())
+                    .collect(),
+                departed: old_set
+                    .iter()
+                    .filter(|n| !new_set.contains(n))
+                    .map(|s| s.to_string())
+                    .collect(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::DEFAULT_VNODES;
+
+    fn names(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("node-{i}")).collect()
+    }
+
+    fn attrs(n: usize) -> Vec<String> {
+        (0..n).map(|i| format!("ATTR-{i}")).collect()
+    }
+
+    #[test]
+    fn unchanged_membership_plans_nothing() {
+        let m = names(3);
+        assert!(plan_transfers(&m, &m, DEFAULT_VNODES, 2, &attrs(64)).is_empty());
+    }
+
+    #[test]
+    fn join_plan_targets_only_the_new_node() {
+        let old = names(3);
+        let mut new = names(3);
+        new.push("node-3".to_string());
+        let plan = plan_transfers(&old, &new, DEFAULT_VNODES, 2, &attrs(256));
+        assert!(!plan.is_empty(), "a join must capture some arcs");
+        for arc in &plan {
+            assert_eq!(arc.newcomers, vec!["node-3".to_string()], "{arc:?}");
+            assert_eq!(arc.donors.len(), 2, "old replica set donates");
+            assert!(!arc.donors.contains(&"node-3".to_string()));
+            // Exactly one old replica hands over per inherited arc.
+            assert_eq!(arc.departed.len(), 1, "{arc:?}");
+            assert!(arc.donors.contains(&arc.departed[0]), "{arc:?}");
+        }
+    }
+
+    #[test]
+    fn drain_plan_donates_from_the_leaving_node_set() {
+        let old = names(3);
+        let new = names(2); // node-2 drains
+        let plan = plan_transfers(&old, &new, DEFAULT_VNODES, 2, &attrs(256));
+        assert!(!plan.is_empty(), "a drain must remap some arcs");
+        for arc in &plan {
+            assert!(
+                arc.donors.contains(&"node-2".to_string()),
+                "only arcs the leaving node held move: {arc:?}"
+            );
+            assert_eq!(arc.newcomers.len(), 1, "{arc:?}");
+            assert_ne!(arc.newcomers[0], "node-2", "{arc:?}");
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_attribute_the_leaving_node_held() {
+        // Under-transfer check: every attribute node-2 replicated must be
+        // in the drain plan (its replica set necessarily changed).
+        let old = names(3);
+        let new = names(2);
+        let universe = attrs(256);
+        let old_ring = HashRing::new(&old, DEFAULT_VNODES);
+        let plan = plan_transfers(&old, &new, DEFAULT_VNODES, 2, &universe);
+        for attr in &universe {
+            let held = old_ring.replicas(attr, 2).contains(&2);
+            let planned = plan.iter().any(|a| &a.attribute == attr);
+            assert_eq!(held, planned, "{attr}");
+        }
+    }
+}

@@ -4,7 +4,7 @@
 //! deploy — a hash that clumped or a membership edit that remapped the
 //! world would both show up here).
 
-use mws_cluster::HashRing;
+use mws_cluster::{plan_transfers, HashRing};
 use proptest::prelude::*;
 
 fn names(n: usize) -> Vec<String> {
@@ -125,4 +125,78 @@ proptest! {
             }
         }
     }
+
+    /// The rebalance planner is minimal and complete for a join: an
+    /// attribute appears in the plan *iff* its R-replica set changed, so
+    /// the membership change moves exactly the remapped rows. Per arc,
+    /// the role lists are the literal set differences — donors are the
+    /// full old set, newcomers `new − old`, departed `old − new` — and
+    /// the two diffs never overlap.
+    #[test]
+    fn join_plan_is_exactly_the_remapped_diff(keys in arb_keys(), n in 2usize..6) {
+        prop_assert!(plan_is_exactly_the_remapped_diff(&names(n), &names(n + 1), &keys));
+    }
+
+    /// Same contract for a drain: the plan covers every attribute the
+    /// leaving node replicated and nothing else, with the same set-diff
+    /// role lists — the property the "zero loss, exactly R copies after"
+    /// chaos scenarios lean on.
+    #[test]
+    fn drain_plan_is_exactly_the_remapped_diff(keys in arb_keys(), n in 3usize..7) {
+        prop_assert!(plan_is_exactly_the_remapped_diff(&names(n), &names(n - 1), &keys));
+    }
+}
+
+/// Shared checker for the planner properties: compares `plan_transfers`
+/// against an independent per-attribute recomputation of both rings.
+fn plan_is_exactly_the_remapped_diff(old: &[String], new: &[String], keys: &[String]) -> bool {
+    const R: usize = 2;
+    const VNODES: usize = 128;
+    let old_ring = HashRing::new(old, VNODES);
+    let new_ring = HashRing::new(new, VNODES);
+    let plan = plan_transfers(old, new, VNODES, R, keys);
+    for key in keys {
+        let old_set: Vec<&String> = old_ring
+            .replicas(key, R)
+            .into_iter()
+            .map(|i| &old[i])
+            .collect();
+        let new_set: Vec<&String> = new_ring
+            .replicas(key, R)
+            .into_iter()
+            .map(|i| &new[i])
+            .collect();
+        let changed =
+            old_set.len() != new_set.len() || old_set.iter().any(|m| !new_set.contains(m));
+        let arc = plan.iter().find(|a| &a.attribute == key);
+        // Minimality AND completeness: planned iff remapped.
+        if changed != arc.is_some() {
+            return false;
+        }
+        let Some(arc) = arc else { continue };
+        let donors: Vec<&String> = arc.donors.iter().collect();
+        let newcomers: Vec<&String> = arc.newcomers.iter().collect();
+        let departed: Vec<&String> = arc.departed.iter().collect();
+        let want_new: Vec<&String> = new_set
+            .iter()
+            .filter(|m| !old_set.contains(m))
+            .copied()
+            .collect();
+        let want_out: Vec<&String> = old_set
+            .iter()
+            .filter(|m| !new_set.contains(m))
+            .copied()
+            .collect();
+        if donors != old_set || newcomers != want_new || departed != want_out {
+            return false;
+        }
+        // The diffs are disjoint, and every departed node really donates.
+        if departed.iter().any(|m| newcomers.contains(m)) {
+            return false;
+        }
+        if departed.iter().any(|m| !donors.contains(m)) {
+            return false;
+        }
+    }
+    true
 }

@@ -36,6 +36,8 @@ pub(crate) struct CoreStats {
     pub replica_rows_stored: Counter,
     /// Replica-plane requests discarded for a bad MAC.
     pub replica_mac_rejected: Counter,
+    /// Rows dropped by replica evict orders (rebalance handover).
+    pub replica_rows_evicted: Counter,
 }
 
 pub(crate) fn stats() -> &'static CoreStats {
@@ -75,6 +77,7 @@ pub(crate) fn stats() -> &'static CoreStats {
             replica_rows_served: r.counter("mws_core_replica_rows_served_total"),
             replica_rows_stored: r.counter("mws_core_replica_rows_stored_total"),
             replica_mac_rejected: r.counter("mws_core_replica_mac_rejected_total"),
+            replica_rows_evicted: r.counter("mws_core_replica_rows_evicted_total"),
         }
     })
 }

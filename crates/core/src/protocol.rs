@@ -23,7 +23,7 @@ use mws_ibe::{CipherAlgo, IbeSystem};
 use mws_net::{Client, FaultConfig, Network};
 use mws_pairing::SecurityLevel;
 use mws_store::{FaultPlan, PendingDeposit, PolicyRow, ShardedMessageDb, StorageKind};
-use mws_wire::pdu::{replica_push_bytes, replica_rows_bytes};
+use mws_wire::pdu::{replica_evict_bytes, replica_push_bytes, replica_rows_bytes};
 use mws_wire::{DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
 use parking_lot::Mutex;
 use rand::RngCore;
@@ -181,6 +181,11 @@ impl MwsService {
                 max,
             } => self.handle_replica_pull(&attribute, after, max),
             Pdu::ReplicaPush { rows, mac } => self.handle_replica_push(rows, &mac),
+            Pdu::ReplicaEvict {
+                attribute,
+                epoch,
+                mac,
+            } => self.handle_replica_evict(&attribute, epoch, &mac),
             other => self.inner.lock().handle(other),
         }
     }
@@ -272,6 +277,34 @@ impl MwsService {
                 stored = u64::from(stored), deduped = u64::from(deduped),);
         }
         Pdu::ReplicaPushAck { stored, deduped }
+    }
+
+    /// Replica handover finalizer: a MAC'd order to drop every row of one
+    /// attribute, sent by the rebalance worker once the inheriting
+    /// replicas hold the arc. The rows keep existing on R other nodes —
+    /// this sweep is what brings a membership change back to *exactly* R
+    /// copies instead of leaking stale donors.
+    fn handle_replica_evict(&self, attribute: &str, epoch: u64, mac: &[u8]) -> Pdu {
+        let expect = Hmac::<Sha256>::mac(&self.replica_key, &replica_evict_bytes(attribute, epoch));
+        if !ct_eq(mac, &expect) {
+            stats().replica_mac_rejected.inc();
+            mws_obs::warn!(target: "mws_core", "replica evict rejected", reason = "bad mac",);
+            return err(401, "replica MAC verification failed");
+        }
+        match self.store.evict_attribute(attribute) {
+            Ok(removed) => {
+                stats().replica_rows_evicted.add(removed as u64);
+                if removed > 0 {
+                    mws_obs::debug!(target: "mws_core", "replica evict swept",
+                        attribute = attribute.to_string(), removed = removed as u64,
+                        epoch = epoch,);
+                }
+                Pdu::ReplicaEvicted {
+                    removed: removed as u64,
+                }
+            }
+            Err(_) => err(500, "storage failure"),
+        }
     }
 
     /// One deposit: verify under the service lock, append + fsync on the
@@ -1077,6 +1110,27 @@ impl Deployment {
     /// router authenticate the repair plane against all of them.
     pub fn replica_key(&self) -> Vec<u8> {
         replica_key(&self.mws_pkg_secret)
+    }
+
+    /// MACs a [`Pdu::ClusterJoin`](mws_wire::Pdu::ClusterJoin) order for
+    /// `node` against ring `epoch` with this deployment's replica key —
+    /// the operator-side half of the membership admin plane. Any
+    /// deployment of the cluster's seed produces the same MAC, so a
+    /// control tool needs only the seed, never a key file.
+    pub fn cluster_join_mac(&self, node: &str, epoch: u64) -> Vec<u8> {
+        Hmac::<Sha256>::mac(
+            &self.replica_key(),
+            &mws_wire::cluster_join_bytes(node, epoch),
+        )
+    }
+
+    /// MACs a [`Pdu::ClusterDrain`](mws_wire::Pdu::ClusterDrain) order —
+    /// see [`cluster_join_mac`](Self::cluster_join_mac).
+    pub fn cluster_drain_mac(&self, node: &str, epoch: u64) -> Vec<u8> {
+        Hmac::<Sha256>::mac(
+            &self.replica_key(),
+            &mws_wire::cluster_drain_bytes(node, epoch),
+        )
     }
 }
 

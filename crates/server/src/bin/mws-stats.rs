@@ -63,26 +63,33 @@ fn shard_summary(text: &str) -> Option<String> {
 }
 
 /// The per-node cluster counter families, in summary-column order.
-const CLUSTER_COLS: [&str; 3] = [
+const CLUSTER_COLS: [&str; 4] = [
     "mws_cluster_forwards_total",
     "mws_cluster_node_errors_total",
     "mws_cluster_node_up",
+    "mws_cluster_hint_queue_depth",
 ];
 
 /// Cluster-level totals worth a summary line, with short headings.
-const CLUSTER_TOTALS: [(&str, &str); 5] = [
+const CLUSTER_TOTALS: [(&str, &str); 11] = [
+    ("mws_cluster_ring_epoch", "epoch"),
     ("mws_cluster_deposits_acked_total", "acked"),
     ("mws_cluster_quorum_failures_total", "quorum_fail"),
     ("mws_cluster_retrieves_merged_total", "merged"),
     ("mws_cluster_repair_rows_total", "repaired"),
     ("mws_cluster_catchup_rows_total", "caught_up"),
+    ("mws_cluster_hints_queued_total", "hints_q"),
+    ("mws_cluster_hints_replayed_total", "hints_rp"),
+    ("mws_cluster_hints_dropped_total", "hints_drop"),
+    ("mws_cluster_rebalance_arcs_total", "rebal_arcs"),
+    ("mws_cluster_rebalance_rows_total", "rebal_rows"),
 ];
 
 /// Parses the `mws_cluster_*` series out of an exposition dump into a
 /// per-node membership table plus a totals line, or `None` when the
 /// daemon runs no cluster router (MMS, PKG, single-upstream gatekeeper).
 fn cluster_summary(text: &str) -> Option<String> {
-    let mut nodes: BTreeMap<String, [u64; 3]> = BTreeMap::new();
+    let mut nodes: BTreeMap<String, [u64; 4]> = BTreeMap::new();
     let mut totals: BTreeMap<&str, u64> = BTreeMap::new();
     for line in text.lines() {
         let Some((name_labels, value)) = line.rsplit_once(' ') else {
@@ -111,11 +118,11 @@ fn cluster_summary(text: &str) -> Option<String> {
     if nodes.is_empty() {
         return None;
     }
-    let mut out = String::from("# node                    forwards  errors  up\n");
+    let mut out = String::from("# node                    forwards  errors  up  hints\n");
     for (node, v) in &nodes {
         out.push_str(&format!(
-            "# {node:<22}  {:>8}  {:>6}  {:>2}\n",
-            v[0], v[1], v[2]
+            "# {node:<22}  {:>8}  {:>6}  {:>2}  {:>5}\n",
+            v[0], v[1], v[2], v[3]
         ));
     }
     let line: Vec<String> = CLUSTER_TOTALS

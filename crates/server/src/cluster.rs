@@ -226,6 +226,74 @@ mod tests {
     }
 
     #[test]
+    fn membership_orders_flow_through_the_front_door() {
+        let (mut deps, front, net) = cluster_front();
+        let pdus: Vec<Pdu> = {
+            let mut meter = deps[0].device("m");
+            vec![
+                meter.compose_deposit("A", b"one"),
+                meter.compose_deposit("B", b"two"),
+            ]
+        };
+        let door = net.client("cluster");
+        for pdu in &pdus {
+            assert!(matches!(door.call(pdu).unwrap(), Pdu::DepositAck { .. }));
+        }
+        // A fourth same-seed warehouse joins live, ordered through the
+        // same port devices use — authenticated by the replica-key MAC.
+        let dep3 = {
+            let mut dep = Deployment::new(DeploymentConfig::test_default());
+            dep.register_device("m");
+            dep.register_client("rc", "pw", &["A", "B"]);
+            dep
+        };
+        let node3 = dep3.network().client("mws");
+        front
+            .router()
+            .set_node_factory(move |name| mws_cluster::ClusterNode::new(name, vec![node3.clone()]));
+        let epoch = front.router().epoch();
+        let join = Pdu::ClusterJoin {
+            node: "node-3".into(),
+            epoch,
+            mac: deps[0].cluster_join_mac("node-3", epoch),
+        };
+        let Pdu::ClusterAdminAck { epoch, .. } = door.call(&join).unwrap() else {
+            panic!("join refused");
+        };
+        assert_eq!(epoch, 1, "ring epoch bumped");
+        assert!(front.router().wait_rebalance(Duration::from_secs(10)));
+        let Pdu::RebalanceReport {
+            members,
+            transferring,
+            ..
+        } = door.call(&Pdu::RebalanceStatus).unwrap()
+        else {
+            panic!("expected rebalance report");
+        };
+        assert_eq!(members.len(), 4);
+        assert!(!transferring);
+        // The grown ring still serves the merged view.
+        let pkg = deps[0].network().client("pkg");
+        let mut rc = deps[0].client_with("rc", "pw", net.client("cluster"), pkg);
+        let msgs = rc.retrieve_and_decrypt(0).unwrap();
+        assert_eq!(msgs.len(), 2);
+        drop(dep3);
+    }
+
+    #[test]
+    fn forged_membership_orders_bounce_at_the_router() {
+        let (deps, front, net) = cluster_front();
+        let forged = Pdu::ClusterDrain {
+            node: "node-2".into(),
+            epoch: front.router().epoch(),
+            mac: vec![0u8; 32],
+        };
+        let reply = net.client("cluster").call(&forged).unwrap();
+        assert!(matches!(reply, Pdu::Error { code: 403, .. }), "{reply:?}");
+        drop(deps);
+    }
+
+    #[test]
     fn non_warehouse_pdus_rejected() {
         let (deps, _front, net) = cluster_front();
         let reply = net.client("cluster").call(&Pdu::ParamsRequest).unwrap();

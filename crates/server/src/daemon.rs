@@ -126,6 +126,18 @@ pub struct DaemonOpts {
     pub replicas: usize,
     /// Durable acks required before a deposit acks, W ≤ R (cluster mode).
     pub write_quorum: usize,
+    /// Retrieve consistency: R-quorum merge or fastest replica (cluster
+    /// mode).
+    pub read: mws_cluster::ReadConsistency,
+    /// Health-probe cadence in milliseconds (cluster mode).
+    pub probe_interval_ms: u64,
+    /// Consecutive failed probes before a node is marked down.
+    pub probe_down_after: u32,
+    /// Consecutive successful probes before a down node rejoins.
+    pub probe_up_after: u32,
+    /// Directory for durable hinted-handoff queues; unset keeps hints in
+    /// memory (lost on a front-door restart).
+    pub hint_dir: Option<std::path::PathBuf>,
 }
 
 impl DaemonOpts {
@@ -142,6 +154,11 @@ impl DaemonOpts {
             cluster_nodes: Vec::new(),
             replicas: 2,
             write_quorum: 2,
+            read: mws_cluster::ReadConsistency::Quorum,
+            probe_interval_ms: PROBE_EVERY_MS,
+            probe_down_after: 1,
+            probe_up_after: 1,
+            hint_dir: None,
         }
     }
 }
@@ -150,7 +167,7 @@ impl DaemonOpts {
 /// target; a couple of pooled sockets keeps them from serializing).
 const CLUSTER_POOL: usize = 2;
 
-/// Cluster health-probe cadence.
+/// Default cluster health-probe cadence (`--probe-interval-ms`).
 const PROBE_EVERY_MS: u64 = 500;
 
 /// Flag summary for `--help` / parse errors.
@@ -159,7 +176,12 @@ pub fn usage(role: Role) -> String {
         "\n  --upstream <addr>       MMS address to relay to (default 127.0.0.1:7101)\n\
          \x20 --cluster-node <addr>   warehouse cluster member (repeatable; any given turns on cluster mode)\n\
          \x20 --replicas <n>          copies of every row across the cluster (default 2)\n\
-         \x20 --write-quorum <n>      durable acks before a deposit acks, <= replicas (default 2)"
+         \x20 --write-quorum <n>      durable acks before a deposit acks, <= replicas (default 2)\n\
+         \x20 --read-quorum <mode>    retrieve consistency: 'quorum' (merge all live replicas, default) or 'fastest' (one replica answers)\n\
+         \x20 --probe-interval-ms <n> health-probe cadence (default 500)\n\
+         \x20 --probe-down-after <n>  consecutive failed probes before a node leaves the data path (default 1)\n\
+         \x20 --probe-up-after <n>    consecutive good probes before a down node rejoins (default 1)\n\
+         \x20 --hint-dir <path>       durable hinted-handoff queue directory (default: in-memory hints)"
     } else {
         ""
     };
@@ -235,6 +257,42 @@ where
                         FlagError::Bad(format!("--write-quorum expects a count >= 1, got '{v}'"))
                     })?;
             }
+            "--read-quorum" if role == Role::Gatekeeper => {
+                let v = value("--read-quorum")?;
+                opts.read = mws_cluster::ReadConsistency::parse(&v).ok_or_else(|| {
+                    FlagError::Bad(format!(
+                        "--read-quorum expects 'quorum' or 'fastest', got '{v}'"
+                    ))
+                })?;
+            }
+            "--probe-interval-ms" if role == Role::Gatekeeper => {
+                let v = value("--probe-interval-ms")?;
+                opts.probe_interval_ms =
+                    v.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!(
+                            "--probe-interval-ms expects milliseconds >= 1, got '{v}'"
+                        ))
+                    })?;
+            }
+            "--probe-down-after" if role == Role::Gatekeeper => {
+                let v = value("--probe-down-after")?;
+                opts.probe_down_after =
+                    v.parse::<u32>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!(
+                            "--probe-down-after expects a count >= 1, got '{v}'"
+                        ))
+                    })?;
+            }
+            "--probe-up-after" if role == Role::Gatekeeper => {
+                let v = value("--probe-up-after")?;
+                opts.probe_up_after =
+                    v.parse::<u32>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!("--probe-up-after expects a count >= 1, got '{v}'"))
+                    })?;
+            }
+            "--hint-dir" if role == Role::Gatekeeper => {
+                opts.hint_dir = Some(std::path::PathBuf::from(value("--hint-dir")?));
+            }
             "--help" | "-h" => return Err(FlagError::Help(usage(role))),
             other => {
                 return Err(FlagError::Bad(format!(
@@ -305,7 +363,9 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
                     .collect();
                 nodes.push(mws_cluster::ClusterNode::new(addr.clone(), pool));
             }
-            let cluster_cfg = mws_cluster::ClusterConfig::new(opts.replicas, opts.write_quorum);
+            let cluster_cfg = mws_cluster::ClusterConfig::new(opts.replicas, opts.write_quorum)
+                .with_read(opts.read)
+                .with_probe_thresholds(opts.probe_down_after, opts.probe_up_after);
             let router = mws_cluster::ClusterRouter::new(nodes, cluster_cfg, dep.replica_key());
             router.set_attribute_names(
                 dep.mws()
@@ -313,6 +373,29 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
                     .into_iter()
                     .map(|row| (row.attribute_id, row.attribute)),
             );
+            if let Some(dir) = &opts.hint_dir {
+                std::fs::create_dir_all(dir)?;
+            }
+            router.enable_hints(opts.hint_dir.clone());
+            // Live joins name nodes by address; build them the same way
+            // the static member list is built.
+            router.set_node_factory(|name| {
+                let pool = match name.parse::<std::net::SocketAddr>() {
+                    Ok(sock) => (0..CLUSTER_POOL)
+                        .map(|_| TcpClient::new(sock).into_client())
+                        .collect(),
+                    Err(e) => {
+                        // The order was operator-MAC'd, but the address is
+                        // unusable: admit a node that can never answer (it
+                        // probes down) rather than panic the admin path.
+                        mws_obs::error!(target: "mws_server", "unparseable join address",
+                            node = name.to_string(), error = e.to_string(),);
+                        let dead = std::net::SocketAddr::from(([127, 0, 0, 1], 9));
+                        vec![TcpClient::new(dead).into_client()]
+                    }
+                };
+                mws_cluster::ClusterNode::new(name, pool)
+            });
             let front = crate::cluster::ClusterFrontdoor::new(
                 dep.clock().clone(),
                 mws_core::clock::ReplayPolicy::standard(),
@@ -325,7 +408,7 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
                     .expect("client provisioned in this replica");
                 front.register(&c.rc_id, &c.password, &public_key);
             }
-            front.start_prober(std::time::Duration::from_millis(PROBE_EVERY_MS));
+            front.start_prober(std::time::Duration::from_millis(opts.probe_interval_ms));
             TcpServer::spawn(cfg, || front.as_service())
         }
         Role::Gatekeeper => {
@@ -536,6 +619,48 @@ mod tests {
         )
         .unwrap();
         assert_eq!((opts.replicas, opts.write_quorum), (3, 1));
+    }
+
+    #[test]
+    fn membership_and_consistency_flags_parse() {
+        let opts = parse_args(
+            Role::Gatekeeper,
+            argv(&[
+                "--cluster-node",
+                "127.0.0.1:7111",
+                "--read-quorum",
+                "fastest",
+                "--probe-interval-ms",
+                "100",
+                "--probe-down-after",
+                "3",
+                "--probe-up-after",
+                "2",
+                "--hint-dir",
+                "/tmp/mws-hints",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opts.read, mws_cluster::ReadConsistency::Fastest);
+        assert_eq!(opts.probe_interval_ms, 100);
+        assert_eq!((opts.probe_down_after, opts.probe_up_after), (3, 2));
+        assert_eq!(
+            opts.hint_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/mws-hints"))
+        );
+        // Defaults: quorum reads, 500 ms probes, single-probe hysteresis,
+        // memory hints.
+        let plain = parse_args(Role::Gatekeeper, argv(&[])).unwrap();
+        assert_eq!(plain.read, mws_cluster::ReadConsistency::Quorum);
+        assert_eq!(plain.probe_interval_ms, 500);
+        assert_eq!((plain.probe_down_after, plain.probe_up_after), (1, 1));
+        assert!(plain.hint_dir.is_none());
+        // Rejects: bad mode, zero cadence, non-gatekeeper roles.
+        assert!(parse_args(Role::Gatekeeper, argv(&["--read-quorum", "eventual"])).is_err());
+        assert!(parse_args(Role::Gatekeeper, argv(&["--probe-interval-ms", "0"])).is_err());
+        assert!(parse_args(Role::Gatekeeper, argv(&["--probe-down-after", "0"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--read-quorum", "quorum"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--hint-dir", "/x"])).is_err());
     }
 
     #[test]

@@ -1,0 +1,282 @@
+//! Durable hinted-handoff queues for the cluster write path (DESIGN.md
+//! §10).
+//!
+//! When a write-wave replica is down, the cluster router still owes that
+//! node its copy of the deposit. A [`HintQueue`] is where the debt is
+//! recorded: one CRC-framed append-only [`Segment`] per down target
+//! holding the byte-identical deposit PDUs, plus a sidecar cursor file
+//! recording how far replay has progressed. A hint is only considered
+//! queued once both the frame and the fsync land, so a router crash can
+//! lose at most work it never acknowledged on the strength of the hint.
+//!
+//! Durability rules:
+//!
+//! * **Queue before ack.** [`push`](HintQueue::push) appends and fsyncs
+//!   before returning; callers must not count a hint toward anything
+//!   user-visible until `push` succeeds.
+//! * **Replay before advance.** [`pop`](HintQueue::pop) persists the new
+//!   cursor only after the caller has delivered the front hint. The
+//!   cursor may therefore lag reality (re-delivering a hint after a
+//!   crash) but never lead it (dropping one). Replay must be idempotent —
+//!   deposits are, by their `(sd_id, nonce)` origin dedup.
+//! * **Corrupt cursor ⇒ replay from the start.** A torn or nonsensical
+//!   cursor file degrades to offset 0, trading duplicate idempotent
+//!   replays for zero loss; a torn WAL tail is dropped by the segment's
+//!   own recovery (the hint it held was never fsynced, so it was never
+//!   queued).
+//!
+//! The WAL is append-only and is not compacted in place; a fully drained
+//! queue persists its end-of-log cursor, so reopening it replays nothing.
+
+use crate::fault::FaultPlan;
+use crate::segment::Segment;
+use crate::{Result, StorageKind};
+use std::collections::VecDeque;
+use std::fs;
+use std::io::Write;
+use std::path::PathBuf;
+
+/// Sidecar suffix holding the replay cursor next to a file-backed queue.
+const CURSOR_SUFFIX: &str = ".cursor";
+
+/// A durable FIFO of opaque hint payloads for one handoff target.
+#[derive(Debug)]
+pub struct HintQueue {
+    wal: Segment,
+    /// Offset of the first frame replay has not yet delivered.
+    cursor: u64,
+    cursor_path: Option<PathBuf>,
+    /// Unreplayed frames: `(frame offset, payload)`, oldest first.
+    queue: VecDeque<(u64, Vec<u8>)>,
+}
+
+impl HintQueue {
+    /// Opens (or creates) the queue described by `kind`, recovering the
+    /// replay cursor and any undelivered hints. File-backed queues keep
+    /// their cursor in a `<path>.cursor` sidecar.
+    pub fn open(kind: StorageKind) -> Result<Self> {
+        let (mut wal, cursor_path) = open_segment(&kind)?;
+        let frames = wal.iter()?;
+        let cursor = match &cursor_path {
+            Some(path) => recover_cursor(path, &frames, wal.len_bytes()),
+            None => 0,
+        };
+        let queue = frames
+            .into_iter()
+            .filter(|(offset, _)| *offset >= cursor)
+            .collect();
+        Ok(Self {
+            wal,
+            cursor,
+            cursor_path,
+            queue,
+        })
+    }
+
+    /// Appends a hint and fsyncs it. On return the hint will survive a
+    /// crash; on error nothing was queued.
+    pub fn push(&mut self, payload: &[u8]) -> Result<()> {
+        let offset = self.wal.append(payload)?;
+        self.wal.sync()?;
+        self.queue.push_back((offset, payload.to_vec()));
+        Ok(())
+    }
+
+    /// Number of hints awaiting replay.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// The oldest undelivered hint, if any.
+    pub fn peek(&self) -> Option<&[u8]> {
+        self.queue.front().map(|(_, payload)| payload.as_slice())
+    }
+
+    /// Marks the oldest hint delivered and durably advances the cursor
+    /// past it. Call only after the hint has actually been replayed.
+    pub fn pop(&mut self) -> Result<()> {
+        if self.queue.pop_front().is_none() {
+            return Ok(());
+        }
+        self.cursor = match self.queue.front() {
+            Some((offset, _)) => *offset,
+            None => self.wal.len_bytes(),
+        };
+        self.persist_cursor()
+    }
+
+    fn persist_cursor(&self) -> Result<()> {
+        let Some(path) = &self.cursor_path else {
+            return Ok(());
+        };
+        let mut file = fs::File::create(path)?;
+        file.write_all(&self.cursor.to_le_bytes())?;
+        file.sync_all()?;
+        Ok(())
+    }
+}
+
+/// Opens the WAL segment behind `kind` and derives the cursor sidecar
+/// path for file-backed storage (mirrors the engine's segment opening,
+/// including fault-plan attachment for the chaos harness).
+fn open_segment(kind: &StorageKind) -> Result<(Segment, Option<PathBuf>)> {
+    fn open(kind: &StorageKind, plan: Option<&FaultPlan>) -> Result<(Segment, Option<PathBuf>)> {
+        let (mut seg, cursor) = match kind {
+            StorageKind::Memory => (Segment::memory(), None),
+            StorageKind::File(path) => {
+                let mut cursor = path.as_os_str().to_owned();
+                cursor.push(CURSOR_SUFFIX);
+                (Segment::open_file(path)?, Some(PathBuf::from(cursor)))
+            }
+            StorageKind::Faulty { base, plan } => return open(base, Some(plan)),
+        };
+        if let Some(plan) = plan {
+            seg.attach_faults(plan.clone());
+        }
+        Ok((seg, cursor))
+    }
+    open(kind, None)
+}
+
+/// Reads the cursor sidecar, degrading to 0 (full idempotent replay)
+/// unless it holds exactly a valid frame boundary of the recovered WAL.
+fn recover_cursor(path: &std::path::Path, frames: &[(u64, Vec<u8>)], len: u64) -> u64 {
+    let Ok(bytes) = fs::read(path) else {
+        return 0;
+    };
+    let Ok(raw) = <[u8; 8]>::try_from(bytes.as_slice()) else {
+        return 0;
+    };
+    let cursor = u64::from_le_bytes(raw);
+    let boundary = cursor == len || frames.iter().any(|(offset, _)| *offset == cursor);
+    if boundary {
+        cursor
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FaultPlan;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "mws-hints-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn drain_all(q: &mut HintQueue) -> Vec<Vec<u8>> {
+        let mut out = Vec::new();
+        while let Some(payload) = q.peek() {
+            out.push(payload.to_vec());
+            q.pop().unwrap();
+        }
+        out
+    }
+
+    #[test]
+    fn fifo_push_peek_pop() {
+        let mut q = HintQueue::open(StorageKind::Memory).unwrap();
+        assert_eq!(q.pending(), 0);
+        assert!(q.peek().is_none());
+        q.push(b"one").unwrap();
+        q.push(b"two").unwrap();
+        assert_eq!(q.pending(), 2);
+        assert_eq!(drain_all(&mut q), vec![b"one".to_vec(), b"two".to_vec()]);
+        assert_eq!(q.pending(), 0);
+        q.pop().unwrap(); // popping an empty queue is a no-op
+    }
+
+    #[test]
+    fn hints_survive_reopen_and_replayed_ones_do_not() {
+        let dir = tmpdir("reopen");
+        let path = dir.join("node-1.hints");
+        {
+            let mut q = HintQueue::open(StorageKind::File(path.clone())).unwrap();
+            q.push(b"a").unwrap();
+            q.push(b"b").unwrap();
+            q.push(b"c").unwrap();
+            // Deliver the first hint only; crash before the rest.
+            assert_eq!(q.peek().unwrap(), b"a");
+            q.pop().unwrap();
+        }
+        let mut q = HintQueue::open(StorageKind::File(path)).unwrap();
+        assert_eq!(q.pending(), 2);
+        assert_eq!(drain_all(&mut q), vec![b"b".to_vec(), b"c".to_vec()]);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn fully_drained_queue_reopens_empty() {
+        let dir = tmpdir("drained");
+        let path = dir.join("node-2.hints");
+        {
+            let mut q = HintQueue::open(StorageKind::File(path.clone())).unwrap();
+            q.push(b"x").unwrap();
+            q.pop().unwrap();
+        }
+        let q = HintQueue::open(StorageKind::File(path)).unwrap();
+        assert_eq!(q.pending(), 0);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn corrupt_cursor_degrades_to_full_replay() {
+        let dir = tmpdir("cursor");
+        let path = dir.join("node-3.hints");
+        {
+            let mut q = HintQueue::open(StorageKind::File(path.clone())).unwrap();
+            q.push(b"a").unwrap();
+            q.push(b"b").unwrap();
+            q.pop().unwrap();
+        }
+        // A cursor pointing inside a frame (not at a boundary) must be
+        // rejected: replay restarts from 0 — duplicates, never loss.
+        let cursor_file: PathBuf = {
+            let mut s = path.as_os_str().to_owned();
+            s.push(CURSOR_SUFFIX);
+            PathBuf::from(s)
+        };
+        fs::write(&cursor_file, 3u64.to_le_bytes()).unwrap();
+        let mut q = HintQueue::open(StorageKind::File(path.clone())).unwrap();
+        assert_eq!(drain_all(&mut q), vec![b"a".to_vec(), b"b".to_vec()]);
+        // A short cursor file degrades the same way.
+        fs::write(&cursor_file, [1u8, 2]).unwrap();
+        let q = HintQueue::open(StorageKind::File(path)).unwrap();
+        assert_eq!(q.pending(), 2);
+        let _ = fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn failed_append_queues_nothing() {
+        let plan = FaultPlan::new();
+        plan.fail_append(0);
+        let mut q = HintQueue::open(StorageKind::Memory.with_faults(plan)).unwrap();
+        assert!(q.push(b"doomed").is_err());
+        assert_eq!(q.pending(), 0);
+        assert!(q.peek().is_none());
+    }
+
+    #[test]
+    fn torn_wal_tail_drops_only_the_unsynced_hint() {
+        let dir = tmpdir("torn");
+        let path = dir.join("node-4.hints");
+        {
+            let plan = FaultPlan::new();
+            plan.tear_append(1);
+            let mut q = HintQueue::open(StorageKind::File(path.clone()).with_faults(plan)).unwrap();
+            q.push(b"kept").unwrap();
+            assert!(q.push(b"torn").is_err());
+        }
+        let mut q = HintQueue::open(StorageKind::File(path)).unwrap();
+        assert_eq!(drain_all(&mut q), vec![b"kept".to_vec()]);
+        let _ = fs::remove_dir_all(dir);
+    }
+}

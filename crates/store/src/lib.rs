@@ -19,6 +19,8 @@
 //!   Table 1 identity–attribute mapping, User Database).
 //! * [`flatfile`] — the prototype's flat-file layout, kept as the baseline
 //!   for experiment E8 (design decision D3).
+//! * [`hints`] — [`HintQueue`]: durable per-target hinted-handoff queues
+//!   backing the cluster's sloppy-quorum write path (DESIGN.md §10).
 //! * [`shard`] — [`ShardedMessageDb`]: the message table striped N ways by
 //!   attribute hash ([`ShardRouter`]), each shard with its own WAL, fsync
 //!   cadence, compaction, and recovery (DESIGN.md §9).
@@ -42,6 +44,7 @@
 pub mod engine;
 pub mod fault;
 pub mod flatfile;
+pub mod hints;
 pub mod message_db;
 pub mod policy_db;
 pub mod segment;
@@ -53,6 +56,7 @@ pub mod user_db;
 pub use engine::{KvEngine, StorageKind};
 pub use fault::FaultPlan;
 pub use flatfile::FlatFileStore;
+pub use hints::HintQueue;
 pub use message_db::{MessageDb, MessageId, PendingDeposit, StoredMessage};
 pub use policy_db::{AttributeId, PolicyDb, PolicyRow};
 pub use shard::{shard_kinds, ShardRouter, ShardedMessageDb};

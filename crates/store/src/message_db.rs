@@ -332,6 +332,25 @@ impl MessageDb {
         Ok(victims.len())
     }
 
+    /// Deletes every message carrying exactly `attribute` (replica-plane
+    /// handover: this node is no longer in the attribute's replica set).
+    /// Returns how many rows were removed; compacts like
+    /// [`Self::purge_before`] when the sweep leaves mostly garbage.
+    pub fn evict_attribute(&mut self, attribute: &str) -> Result<usize> {
+        let Some(ids) = self.by_attribute.remove(attribute) else {
+            return Ok(0);
+        };
+        for &id in &ids {
+            let msg = self.get(id)?;
+            self.kv.delete(&key_of(id))?;
+            self.by_origin.remove(&origin_key(&msg.sd_id, &msg.nonce));
+        }
+        if self.kv.garbage_ratio() > 0.5 {
+            self.kv.compact()?;
+        }
+        Ok(ids.len())
+    }
+
     /// Number of stored messages.
     pub fn len(&self) -> usize {
         self.kv.len()
@@ -458,6 +477,29 @@ mod tests {
         assert_eq!(db.len(), 3);
         assert_eq!(db.by_attribute("A").unwrap().len(), 3);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn evict_attribute_sweeps_rows_index_and_origins() {
+        let mut db = MessageDb::open(StorageKind::Memory).unwrap();
+        for ts in 1..=4 {
+            db.insert("GONE", &[ts as u8], b"\x02u", 1, b"c", "m", ts)
+                .unwrap();
+        }
+        mk(&mut db, "KEPT", "m", 9);
+        assert_eq!(db.evict_attribute("GONE").unwrap(), 4);
+        assert_eq!(db.len(), 1);
+        assert!(db.by_attribute("GONE").unwrap().is_empty());
+        assert_eq!(db.attributes(), vec!["KEPT"]);
+        // The origin index forgot the evicted rows: a re-push of one is
+        // fresh again (the node may re-inherit the arc later).
+        let (_, fresh) = db
+            .insert_dedup("GONE", &[1], b"\x02u", 1, b"c", "m", 1)
+            .unwrap();
+        assert!(fresh, "evicted origin must not shadow a re-inherited row");
+        // Idempotent.
+        db.evict_attribute("GONE").unwrap();
+        assert_eq!(db.evict_attribute("NEVER").unwrap(), 0);
     }
 
     #[test]

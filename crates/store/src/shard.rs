@@ -346,6 +346,18 @@ impl ShardedMessageDb {
         self.len() == 0
     }
 
+    /// Drops every row of one attribute (replica-plane handover). The
+    /// attribute lives entirely on its routed shard; that shard syncs
+    /// before this returns, so the eviction is as durable as a deposit.
+    pub fn evict_attribute(&self, attribute: &str) -> Result<usize> {
+        let mut shard = self.shard(self.router.route(attribute));
+        let removed = shard.evict_attribute(attribute)?;
+        if removed > 0 {
+            shard.sync()?;
+        }
+        Ok(removed)
+    }
+
     /// Retention sweep on every shard; each shard compacts its own WAL
     /// independently when the sweep leaves it mostly garbage. Returns the
     /// total rows removed.

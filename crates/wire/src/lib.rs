@@ -36,7 +36,11 @@ pub use envelope::{
     encode_envelope_traced, header_len,
 };
 pub use hash::fnv1a64;
-pub use pdu::{replica_plane_bytes, DepositItem, DepositOutcome, Pdu, RelayEntry, WireMessage};
+pub use pdu::{
+    cluster_admin_bytes, cluster_drain_bytes, cluster_join_bytes, replica_evict_bytes,
+    replica_plane_bytes, DepositItem, DepositOutcome, MemberState, Pdu, RelayEntry, WireMessage,
+    MEMBER_ACTIVE, MEMBER_DRAINING, MEMBER_JOINING,
+};
 pub use stream::StreamDecoder;
 
 /// Protocol version carried in every envelope.

@@ -207,6 +207,83 @@ pub enum Pdu {
         /// Rows already present under the same origin.
         deduped: u32,
     },
+    /// Replica handover finalizer: drop every row of one attribute. Sent
+    /// by the rebalance worker to a node the new ring no longer names as
+    /// a replica for that attribute, and only after the inheriting
+    /// replicas acked the arc — so the cluster ends a membership change
+    /// at exactly R copies instead of leaking stale donors. Authenticated
+    /// with the replica key over [`replica_evict_bytes`]; a holder of
+    /// that key can already rewrite rows via [`Pdu::ReplicaPush`], so
+    /// this grants no new power.
+    ReplicaEvict {
+        /// Attribute whose rows the receiver must drop.
+        attribute: String,
+        /// The ring epoch the evicting transfer runs under (bound into
+        /// the MAC for auditability and domain separation).
+        epoch: u64,
+        /// `HMAC(replica key, canonical evict bytes)`.
+        mac: Vec<u8>,
+    },
+    /// Reply to [`Pdu::ReplicaEvict`]: rows dropped, durable before this
+    /// ack.
+    ReplicaEvicted {
+        /// Rows removed by the sweep (0 when nothing was held).
+        removed: u64,
+    },
+
+    // ---- Cluster membership admin plane (DESIGN.md §10) ----
+    /// Admin order: add `node` to the cluster ring and stream the remapped
+    /// arcs to it in the background. Authenticated with the replica key
+    /// over [`cluster_join_bytes`]; `epoch` must equal the ring epoch the
+    /// operator observed via [`Pdu::RebalanceStatus`], so a delayed or
+    /// replayed order can never apply to a ring it was not written for.
+    ClusterJoin {
+        /// Node name (`host:port`) to add; the router's node factory
+        /// resolves it to a connection pool.
+        node: String,
+        /// The ring epoch this order was built against.
+        epoch: u64,
+        /// `HMAC(replica key, canonical join bytes)`.
+        mac: Vec<u8>,
+    },
+    /// Admin order: drain `node` out of the ring — new writes stop landing
+    /// on it immediately, its arcs stream to the nodes that inherit them,
+    /// and only then is the handle dropped. Same epoch + MAC discipline as
+    /// [`Pdu::ClusterJoin`], over [`cluster_drain_bytes`].
+    ClusterDrain {
+        /// Node name to remove from the ring.
+        node: String,
+        /// The ring epoch this order was built against.
+        epoch: u64,
+        /// `HMAC(replica key, canonical drain bytes)`.
+        mac: Vec<u8>,
+    },
+    /// Reply to a membership order: the epoch the ring moved to.
+    ClusterAdminAck {
+        /// The new ring epoch after the membership change.
+        epoch: u64,
+        /// Human-readable summary ("joining node-3: 42 arcs queued").
+        detail: String,
+    },
+    /// Operator query for ring epoch, membership states and arc-transfer
+    /// progress. Unauthenticated like [`Pdu::StatsRequest`]: it exposes
+    /// topology shape only — never row data or key material.
+    RebalanceStatus,
+    /// Reply to [`Pdu::RebalanceStatus`].
+    RebalanceReport {
+        /// Current ring epoch (bumped by every join/drain).
+        epoch: u64,
+        /// True while a background arc transfer is running.
+        transferring: bool,
+        /// Every tracked node (ring members plus a still-draining donor).
+        members: Vec<MemberState>,
+        /// Arcs (attribute, newcomer) pairs in the current/last transfer.
+        arcs_total: u64,
+        /// Arcs fully streamed so far.
+        arcs_done: u64,
+        /// Rows moved by the current/last transfer.
+        rows_moved: u64,
+    },
 
     // ---- Operations ----
     /// Liveness/readiness probe; every daemon answers it without
@@ -374,6 +451,59 @@ pub fn replica_push_bytes(rows: &[RelayEntry]) -> Vec<u8> {
     replica_plane_bytes(0x62, rows, false)
 }
 
+/// One cluster member's membership state in a [`Pdu::RebalanceReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MemberState {
+    /// Node name.
+    pub node: String,
+    /// Membership state code ([`MEMBER_ACTIVE`], [`MEMBER_JOINING`],
+    /// [`MEMBER_DRAINING`]).
+    pub state: u8,
+    /// Last probed liveness.
+    pub up: bool,
+}
+
+/// [`MemberState::state`]: fully active ring member.
+pub const MEMBER_ACTIVE: u8 = 0;
+/// [`MemberState::state`]: in the ring, still receiving its arcs.
+pub const MEMBER_JOINING: u8 = 1;
+/// [`MemberState::state`]: out of the ring, still donating its arcs.
+pub const MEMBER_DRAINING: u8 = 2;
+
+/// Canonical bytes a cluster membership order MACs: the PDU type byte (a
+/// join MAC can never authorize a drain or vice versa), the node name, and
+/// the ring epoch the order targets. Binding the epoch makes every order
+/// single-use — once the ring moves, a captured order verifies but no
+/// longer matches the current epoch and is refused.
+pub fn cluster_admin_bytes(type_byte: u8, node: &str, epoch: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(type_byte);
+    w.string(node);
+    w.u64(epoch);
+    w.finish()
+}
+
+/// MAC input of a [`Pdu::ClusterJoin`] order.
+pub fn cluster_join_bytes(node: &str, epoch: u64) -> Vec<u8> {
+    cluster_admin_bytes(0x64, node, epoch)
+}
+
+/// MAC input of a [`Pdu::ClusterDrain`] order.
+pub fn cluster_drain_bytes(node: &str, epoch: u64) -> Vec<u8> {
+    cluster_admin_bytes(0x65, node, epoch)
+}
+
+/// MAC input of a [`Pdu::ReplicaEvict`] order: the PDU type byte (an
+/// evict MAC authorizes nothing else), the attribute being dropped, and
+/// the ring epoch of the transfer issuing it.
+pub fn replica_evict_bytes(attribute: &str, epoch: u64) -> Vec<u8> {
+    let mut w = WireWriter::new();
+    w.u8(0x69);
+    w.string(attribute);
+    w.u64(epoch);
+    w.finish()
+}
+
 impl Pdu {
     /// Message-type byte for the envelope.
     pub fn type_byte(&self) -> u8 {
@@ -396,6 +526,13 @@ impl Pdu {
             Pdu::ReplicaRows { .. } => 0x61,
             Pdu::ReplicaPush { .. } => 0x62,
             Pdu::ReplicaPushAck { .. } => 0x63,
+            Pdu::ReplicaEvict { .. } => 0x69,
+            Pdu::ReplicaEvicted { .. } => 0x6a,
+            Pdu::ClusterJoin { .. } => 0x64,
+            Pdu::ClusterDrain { .. } => 0x65,
+            Pdu::ClusterAdminAck { .. } => 0x66,
+            Pdu::RebalanceStatus => 0x67,
+            Pdu::RebalanceReport { .. } => 0x68,
             Pdu::HealthRequest => 0x50,
             Pdu::HealthResponse { .. } => 0x51,
             Pdu::StatsRequest => 0x52,
@@ -426,6 +563,13 @@ impl Pdu {
             Pdu::ReplicaRows { .. } => "replica_rows",
             Pdu::ReplicaPush { .. } => "replica_push",
             Pdu::ReplicaPushAck { .. } => "replica_push_ack",
+            Pdu::ReplicaEvict { .. } => "replica_evict",
+            Pdu::ReplicaEvicted { .. } => "replica_evicted",
+            Pdu::ClusterJoin { .. } => "cluster_join",
+            Pdu::ClusterDrain { .. } => "cluster_drain",
+            Pdu::ClusterAdminAck { .. } => "cluster_admin_ack",
+            Pdu::RebalanceStatus => "rebalance_status",
+            Pdu::RebalanceReport { .. } => "rebalance_report",
             Pdu::HealthRequest => "health_request",
             Pdu::HealthResponse { .. } => "health_response",
             Pdu::StatsRequest => "stats_request",
@@ -556,6 +700,38 @@ impl Pdu {
             }
             Pdu::ReplicaPushAck { stored, deduped } => {
                 w.u32(*stored).u32(*deduped);
+            }
+            Pdu::ReplicaEvict {
+                attribute,
+                epoch,
+                mac,
+            } => {
+                w.string(attribute).u64(*epoch).bytes(mac);
+            }
+            Pdu::ReplicaEvicted { removed } => {
+                w.u64(*removed);
+            }
+            Pdu::ClusterJoin { node, epoch, mac } | Pdu::ClusterDrain { node, epoch, mac } => {
+                w.string(node).u64(*epoch).bytes(mac);
+            }
+            Pdu::ClusterAdminAck { epoch, detail } => {
+                w.u64(*epoch).string(detail);
+            }
+            Pdu::RebalanceStatus => {}
+            Pdu::RebalanceReport {
+                epoch,
+                transferring,
+                members,
+                arcs_total,
+                arcs_done,
+                rows_moved,
+            } => {
+                w.u64(*epoch).u8(u8::from(*transferring));
+                w.u32(members.len() as u32);
+                for m in members {
+                    w.string(&m.node).u8(m.state).u8(u8::from(m.up));
+                }
+                w.u64(*arcs_total).u64(*arcs_done).u64(*rows_moved);
             }
             Pdu::HealthRequest => {}
             Pdu::HealthResponse {
@@ -706,6 +882,51 @@ impl Pdu {
                 stored: r.u32()?,
                 deduped: r.u32()?,
             },
+            0x69 => Pdu::ReplicaEvict {
+                attribute: r.string()?,
+                epoch: r.u64()?,
+                mac: r.bytes()?,
+            },
+            0x6a => Pdu::ReplicaEvicted { removed: r.u64()? },
+            0x64 => Pdu::ClusterJoin {
+                node: r.string()?,
+                epoch: r.u64()?,
+                mac: r.bytes()?,
+            },
+            0x65 => Pdu::ClusterDrain {
+                node: r.string()?,
+                epoch: r.u64()?,
+                mac: r.bytes()?,
+            },
+            0x66 => Pdu::ClusterAdminAck {
+                epoch: r.u64()?,
+                detail: r.string()?,
+            },
+            0x67 => Pdu::RebalanceStatus,
+            0x68 => {
+                let epoch = r.u64()?;
+                let transferring = r.u8()? != 0;
+                let n = r.u32()? as usize;
+                if n > crate::MAX_BODY / 6 {
+                    return Err(WireError::BadLength);
+                }
+                let mut members = Vec::with_capacity(n.min(1024));
+                for _ in 0..n {
+                    members.push(MemberState {
+                        node: r.string()?,
+                        state: r.u8()?,
+                        up: r.u8()? != 0,
+                    });
+                }
+                Pdu::RebalanceReport {
+                    epoch,
+                    transferring,
+                    members,
+                    arcs_total: r.u64()?,
+                    arcs_done: r.u64()?,
+                    rows_moved: r.u64()?,
+                }
+            }
             0x50 => Pdu::HealthRequest,
             0x51 => Pdu::HealthResponse {
                 role: r.string()?,
@@ -902,6 +1123,46 @@ mod tests {
                 stored: 3,
                 deduped: 1,
             },
+            Pdu::ReplicaEvict {
+                attribute: "ELECTRIC-APT9".into(),
+                epoch: 4,
+                mac: vec![7; 32],
+            },
+            Pdu::ReplicaEvicted { removed: 17 },
+            Pdu::ClusterJoin {
+                node: "127.0.0.1:7114".into(),
+                epoch: 4,
+                mac: vec![2; 32],
+            },
+            Pdu::ClusterDrain {
+                node: "127.0.0.1:7112".into(),
+                epoch: 5,
+                mac: vec![3; 32],
+            },
+            Pdu::ClusterAdminAck {
+                epoch: 6,
+                detail: "joining 127.0.0.1:7114: 42 arcs queued".into(),
+            },
+            Pdu::RebalanceStatus,
+            Pdu::RebalanceReport {
+                epoch: 6,
+                transferring: true,
+                members: vec![
+                    MemberState {
+                        node: "127.0.0.1:7111".into(),
+                        state: MEMBER_ACTIVE,
+                        up: true,
+                    },
+                    MemberState {
+                        node: "127.0.0.1:7114".into(),
+                        state: MEMBER_JOINING,
+                        up: false,
+                    },
+                ],
+                arcs_total: 42,
+                arcs_done: 17,
+                rows_moved: 1200,
+            },
             Pdu::HealthRequest,
             Pdu::HealthResponse {
                 role: "mms".into(),
@@ -1002,5 +1263,25 @@ mod tests {
             let body = w.finish();
             assert!(Pdu::decode_body(type_byte, &body).is_err());
         }
+    }
+
+    #[test]
+    fn hostile_member_count_bounded() {
+        // A RebalanceReport declaring 2^32-1 members must fail fast.
+        let mut w = WireWriter::new();
+        w.u64(1).u8(0).u32(u32::MAX);
+        let body = w.finish();
+        assert!(Pdu::decode_body(0x68, &body).is_err());
+    }
+
+    #[test]
+    fn join_and_drain_mac_inputs_are_domain_separated() {
+        // The same (node, epoch) must never authorize the opposite
+        // membership change, and the epoch must be load-bearing.
+        let join = cluster_join_bytes("127.0.0.1:7114", 4);
+        let drain = cluster_drain_bytes("127.0.0.1:7114", 4);
+        assert_ne!(join, drain);
+        assert_ne!(join, cluster_join_bytes("127.0.0.1:7114", 5));
+        assert_ne!(join, cluster_join_bytes("127.0.0.1:7115", 4));
     }
 }

@@ -5,6 +5,7 @@
 #   scripts/bench.sh             # crypto microbenches  -> BENCH_crypto.json
 #   scripts/bench.sh --server    # socket load benchmark -> BENCH_server.json
 #   scripts/bench.sh --cluster   # N-node quorum benchmark -> cluster key in BENCH_server.json
+#   scripts/bench.sh --rebalance # live-join benchmark -> rebalance key in BENCH_server.json
 #   scripts/bench.sh --all       # all of the above
 #
 # Iteration counts are pinned inside the binaries (crypto: 200 @ Toy,
@@ -37,10 +38,17 @@ run_cluster() {
   echo "==> BENCH_server.json cluster section written"
 }
 
+run_rebalance() {
+  echo "==> cargo run --release -p mws-bench --bin load_bench -- --rebalance"
+  cargo run --release -p mws-bench --bin load_bench -- --rebalance
+  echo "==> BENCH_server.json rebalance section written"
+}
+
 case "${target}" in
   crypto)       run_crypto ;;
   --server)     run_server ;;
   --cluster)    run_cluster ;;
-  --all)        run_crypto; run_server; run_cluster ;;
-  *)            echo "usage: scripts/bench.sh [--server|--cluster|--all]" >&2; exit 2 ;;
+  --rebalance)  run_rebalance ;;
+  --all)        run_crypto; run_server; run_cluster; run_rebalance ;;
+  *)            echo "usage: scripts/bench.sh [--server|--cluster|--rebalance|--all]" >&2; exit 2 ;;
 esac

@@ -1,14 +1,22 @@
 #!/usr/bin/env bash
-# Local 3-node warehouse cluster behind a cluster-mode front door.
+# Local 3-node warehouse cluster behind a cluster-mode front door, plus
+# live membership orders against it.
 #
-# Spawns three mws-mmsd warehouse nodes (ports 7111-7113), one mws-pkgd
-# (7102) and one mws-gatekeeperd in cluster mode (7103, R=2 W=2), all
-# provisioned from the same seed so every node derives identical key
-# material. Ctrl-C tears the whole topology down.
+# With no arguments: spawns three mws-mmsd warehouse nodes (ports
+# 7111-7113), one mws-pkgd (7102) and one mws-gatekeeperd in cluster mode
+# (7103, R=2 W=2), all provisioned from the same seed so every node
+# derives identical key material. Ctrl-C tears the whole topology down.
 #
 # Usage:
-#   scripts/cluster.sh                 # seed 42, one device + one client
-#   MWS_SEED=7 scripts/cluster.sh     # a different deployment seed
+#   scripts/cluster.sh                     # seed 42, one device + one client
+#   MWS_SEED=7 scripts/cluster.sh          # a different deployment seed
+#
+# Against a running topology (from a second shell):
+#   scripts/cluster.sh join 127.0.0.1:7114   # spawn a 4th warehouse and
+#                                            # stream its arcs to it live
+#   scripts/cluster.sh drain 127.0.0.1:7113  # hand a node's arcs off and
+#                                            # drop it from the ring
+#   scripts/cluster.sh status                # ring epoch + member table
 #
 # Poke it while it runs:
 #   scripts/stats.sh --cluster 127.0.0.1:7103   # per-node membership table
@@ -19,11 +27,37 @@ cd "$(dirname "$0")/.."
 SEED="${MWS_SEED:-42}"
 PROVISION=(--seed "$SEED" --device meter-1 --client "utility:pw:ELECTRIC-APT9,WATER-APT9")
 NODES=(127.0.0.1:7111 127.0.0.1:7112 127.0.0.1:7113)
+DOOR=127.0.0.1:7103
 
 echo "==> building daemons"
 cargo build -q --release -p mws-server --bins
 
 BIN=target/release
+
+# Membership subcommands order a running front door (started by the
+# no-argument form of this script) and exit; only the join's new
+# warehouse daemon outlives them.
+case "${1:-}" in
+  status)
+    exec "$BIN/mws-clusterctl" status --addr "$DOOR"
+    ;;
+  join)
+    ADDR="${2:?usage: scripts/cluster.sh join <host:port>}"
+    "$BIN/mws-mmsd" --listen "$ADDR" --shards 2 "${PROVISION[@]}" &
+    disown
+    echo "==> warehouse node on $ADDR (pid $!); ordering join"
+    exec "$BIN/mws-clusterctl" join "$ADDR" --addr "$DOOR" "${PROVISION[@]}" --wait 120
+    ;;
+  drain)
+    ADDR="${2:?usage: scripts/cluster.sh drain <host:port>}"
+    exec "$BIN/mws-clusterctl" drain "$ADDR" --addr "$DOOR" "${PROVISION[@]}" --wait 120
+    ;;
+  "") ;; # fall through: spawn the topology
+  *)
+    echo "usage: scripts/cluster.sh [status | join <addr> | drain <addr>]" >&2
+    exit 2
+    ;;
+esac
 PIDS=()
 cleanup() {
   for pid in "${PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done

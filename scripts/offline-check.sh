@@ -61,4 +61,7 @@ cargo run -q --release -p mws-bench --bin load_bench -- --smoke
 echo "==> load_bench --cluster --smoke (3-node R=2 quorum acks, exactly R copies)"
 cargo run -q --release -p mws-bench --bin load_bench -- --cluster --smoke
 
+echo "==> load_bench --rebalance --smoke (live join mid-load, exactly R copies after evict)"
+cargo run -q --release -p mws-bench --bin load_bench -- --rebalance --smoke
+
 echo "==> offline check passed (stubs unpatch on exit)"

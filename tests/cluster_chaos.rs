@@ -23,6 +23,7 @@ use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
 use mws_server::{
     ChaosConfig, ChaosProxy, ClientConfig, ClusterFrontdoor, ServerConfig, TcpClient, TcpServer,
 };
+use mws_wire::Pdu;
 use std::net::SocketAddr;
 use std::sync::Arc;
 use std::time::Duration;
@@ -154,6 +155,19 @@ fn front_door(
     seed: u64,
     addr_of: impl Fn(usize) -> SocketAddr,
 ) -> (Arc<ClusterRouter>, ClusterFrontdoor, TcpServer) {
+    front_door_with(deps, seed, addr_of, ClusterConfig::new(2, 2), None)
+}
+
+/// [`front_door`] with the consistency knobs exposed: scenario I runs
+/// W = 1 with WAL-backed hinted handoff, the membership scenarios keep
+/// the default R = W = 2.
+fn front_door_with(
+    deps: &[Deployment],
+    seed: u64,
+    addr_of: impl Fn(usize) -> SocketAddr,
+    cfg: ClusterConfig,
+    hint_dir: Option<std::path::PathBuf>,
+) -> (Arc<ClusterRouter>, ClusterFrontdoor, TcpServer) {
     let nodes = deps
         .iter()
         .enumerate()
@@ -164,7 +178,10 @@ fn front_door(
             ClusterNode::new(format!("node-{i}"), pool)
         })
         .collect();
-    let router = ClusterRouter::new(nodes, ClusterConfig::new(2, 2), deps[0].replica_key());
+    let router = ClusterRouter::new(nodes, cfg, deps[0].replica_key());
+    if let Some(dir) = hint_dir {
+        router.enable_hints(Some(dir));
+    }
     router.set_attribute_names(
         deps[0]
             .mws()
@@ -226,6 +243,61 @@ fn assert_cluster_converged(
         again.len(),
         msgs.len(),
         "seed {seed}: merged view not stable across retrievals"
+    );
+}
+
+/// One quorum-acked deposit through the front door, recorded in the
+/// oracle (`acked`) and the per-attribute tally.
+fn deposit_through(
+    meter: &mut mws_core::device::SmartDevice,
+    acked: &mut Vec<Vec<u8>>,
+    per_attr: &mut [usize],
+    i: usize,
+    tag: &str,
+    seed: u64,
+) {
+    let attr = ATTRS[i % ATTRS.len()];
+    let payload = format!("{tag}-{i}").into_bytes();
+    meter
+        .deposit_reliable(attr, &payload, 64)
+        .unwrap_or_else(|e| panic!("seed {seed}: {tag} deposit {i} never acked: {e}"));
+    acked.push(payload);
+    per_attr[i % ATTRS.len()] += 1;
+}
+
+/// The exactly-R audit: every attribute's rows sit on precisely the
+/// R = 2 replicas `ring` assigns it — full counts there, zero anywhere
+/// else — so the cluster holds exactly two copies of every acked row,
+/// never fewer (loss) and never more (stale donors past a handover).
+fn assert_exactly_r(
+    deps: &[Deployment],
+    ring: &HashRing,
+    per_attr: &[usize],
+    acked: usize,
+    seed: u64,
+    what: &str,
+) {
+    for (k, attr) in ATTRS.iter().enumerate() {
+        let home = ring.replicas(attr, 2);
+        for (i, dep) in deps.iter().enumerate() {
+            let have = dep
+                .mws()
+                .store_handle()
+                .by_attribute(attr)
+                .expect("scan")
+                .len();
+            let want = if home.contains(&i) { per_attr[k] } else { 0 };
+            assert_eq!(
+                have, want,
+                "seed {seed}: {what}: node-{i} holds {have} rows of {attr}, want {want}"
+            );
+        }
+    }
+    let total: usize = deps.iter().map(|d| d.mws().message_count()).sum();
+    assert_eq!(
+        total,
+        acked * 2,
+        "seed {seed}: {what}: total copies != exactly R per acked row"
     );
 }
 
@@ -383,6 +455,263 @@ fn chaos_proxy_on_one_replica_link_loses_no_acked_deposit() {
         router.probe_once();
         assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
         proxy.shutdown();
+        drop(front_srv);
+        for s in &mut sups {
+            s.kill();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario I: crash + hinted handoff. W = 1 with WAL-backed hints: a
+// replica dies, deposits keep acking off one copy while the dead node's
+// copies queue as hints, and the prober's up-transition replays them —
+// converging every acked row to exactly R copies on exactly the ring
+// replicas, with no overflow copy parked on a third node.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn crash_and_hint_replay_converges_to_exactly_r_copies() {
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "cluster-hint-replay",
+            seed,
+        };
+        let (mut deps, mut sups) = three_nodes(seed);
+        let addrs: Vec<SocketAddr> = sups.iter().map(|s| s.addr).collect();
+        let hint_dir =
+            std::env::temp_dir().join(format!("mws-chaos-hints-{seed}-{}", std::process::id()));
+        let (router, _front, front_srv) = front_door_with(
+            &deps,
+            seed,
+            |i| addrs[i],
+            ClusterConfig::new(2, 1),
+            Some(hint_dir.clone()),
+        );
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(front_srv.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let mut per_attr = vec![0usize; ATTRS.len()];
+        for i in 0..6 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "pre", seed);
+        }
+        // Hints only queue for a *preferred replica* that is down, and
+        // ring placement is seed-independent — so the seed picks the
+        // victim among nodes that actually replicate some attribute.
+        let ring = HashRing::new(&node_names(3), DEFAULT_VNODES);
+        let holders: Vec<usize> = (0..3)
+            .filter(|i| ATTRS.iter().any(|a| ring.replicas(a, 2).contains(i)))
+            .collect();
+        let victim = holders[(seed as usize) % holders.len()];
+        let victim_name = format!("node-{victim}");
+        sups[victim].kill();
+        router.probe_once();
+        assert!(
+            !router.node_states()[victim].1,
+            "seed {seed}: probe must mark the killed node down"
+        );
+        // W = 1 keeps acking off the surviving replica; every copy owed
+        // to the corpse lands in its durable hint queue instead.
+        for i in 6..12 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "down", seed);
+        }
+        let board = router.hint_board().expect("hints enabled");
+        assert!(
+            board.pending(&victim_name) > 0,
+            "seed {seed}: down-phase deposits must queue hints for the corpse"
+        );
+        // Restart; the prober's up-transition replays the queue.
+        sups[victim].restart(deps[victim].mws().clone());
+        router.probe_once();
+        assert!(
+            router.node_states()[victim].1,
+            "seed {seed}: restarted node must rejoin"
+        );
+        assert_eq!(
+            board.pending(&victim_name),
+            0,
+            "seed {seed}: hint replay must drain the queue"
+        );
+        assert_exactly_r(&deps, &ring, &per_attr, acked.len(), seed, "hint replay");
+        assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
+        drop(front_srv);
+        for s in &mut sups {
+            s.kill();
+        }
+        std::fs::remove_dir_all(&hint_dir).ok();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario J: live join under traffic. A fourth same-seed warehouse
+// joins through the front door's authenticated ClusterJoin while
+// deposits flow; the arc transfer streams the remapped history and the
+// evict finalizer drops the departed donors' copies — ending at exactly
+// R copies of every acked row on exactly the grown ring's replicas.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn live_join_under_traffic_ends_at_exactly_r_copies() {
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "cluster-live-join",
+            seed,
+        };
+        let (mut deps, mut sups) = three_nodes(seed);
+        let addrs: Vec<SocketAddr> = sups.iter().map(|s| s.addr).collect();
+        let (router, _front, front_srv) = front_door(&deps, seed, |i| addrs[i]);
+        // The joining warehouse: same seed, own listener, not yet routed.
+        let mut dep3 = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        dep3.register_device("meter-1");
+        dep3.register_client("rc", "pw", &ATTRS);
+        let mut sup3 = Supervisor::start(dep3.mws().clone());
+        let addr3 = sup3.addr;
+        router.set_node_factory(move |name| {
+            let pool = (0..2)
+                .map(|_| chaos_tcp_client(addr3, seed).into_client())
+                .collect();
+            ClusterNode::new(name, pool)
+        });
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(front_srv.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let mut per_attr = vec![0usize; ATTRS.len()];
+        for i in 0..6 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "pre", seed);
+        }
+        // The join order arrives over TCP like any operator command.
+        let door = chaos_tcp_client(front_srv.local_addr(), seed).into_client();
+        let epoch = router.epoch();
+        let reply = door
+            .call(&Pdu::ClusterJoin {
+                node: "node-3".into(),
+                epoch,
+                mac: deps[0].cluster_join_mac("node-3", epoch),
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: join order failed: {e}"));
+        assert!(
+            matches!(reply, Pdu::ClusterAdminAck { .. }),
+            "seed {seed}: join refused: {reply:?}"
+        );
+        // Traffic keeps flowing while the arc transfer streams history.
+        for i in 6..12 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "mid-join", seed);
+        }
+        assert!(
+            router.wait_rebalance(Duration::from_secs(30)),
+            "seed {seed}: arc transfer never finished"
+        );
+        deps.push(dep3);
+        let ring = HashRing::new(&node_names(4), DEFAULT_VNODES);
+        assert_exactly_r(&deps, &ring, &per_attr, acked.len(), seed, "join");
+        assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
+        drop(front_srv);
+        sup3.kill();
+        for s in &mut sups {
+            s.kill();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario K: live drain under traffic. One warehouse leaves through the
+// authenticated ClusterDrain while deposits flow; it donates its arcs,
+// the survivors inherit them, and the evict finalizer empties the
+// leaver — zero acked loss, exactly R copies, all on the shrunk ring.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn live_drain_under_traffic_ends_at_exactly_r_copies() {
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "cluster-live-drain",
+            seed,
+        };
+        let (mut deps, mut sups) = three_nodes(seed);
+        let addrs: Vec<SocketAddr> = sups.iter().map(|s| s.addr).collect();
+        let (router, _front, front_srv) = front_door(&deps, seed, |i| addrs[i]);
+        let pkg = deps[0].network().client("pkg");
+        let mut meter = deps[0]
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(front_srv.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+        let mut acked: Vec<Vec<u8>> = Vec::new();
+        let mut per_attr = vec![0usize; ATTRS.len()];
+        for i in 0..6 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "pre", seed);
+        }
+        // The seed picks the leaver, so the pinned schedule drains each
+        // of the three nodes across the default seed set.
+        let leaver = (seed as usize) % 3;
+        let door = chaos_tcp_client(front_srv.local_addr(), seed).into_client();
+        let epoch = router.epoch();
+        let node = format!("node-{leaver}");
+        let reply = door
+            .call(&Pdu::ClusterDrain {
+                node: node.clone(),
+                epoch,
+                mac: deps[0].cluster_drain_mac(&node, epoch),
+            })
+            .unwrap_or_else(|e| panic!("seed {seed}: drain order failed: {e}"));
+        assert!(
+            matches!(reply, Pdu::ClusterAdminAck { .. }),
+            "seed {seed}: drain refused: {reply:?}"
+        );
+        // Traffic keeps flowing; the shrunk ring routes around the leaver.
+        for i in 6..12 {
+            deposit_through(&mut meter, &mut acked, &mut per_attr, i, "mid-drain", seed);
+        }
+        assert!(
+            router.wait_rebalance(Duration::from_secs(30)),
+            "seed {seed}: drain transfer never finished"
+        );
+        // R = 2 over the two survivors: both replicate every attribute,
+        // and the handover emptied the leaver entirely.
+        for (k, attr) in ATTRS.iter().enumerate() {
+            for (i, dep) in deps.iter().enumerate() {
+                let have = dep
+                    .mws()
+                    .store_handle()
+                    .by_attribute(attr)
+                    .expect("scan")
+                    .len();
+                let want = if i == leaver { 0 } else { per_attr[k] };
+                assert_eq!(
+                    have, want,
+                    "seed {seed}: drain: node-{i} holds {have} rows of {attr}, want {want}"
+                );
+            }
+        }
+        assert_eq!(
+            deps[leaver].mws().message_count(),
+            0,
+            "seed {seed}: drained node must hand off and drop every arc"
+        );
+        let total: usize = deps.iter().map(|d| d.mws().message_count()).sum();
+        assert_eq!(
+            total,
+            acked.len() * 2,
+            "seed {seed}: drain: total copies != exactly R per acked row"
+        );
+        assert_cluster_converged(&mut deps, front_srv.local_addr(), &acked, seed);
         drop(front_srv);
         for s in &mut sups {
             s.kill();
