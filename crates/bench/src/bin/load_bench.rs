@@ -37,6 +37,16 @@
 //!   `BENCH_server.json` as the `rebalance` key
 //! * `--rebalance --smoke` — tiny run, no file output (the membership
 //!   gate `scripts/tier1.sh` runs)
+//! * `--connections` — the smart-device fleet shape (DESIGN.md §11):
+//!   thousands of mostly-idle persistent connections into one warehouse,
+//!   with bursty low-duty-cycle deposits over a rotating subset. Rows
+//!   A/B the epoll event-loop core against the thread-per-connection
+//!   fallback at equal connection counts, then push the event core to
+//!   its 10k+ ceiling; spliced into `BENCH_server.json` as the
+//!   `connections` key with connect rate, burst p50/p99 and process RSS
+//! * `--connections --smoke` — a few hundred connections on the event
+//!   core plus a threaded A/B row, no file output; asserts every burst
+//!   deposit is acked and warehoused (the gate `scripts/tier1.sh` runs)
 //!
 //! JSON is hand-written: this binary must compile against the offline
 //! serde stub, so it cannot use derive macros.
@@ -45,7 +55,7 @@ use mws_core::clock::{LogicalClock, ReplayPolicy};
 use mws_core::protocol::MwsService;
 use mws_core::registry::DeviceRegistry;
 use mws_core::sda::{deposit_mac, DeviceAuthVerifier};
-use mws_server::{ServerConfig, TcpServer};
+use mws_server::{ServerConfig, ServerCore, TcpServer};
 use mws_store::{ShardRouter, StorageKind};
 use mws_wire::{DepositItem, DepositOutcome, Pdu};
 use std::fmt::Write as _;
@@ -1086,8 +1096,523 @@ fn run_cluster(smoke: bool) {
     eprintln!("wrote BENCH_server.json (cluster section)");
 }
 
+/// One server-core row of the `--connections` fleet shape: `connections`
+/// persistent sockets held open against a single warehouse while a
+/// rotating subset fires one-deposit bursts.
+struct ConnectionsRow {
+    core: &'static str,
+    connections: usize,
+    workers: usize,
+    event_loops: usize,
+    connect_secs: f64,
+    deposits: u64,
+    burst_secs: f64,
+    deposits_per_sec: f64,
+    p50_us: u64,
+    p99_us: u64,
+    /// Process RSS while every connection is held (server + client ends —
+    /// both live in this process, so this is an upper bound on the server
+    /// side alone).
+    rss_mb: f64,
+    /// RSS growth of this row over its own start (the comparable number:
+    /// absolute RSS accumulates allocator pools across rows).
+    rss_delta_mb: f64,
+}
+
+/// Shape knobs for one [`bench_connections`] row.
+struct ConnShape {
+    core: ServerCore,
+    name: &'static str,
+    conns: usize,
+    /// Threads driving the burst (each owns one registered device).
+    drivers: usize,
+    /// One in `burst_div` connections deposits during the burst; the rest
+    /// stay idle for the row's whole lifetime.
+    burst_div: usize,
+}
+
+/// Process RSS in MB from `/proc/self/status` (0.0 where unavailable).
+fn rss_mb() -> f64 {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find(|l| l.starts_with("VmRSS:"))
+                .and_then(|l| l.split_whitespace().nth(1))
+                .and_then(|kb| kb.parse::<f64>().ok())
+        })
+        .map(|kb| kb / 1024.0)
+        .unwrap_or(0.0)
+}
+
+/// Waits until the process-wide open-connection gauge reaches `want`,
+/// proving the server really registered (not just backlogged) every
+/// socket the clients opened.
+fn await_open_connections(want: i64) {
+    let gauge = mws_obs::registry().gauge("mws_server_open_connections");
+    let deadline = Instant::now() + std::time::Duration::from_secs(60);
+    while gauge.get() < want {
+        assert!(
+            Instant::now() < deadline,
+            "server registered only {} of {want} connections",
+            gauge.get()
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+}
+
+/// Shards behind the `--connections` warehouse (shared by the driving
+/// side so device → attribute mining is reproducible in the fleet child).
+const CONN_SHARDS: usize = 4;
+
+/// The deterministic device table for the `--connections` shape — the
+/// fleet child process recomputes exactly this, so parent and child agree
+/// on MAC keys and shard-pinned attributes without any handshake.
+fn conn_devices(drivers: usize) -> Vec<(String, Vec<u8>, String)> {
+    let router = ShardRouter::new(CONN_SHARDS);
+    (0..drivers)
+        .map(|i| {
+            (
+                format!("bench-sd-{i}"),
+                vec![i as u8 + 1; 32],
+                attr_for(&router, CONN_SHARDS, i % CONN_SHARDS),
+            )
+        })
+        .collect()
+}
+
+/// Connects `conns` persistent sockets to `addr`, splitting off every
+/// `burst_div`-th one (with a read timeout) as a burster.
+fn conn_fleet_connect(
+    addr: std::net::SocketAddr,
+    conns: usize,
+    burst_div: usize,
+) -> (Vec<std::net::TcpStream>, Vec<std::net::TcpStream>) {
+    let mut burst = Vec::with_capacity(conns / burst_div + 1);
+    let mut idle = Vec::with_capacity(conns);
+    for i in 0..conns {
+        let s = std::net::TcpStream::connect(addr).expect("connect");
+        if i % burst_div == 0 {
+            s.set_read_timeout(Some(std::time::Duration::from_secs(60)))
+                .expect("read timeout");
+            burst.push(s);
+        } else {
+            idle.push(s);
+        }
+    }
+    (burst, idle)
+}
+
+/// One-deposit-per-connection burst over raw frames, swept by
+/// `drivers` threads. Returns `(deposits, p50_us, p99_us, secs)`; panics
+/// unless every deposit is acked.
+fn drive_burst(
+    burst: &mut [std::net::TcpStream],
+    devices: &[(String, Vec<u8>, String)],
+    drivers: usize,
+) -> (u64, u64, u64, f64) {
+    use std::io::Write as _;
+
+    let chunk = burst.len().div_ceil(drivers).max(1);
+    let started = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = burst
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(t, slice)| {
+                let (sd_id, mac_key, attribute) = &devices[t % drivers];
+                scope.spawn(move || {
+                    let mut lat = Vec::with_capacity(slice.len());
+                    for (j, s) in slice.iter_mut().enumerate() {
+                        let item = craft_item(
+                            mac_key,
+                            sd_id,
+                            attribute,
+                            0,
+                            5,
+                            CONN_SHARDS as u16,
+                            t as u16,
+                            j as u64,
+                        );
+                        let frame = mws_wire::encode_envelope(&item_to_request(sd_id, item));
+                        let t0 = Instant::now();
+                        s.write_all(&frame).expect("burst write");
+                        let raw = mws_server::framing::read_raw_frame(s).expect("burst reply");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        let (reply, _) = mws_wire::decode_envelope(&raw).expect("reply decodes");
+                        assert!(
+                            matches!(reply, Pdu::DepositAck { .. }),
+                            "burst deposit not acked: {reply:?}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let deposits: u64 = lat.iter().map(|v| v.len() as u64).sum();
+    let (p50, p99) = quantiles(lat.into_iter().flatten().collect());
+    (deposits, p50, p99, secs)
+}
+
+/// Hidden `--conn-fleet <addr> <conns> <burst_div> <drivers>` child mode:
+/// the client half of a fleet too large for one process's fd budget
+/// (each loopback connection costs two fds; this container's hard
+/// `RLIMIT_NOFILE` cannot be raised). The parent holds the server end,
+/// this child holds the client end, and a line protocol on
+/// stdin/stdout sequences connect → burst → teardown.
+fn run_conn_fleet(argv: &[String]) {
+    use std::io::BufRead as _;
+
+    let addr: std::net::SocketAddr = argv[0].parse().expect("fleet addr");
+    let conns: usize = argv[1].parse().expect("fleet conns");
+    let burst_div: usize = argv[2].parse().expect("fleet burst_div");
+    let drivers: usize = argv[3].parse().expect("fleet drivers");
+    mws_server::raise_nofile_limit(conns as u64 + 512);
+    let devices = conn_devices(drivers);
+
+    let (mut burst, idle) = conn_fleet_connect(addr, conns, burst_div);
+    println!("CONNECTED {}", burst.len() + idle.len());
+
+    let stdin = std::io::stdin();
+    let mut line = String::new();
+    stdin.lock().read_line(&mut line).expect("fleet stdin");
+    assert_eq!(line.trim(), "BURST", "unexpected fleet command");
+    let (deposits, p50, p99, secs) = drive_burst(&mut burst, &devices, drivers);
+    println!("DONE {deposits} {p50} {p99} {secs:.6}");
+
+    // Keep every connection held until the parent has read the server's
+    // RSS and the open-connection gauge with the fleet still resident.
+    line.clear();
+    stdin.lock().read_line(&mut line).expect("fleet stdin");
+    assert_eq!(line.trim(), "EXIT", "unexpected fleet command");
+}
+
+/// Holds `shape.conns` persistent connections against one warehouse on
+/// the given core, then drives a one-deposit burst over every
+/// `burst_div`-th connection with raw frames, asserting every deposit is
+/// acked and warehoused (zero dropped acked deposits).
+///
+/// Small fleets run in-process; fleets whose two-fds-per-connection cost
+/// exceeds the process fd budget fork the client half into a
+/// [`run_conn_fleet`] child so the server side only pays one fd per
+/// connection.
+fn bench_connections(shape: &ConnShape, dir: &std::path::Path) -> ConnectionsRow {
+    use std::io::{BufRead as _, Write as _};
+
+    const SHARDS: usize = CONN_SHARDS;
+    std::fs::create_dir_all(dir).expect("bench dir");
+    let kinds = mws_store::shard_kinds(&StorageKind::File(dir.join("messages.wal")), SHARDS);
+    let mws = MwsService::new_sharded(
+        DeviceRegistry::new(),
+        kinds,
+        StorageKind::Memory,
+        StorageKind::Memory,
+        b"load-bench-secret",
+        LogicalClock::new(),
+        ReplayPolicy::standard(),
+        7,
+        DeviceAuthVerifier::Mac,
+    )
+    .expect("service open");
+
+    let devices = conn_devices(shape.drivers);
+    for (sd_id, mac_key, _) in &devices {
+        mws.register_device(sd_id, mac_key);
+    }
+
+    // The threaded core needs one worker per held connection; the event
+    // core serves any number of connections from a handful of workers —
+    // that asymmetry is the row's whole point.
+    let workers = match shape.core {
+        ServerCore::Threaded => shape.conns,
+        ServerCore::EventLoop => 4,
+    };
+    let event_loops = 1;
+    let mut server = TcpServer::spawn(
+        ServerConfig {
+            core: shape.core,
+            workers,
+            event_loops,
+            queue_depth: shape.conns.max(64),
+            ..ServerConfig::default()
+        },
+        || mws.as_service(),
+    )
+    .expect("server spawn");
+    let addr = server.local_addr();
+
+    // An in-process loopback fleet burns two fds per connection; with the
+    // client half forked out, the server side pays one. Prefer in-process
+    // (simpler, no child) whenever the budget allows.
+    let both_ends = (shape.conns as u64) * 2 + 512;
+    let server_end = (shape.conns as u64) + 512;
+    let granted = mws_server::raise_nofile_limit(both_ends);
+    let (forked, conns) = if granted >= both_ends {
+        (false, shape.conns)
+    } else if granted >= server_end {
+        (true, shape.conns)
+    } else {
+        let fit = (granted.saturating_sub(512)) as usize;
+        eprintln!(
+            "fd limit {granted} caps the row at {fit} connections (wanted {})",
+            shape.conns
+        );
+        (true, fit.min(shape.conns))
+    };
+
+    let rss_before = rss_mb();
+    let open_before = mws_obs::registry()
+        .gauge("mws_server_open_connections")
+        .get();
+
+    let (connect_secs, deposits, p50, p99, burst_secs, rss, fleet) = if forked {
+        // Client half in a child process with its own fd budget; this
+        // process keeps only the server ends.
+        let exe = std::env::current_exe().expect("own path");
+        let started = Instant::now();
+        let mut child = std::process::Command::new(exe)
+            .arg("--conn-fleet")
+            .arg(addr.to_string())
+            .arg(conns.to_string())
+            .arg(shape.burst_div.to_string())
+            .arg(shape.drivers.to_string())
+            .stdin(std::process::Stdio::piped())
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn fleet child");
+        let mut child_in = child.stdin.take().expect("fleet stdin");
+        let mut child_out = std::io::BufReader::new(child.stdout.take().expect("fleet stdout"));
+        let mut line = String::new();
+        child_out.read_line(&mut line).expect("fleet CONNECTED");
+        assert!(
+            line.starts_with("CONNECTED"),
+            "fleet child failed to connect: {line:?}"
+        );
+        await_open_connections(open_before + conns as i64);
+        let connect_secs = started.elapsed().as_secs_f64();
+
+        child_in.write_all(b"BURST\n").expect("fleet BURST");
+        line.clear();
+        child_out.read_line(&mut line).expect("fleet DONE");
+        let f: Vec<&str> = line.split_whitespace().collect();
+        assert_eq!(f.first(), Some(&"DONE"), "fleet burst failed: {line:?}");
+        let deposits: u64 = f[1].parse().expect("fleet deposits");
+        let p50: u64 = f[2].parse().expect("fleet p50");
+        let p99: u64 = f[3].parse().expect("fleet p99");
+        let burst_secs: f64 = f[4].parse().expect("fleet secs");
+
+        // Zero dropped acked deposits, counted while the whole fleet is
+        // still resident; RSS here is the server process alone.
+        assert_eq!(
+            mws.message_count() as u64,
+            deposits,
+            "acked deposits missing from the warehouse"
+        );
+        let rss = rss_mb();
+        (
+            connect_secs,
+            deposits,
+            p50,
+            p99,
+            burst_secs,
+            rss,
+            Some((child, child_in)),
+        )
+    } else {
+        let started = Instant::now();
+        let (mut burst, idle) = conn_fleet_connect(addr, conns, shape.burst_div);
+        await_open_connections(open_before + conns as i64);
+        let connect_secs = started.elapsed().as_secs_f64();
+
+        let (deposits, p50, p99, burst_secs) = drive_burst(&mut burst, &devices, shape.drivers);
+        assert_eq!(
+            mws.message_count() as u64,
+            deposits,
+            "acked deposits missing from the warehouse"
+        );
+        let rss = rss_mb();
+        drop(burst);
+        drop(idle);
+        (connect_secs, deposits, p50, p99, burst_secs, rss, None)
+    };
+
+    if let Some((mut child, mut child_in)) = fleet {
+        child_in.write_all(b"EXIT\n").expect("fleet EXIT");
+        drop(child_in);
+        child.wait().expect("fleet child exit");
+    }
+    server.shutdown();
+    std::fs::remove_dir_all(dir).ok();
+    ConnectionsRow {
+        core: shape.name,
+        connections: conns,
+        workers,
+        event_loops: match shape.core {
+            ServerCore::EventLoop => event_loops,
+            ServerCore::Threaded => 0,
+        },
+        connect_secs,
+        deposits,
+        burst_secs,
+        deposits_per_sec: deposits as f64 / burst_secs,
+        p50_us: p50,
+        p99_us: p99,
+        rss_mb: rss,
+        rss_delta_mb: rss - rss_before,
+    }
+}
+
+fn splice_connections_json(rows: &[ConnectionsRow]) -> String {
+    let mut block = String::from("  \"connections\": {\n");
+    block.push_str("    \"rows\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            block,
+            "      {{ \"core\": \"{}\", \"connections\": {}, \"workers\": {}, \"event_loops\": {}, \"connect_secs\": {:.3}, \"deposits\": {}, \"burst_secs\": {:.3}, \"deposits_per_sec\": {:.1}, \"burst_p50_us\": {}, \"burst_p99_us\": {}, \"rss_mb\": {:.1}, \"rss_delta_mb\": {:.1} }}{}",
+            r.core,
+            r.connections,
+            r.workers,
+            r.event_loops,
+            r.connect_secs,
+            r.deposits,
+            r.burst_secs,
+            r.deposits_per_sec,
+            r.p50_us,
+            r.p99_us,
+            r.rss_mb,
+            r.rss_delta_mb,
+            if i + 1 == rows.len() { "" } else { "," }
+        );
+    }
+    block.push_str("    ],\n");
+    let ceiling = rows
+        .iter()
+        .filter(|r| r.core == "epoll")
+        .map(|r| r.connections)
+        .max()
+        .unwrap_or(0);
+    // The A/B headline at equal fleet size: how much more memory the
+    // thread-per-connection core burns per held connection.
+    let find = |core: &str, conns: usize| {
+        rows.iter()
+            .find(|r| r.core == core && r.connections == conns)
+    };
+    let ab = match (find("threads", 512), find("epoll", 512)) {
+        (Some(t), Some(e)) if e.rss_delta_mb > 0.0 => t.rss_delta_mb / e.rss_delta_mb,
+        _ => 0.0,
+    };
+    let _ = writeln!(
+        block,
+        "    \"idle_connection_ceiling\": {ceiling},\n    \"zero_dropped_acked_deposits\": true,\n    \"ab_rss_threads_over_epoll_at_512\": {ab:.2}\n  }}"
+    );
+
+    const MARKER: &str = ",\n  \"connections\": {";
+    let base = std::fs::read_to_string("BENCH_server.json")
+        .ok()
+        .map(|s| match s.find(MARKER) {
+            Some(at) => s[..at].to_string(),
+            None => s.trim_end().trim_end_matches('}').trim_end().to_string(),
+        })
+        .unwrap_or_else(|| String::from("{\n  \"bench\": \"load_bench\""));
+    format!("{base},\n{block}}}\n")
+}
+
+/// `--connections` entry: the smart-device fleet shape. The full run
+/// A/Bs both cores at 512 held connections, then pushes the event core
+/// to 10k. Smoke holds a few hundred on the event core (plus a threaded
+/// sanity row) with no file output — the fleet-shape tier-1 gate.
+fn run_connections(smoke: bool) {
+    // Off Linux the event core silently falls back to threaded with only
+    // 4 workers, which would wedge the burst — keep threaded rows only.
+    let linux = cfg!(target_os = "linux");
+    let shapes: Vec<ConnShape> = if smoke {
+        let mut v = vec![ConnShape {
+            core: ServerCore::Threaded,
+            name: "threads",
+            conns: 32,
+            drivers: 4,
+            burst_div: 4,
+        }];
+        if linux {
+            v.push(ConnShape {
+                core: ServerCore::EventLoop,
+                name: "epoll",
+                conns: 256,
+                drivers: 4,
+                burst_div: 4,
+            });
+        }
+        v
+    } else {
+        let mut v = vec![ConnShape {
+            core: ServerCore::Threaded,
+            name: "threads",
+            conns: 512,
+            drivers: 8,
+            burst_div: 4,
+        }];
+        if linux {
+            v.push(ConnShape {
+                core: ServerCore::EventLoop,
+                name: "epoll",
+                conns: 512,
+                drivers: 8,
+                burst_div: 4,
+            });
+            v.push(ConnShape {
+                core: ServerCore::EventLoop,
+                name: "epoll",
+                conns: 10_000,
+                drivers: 8,
+                burst_div: 4,
+            });
+        }
+        v
+    };
+
+    let base = std::env::temp_dir().join(format!("mws-conn-bench-{}", std::process::id()));
+    let mut rows = Vec::new();
+    for (k, shape) in shapes.iter().enumerate() {
+        let row = bench_connections(shape, &base.join(format!("row-{k}")));
+        eprintln!(
+            "core={:<7} conns={:>6} (connect {:>5.1}s)  burst: {:>6} deposits, {:>7.0} dep/s (p50 {:>5}µs, p99 {:>6}µs)  rss {:>6.1} MB (+{:.1})",
+            row.core,
+            row.connections,
+            row.connect_secs,
+            row.deposits,
+            row.deposits_per_sec,
+            row.p50_us,
+            row.p99_us,
+            row.rss_mb,
+            row.rss_delta_mb,
+        );
+        rows.push(row);
+    }
+    std::fs::remove_dir_all(&base).ok();
+    if smoke {
+        eprintln!("load_bench --connections --smoke: every burst deposit acked and warehoused");
+        return;
+    }
+    let json = splice_connections_json(&rows);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_server.json (connections section)");
+}
+
 fn main() {
+    let argv: Vec<String> = std::env::args().collect();
+    if argv.get(1).map(String::as_str) == Some("--conn-fleet") {
+        run_conn_fleet(&argv[2..]);
+        return;
+    }
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--connections") {
+        run_connections(smoke);
+        return;
+    }
     if std::env::args().any(|a| a == "--rebalance") {
         run_rebalance(smoke);
         return;

@@ -12,7 +12,7 @@
 
 use crate::client::TcpClient;
 use crate::gateway::GatekeeperFrontdoor;
-use crate::server::{ServerConfig, TcpServer};
+use crate::server::{ServerConfig, ServerCore, TcpServer};
 use mws_core::protocol::{Deployment, DeploymentConfig};
 
 /// Which of the topology's servers a daemon hosts.
@@ -110,6 +110,14 @@ pub struct DaemonOpts {
     pub seed: u64,
     /// Worker pool size.
     pub workers: usize,
+    /// Connection engine (`--core epoll|threads`; DESIGN.md §11).
+    pub core: ServerCore,
+    /// Event-loop thread count (`--core epoll` only).
+    pub event_loops: usize,
+    /// Open-connection ceiling; over-capacity peers get a 503 close.
+    pub max_connections: Option<usize>,
+    /// Idle-connection reaping window in milliseconds (event core).
+    pub idle_timeout_ms: Option<u64>,
     /// Message-warehouse shard count (MMS role; DESIGN.md §9).
     pub shards: usize,
     /// Devices to provision, in registration order.
@@ -147,6 +155,10 @@ impl DaemonOpts {
             listen: format!("127.0.0.1:{}", role.default_port()),
             seed: 42,
             workers: 4,
+            core: ServerCore::default(),
+            event_loops: 1,
+            max_connections: None,
+            idle_timeout_ms: None,
             shards: 1,
             devices: Vec::new(),
             clients: Vec::new(),
@@ -194,6 +206,10 @@ pub fn usage(role: Role) -> String {
          \x20 --listen <addr>         listen address (default 127.0.0.1:{port})\n\
          \x20 --seed <u64>            deployment master seed, identical across daemons (default 42)\n\
          \x20 --workers <n>           worker threads (default 4)\n\
+         \x20 --core <engine>         connection engine: 'epoll' (event loop, default on Linux) or 'threads' (A/B fallback)\n\
+         \x20 --event-loops <n>       event-loop threads under --core epoll (default 1)\n\
+         \x20 --max-connections <n>   open-connection ceiling; extra peers get an explicit 503 close (default: unlimited)\n\
+         \x20 --idle-timeout-ms <n>   reap connections idle this long, epoll core only (default: never)\n\
          \x20 --shards <n>            message-warehouse shards (default 1)\n\
          \x20 --device <sd_id>        provision a smart device (repeatable, order matters)\n\
          \x20 --client <id:pw[:a,b]>  provision an RC with attribute grants (repeatable, order matters){extra}\n\
@@ -235,6 +251,41 @@ where
                 opts.shards = v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
                     FlagError::Bad(format!("--shards expects a count >= 1, got '{v}'"))
                 })?;
+            }
+            "--core" => {
+                let v = value("--core")?;
+                opts.core = match v.as_str() {
+                    "epoll" => ServerCore::EventLoop,
+                    "threads" => ServerCore::Threaded,
+                    _ => {
+                        return Err(FlagError::Bad(format!(
+                            "--core expects 'epoll' or 'threads', got '{v}'"
+                        )))
+                    }
+                };
+            }
+            "--event-loops" => {
+                let v = value("--event-loops")?;
+                opts.event_loops =
+                    v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!("--event-loops expects a count >= 1, got '{v}'"))
+                    })?;
+            }
+            "--max-connections" => {
+                let v = value("--max-connections")?;
+                opts.max_connections =
+                    Some(v.parse::<usize>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!("--max-connections expects a count >= 1, got '{v}'"))
+                    })?);
+            }
+            "--idle-timeout-ms" => {
+                let v = value("--idle-timeout-ms")?;
+                opts.idle_timeout_ms =
+                    Some(v.parse::<u64>().ok().filter(|n| *n >= 1).ok_or_else(|| {
+                        FlagError::Bad(format!(
+                            "--idle-timeout-ms expects milliseconds >= 1, got '{v}'"
+                        ))
+                    })?);
             }
             "--device" => opts.devices.push(value("--device")?),
             "--client" => opts
@@ -334,6 +385,10 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
     let cfg = ServerConfig {
         addr: opts.listen.clone(),
         workers: opts.workers,
+        core: opts.core,
+        event_loops: opts.event_loops,
+        max_connections: opts.max_connections,
+        idle_timeout: opts.idle_timeout_ms.map(std::time::Duration::from_millis),
         ..ServerConfig::default()
     };
     match role {
@@ -543,6 +598,42 @@ mod tests {
         assert_eq!(parse_args(Role::Mms, argv(&[])).unwrap().shards, 1);
         assert!(parse_args(Role::Mms, argv(&["--shards", "0"])).is_err());
         assert!(parse_args(Role::Mms, argv(&["--shards", "many"])).is_err());
+    }
+
+    #[test]
+    fn connection_scaling_flags_parse_on_every_role() {
+        let opts = parse_args(
+            Role::Mms,
+            argv(&[
+                "--core",
+                "epoll",
+                "--event-loops",
+                "2",
+                "--max-connections",
+                "10000",
+                "--idle-timeout-ms",
+                "30000",
+            ]),
+        )
+        .unwrap();
+        assert_eq!(opts.core, ServerCore::EventLoop);
+        assert_eq!(opts.event_loops, 2);
+        assert_eq!(opts.max_connections, Some(10000));
+        assert_eq!(opts.idle_timeout_ms, Some(30000));
+        // The A/B fallback spells itself 'threads'.
+        let threaded = parse_args(Role::Pkg, argv(&["--core", "threads"])).unwrap();
+        assert_eq!(threaded.core, ServerCore::Threaded);
+        // Defaults: platform core, one loop, no ceiling, no reaping.
+        let plain = parse_args(Role::Gatekeeper, argv(&[])).unwrap();
+        assert_eq!(plain.core, ServerCore::default());
+        assert_eq!(plain.event_loops, 1);
+        assert!(plain.max_connections.is_none());
+        assert!(plain.idle_timeout_ms.is_none());
+        // Rejects: unknown engine, zero loops/ceiling/window.
+        assert!(parse_args(Role::Mms, argv(&["--core", "tokio"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--event-loops", "0"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--max-connections", "0"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--idle-timeout-ms", "0"])).is_err());
     }
 
     #[test]

@@ -9,11 +9,20 @@
 //! * [`framing`] — envelope frames on byte streams (the `mws-wire` envelope
 //!   is self-delimiting, so stream framing is just concatenated frames),
 //!   tolerant of arbitrary split reads via `mws_wire::StreamDecoder`.
-//! * [`server`] — [`TcpServer`]: accept loop + bounded worker pool +
-//!   per-connection timeouts + graceful join-everything shutdown. Each
-//!   connection is pipelined: a reader thread decodes the next request
-//!   while the worker handles the previous one, with replies kept in
-//!   request order.
+//! * [`server`] — [`TcpServer`]: one listening socket, two
+//!   interchangeable cores behind [`ServerConfig`]. The default on Linux
+//!   is a readiness-based **epoll event loop** ([`event`], DESIGN.md
+//!   §11) whose loop threads own every connection as a nonblocking
+//!   state machine — 10k+ mostly-idle smart devices per process — while
+//!   the worker pool handles decoded PDUs. The original
+//!   thread-per-connection core remains as
+//!   [`ServerCore::Threaded`](server::ServerCore::Threaded) for A/B
+//!   benchmarking and non-Linux hosts. Both cores pipeline each
+//!   connection (bounded decode-ahead, replies in request order),
+//!   enforce `max_connections` with an explicit 503 close, and join
+//!   every thread on shutdown.
+//! * [`sys`] — the thin zero-dependency epoll/rlimit syscall shim the
+//!   event core is built on (the workspace's only `unsafe`).
 //! * [`client`] — [`TcpClient`]: a persistent-connection socket
 //!   implementation of the `mws-net` [`Transport`](mws_net::Transport)
 //!   trait with connect/request timeouts, seeded decorrelated-jitter
@@ -30,24 +39,38 @@
 //! * [`daemon`] — flag parsing and seed-deterministic provisioning for the
 //!   `mws-mmsd`, `mws-pkgd` and `mws-gatekeeperd` binaries.
 //!
-//! Everything is built on `std::net` + threads; no async runtime and no
-//! dependencies beyond the workspace's existing ones.
+//! Everything is built on `std::net` + threads + raw `epoll`; no async
+//! runtime and no dependencies beyond the workspace's existing ones.
+//! `unsafe` is denied everywhere except the [`sys`] syscall shim.
 
-#![forbid(unsafe_code)]
+#![deny(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod chaos;
 pub mod client;
 pub mod cluster;
 pub mod daemon;
+#[cfg(target_os = "linux")]
+pub(crate) mod event;
 pub mod framing;
 pub mod gateway;
 pub mod server;
 pub(crate) mod stats;
+#[cfg(target_os = "linux")]
+pub mod sys;
 
 pub use chaos::{ChaosConfig, ChaosProxy};
 pub use client::{ClientConfig, TcpClient};
 pub use cluster::ClusterFrontdoor;
 pub use daemon::{DaemonOpts, FlagError, Role};
 pub use gateway::GatekeeperFrontdoor;
-pub use server::{ServerConfig, TcpServer};
+pub use server::{ServerConfig, ServerCore, TcpServer};
+#[cfg(target_os = "linux")]
+pub use sys::raise_nofile_limit;
+
+/// Best-effort raise of the open-file limit (no-op stub off Linux, where
+/// the event core and its syscall shim are unavailable).
+#[cfg(not(target_os = "linux"))]
+pub fn raise_nofile_limit(_want: u64) -> u64 {
+    u64::MAX
+}

@@ -1,24 +1,32 @@
-//! The TCP service host: accept loop + bounded worker pool.
+//! The TCP service host, in either of two cores.
 //!
 //! One [`TcpServer`] hosts one MWS role (warehouse, PKG, or gatekeeper
 //! front door) on one listening socket — the process shape of the paper's
-//! §VI.C deployment. Connections are handed from a dedicated accept thread
-//! to a bounded pool of workers over a bounded channel, so a connection
-//! flood backpressures at the listener instead of spawning unbounded
-//! threads.
+//! §VI.C deployment. Two interchangeable cores sit behind the same
+//! [`ServerConfig`] (selected by [`ServerConfig::core`]):
+//!
+//! * **Event loop** (default on Linux) — a few epoll-driven loop threads
+//!   own every connection as a nonblocking state machine and hand decoded
+//!   PDUs to the worker pool; see [`crate::event`] and DESIGN.md §11.
+//!   Connection count is bounded by fds and memory, not threads: one
+//!   process holds tens of thousands of mostly-idle smart devices.
+//! * **Threaded** (fallback, and the A/B baseline) — connections are
+//!   handed from a dedicated accept thread to a bounded pool of workers
+//!   over a bounded channel; each served connection gets a dedicated
+//!   reader thread. Concurrency is capped at the worker count.
+//!
+//! Both cores share the protocol-visible semantics. Connections are
+//! **pipelined**: the next request is decoded while the previous one is
+//! being handled, up to [`ServerConfig::pipeline_depth`]
+//! decoded-but-unanswered requests, past which TCP backpressure reaches
+//! the client — and replies always match request order. Both enforce
+//! [`ServerConfig::max_connections`] with an explicit over-capacity `503`
+//! close instead of unbounded queueing.
 //!
 //! Shutdown is graceful and complete: a shared flag stops new work, a
-//! self-connection wakes the accept loop out of `accept(2)`, dropping the
-//! channel sender drains the workers, and every thread is joined before
+//! self-connection wakes the accept loop out of `accept(2)` (plus a waker
+//! byte per event loop), and every thread is joined before
 //! [`TcpServer::shutdown`] returns.
-//!
-//! Connections are **pipelined**: each one gets a dedicated reader thread
-//! that decodes the next request off the socket while the worker is still
-//! handling the previous one, feeding a bounded queue
-//! ([`ServerConfig::pipeline_depth`]). The worker drains that queue in
-//! order, so replies always match request order — a client may write N
-//! frames back-to-back and read N replies, and decode cost overlaps
-//! handler cost instead of serializing behind it.
 
 use crate::framing::{is_timeout, write_frame};
 use crate::stats::{handle_us, stats};
@@ -27,10 +35,35 @@ use mws_net::Service;
 use mws_wire::{Pdu, StreamDecoder};
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// Which connection engine a [`TcpServer`] runs.
+///
+/// The protocol-visible behaviour is identical; the difference is the
+/// concurrency model (and therefore the connection ceiling).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ServerCore {
+    /// Readiness-based epoll loops owning all connections (Linux only;
+    /// silently falls back to [`ServerCore::Threaded`] elsewhere).
+    EventLoop,
+    /// Thread-per-served-connection from a bounded worker pool — the
+    /// pre-event-loop core, kept as the A/B benchmarking baseline.
+    Threaded,
+}
+
+impl Default for ServerCore {
+    /// The platform's best core: epoll where it exists.
+    fn default() -> Self {
+        if cfg!(target_os = "linux") {
+            ServerCore::EventLoop
+        } else {
+            ServerCore::Threaded
+        }
+    }
+}
 
 /// Tuning for a [`TcpServer`].
 ///
@@ -49,22 +82,39 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Listen address; port 0 binds an ephemeral port (tests).
     pub addr: String,
-    /// Worker threads — the maximum number of concurrently served
-    /// connections (clients hold persistent connections).
+    /// Connection engine; defaults to the event loop on Linux.
+    pub core: ServerCore,
+    /// Worker threads. Under [`ServerCore::Threaded`] this caps the
+    /// concurrently served connections; under [`ServerCore::EventLoop`]
+    /// it is only the PDU-handling parallelism — connections are owned
+    /// by the event loops.
     pub workers: usize,
-    /// Accepted-but-unserved connection backlog; `accept` blocks when full.
+    /// Event-loop threads ([`ServerCore::EventLoop`] only). One loop
+    /// comfortably owns tens of thousands of mostly-idle connections;
+    /// add more when readiness processing itself saturates a core.
+    pub event_loops: usize,
+    /// Open-connection ceiling. Connections beyond it are answered with
+    /// an `Error {{ code: 503 }}` frame and closed immediately instead
+    /// of queueing without bound. `None` = unlimited.
+    pub max_connections: Option<usize>,
+    /// Reap connections with no traffic in this window (event core
+    /// only; connections with in-flight work never reap). `None`
+    /// disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Accepted-but-unserved connection backlog for the threaded core;
+    /// `accept` blocks when full.
     pub queue_depth: usize,
-    /// Per-connection read timeout. Doubles as the shutdown poll interval:
-    /// a worker blocked reading an idle connection notices the shutdown
-    /// flag within this bound.
+    /// Per-connection read timeout (threaded core), and the event
+    /// loop's tick: the bound on how stale a shutdown check or idle
+    /// sweep can be.
     pub read_poll: Duration,
-    /// Per-connection write timeout.
+    /// Per-connection write timeout (threaded core; the event core
+    /// never blocks on a write).
     pub write_timeout: Duration,
     /// Per-connection pipeline: how many decoded-but-unhandled requests
-    /// the reader thread may run ahead of the handler. Past this the
-    /// reader stops pulling off the socket and TCP backpressure reaches
-    /// the client. `1` still overlaps decode with handling; `0` is
-    /// clamped to `1`.
+    /// may run ahead of the handler. Past this the server stops pulling
+    /// off the socket and TCP backpressure reaches the client. `1`
+    /// still overlaps decode with handling; `0` is clamped to `1`.
     pub pipeline_depth: usize,
 }
 
@@ -72,7 +122,11 @@ impl Default for ServerConfig {
     fn default() -> Self {
         Self {
             addr: "127.0.0.1:0".into(),
+            core: ServerCore::default(),
             workers: 4,
+            event_loops: 1,
+            max_connections: None,
+            idle_timeout: None,
             queue_depth: 64,
             read_poll: Duration::from_millis(50),
             write_timeout: Duration::from_secs(2),
@@ -91,19 +145,28 @@ impl ServerConfig {
     }
 }
 
+/// The running threads of whichever core was spawned.
+enum Core {
+    Threaded {
+        conn_tx: Option<channel::Sender<TcpStream>>,
+        accept: Option<JoinHandle<()>>,
+        workers: Vec<JoinHandle<()>>,
+    },
+    #[cfg(target_os = "linux")]
+    Event(crate::event::EventCore),
+}
+
 /// A running TCP service host.
 pub struct TcpServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
-    conn_tx: Option<channel::Sender<TcpStream>>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    core: Core,
 }
 
 impl TcpServer {
-    /// Binds the listener and starts the accept loop plus `workers` worker
-    /// threads. `factory` is called once per worker; the returned services
-    /// typically share state internally (e.g. clones of one `MwsService`).
+    /// Binds the listener and starts the configured core. `factory` is
+    /// called once per worker; the returned services typically share
+    /// state internally (e.g. clones of one `MwsService`).
     pub fn spawn<S, F>(cfg: ServerConfig, mut factory: F) -> std::io::Result<Self>
     where
         S: Service + 'static,
@@ -112,51 +175,22 @@ impl TcpServer {
         let listener = TcpListener::bind(&cfg.addr)?;
         let local_addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
-
-        let accept = {
-            let tx = tx.clone();
-            let shutdown = shutdown.clone();
-            std::thread::Builder::new()
-                .name(format!("mws-accept-{local_addr}"))
-                .spawn(move || accept_loop(listener, tx, &shutdown))?
+        let core = match cfg.core {
+            #[cfg(target_os = "linux")]
+            ServerCore::EventLoop => Core::Event(crate::event::spawn(
+                &cfg,
+                &mut factory,
+                listener,
+                &shutdown,
+            )?),
+            #[cfg(not(target_os = "linux"))]
+            ServerCore::EventLoop => spawn_threaded(&cfg, &mut factory, listener, &shutdown)?,
+            ServerCore::Threaded => spawn_threaded(&cfg, &mut factory, listener, &shutdown)?,
         };
-
-        let mut workers = Vec::with_capacity(cfg.workers.max(1));
-        for i in 0..cfg.workers.max(1) {
-            let rx = rx.clone();
-            let shutdown = shutdown.clone();
-            let mut service = factory();
-            let read_poll = cfg.read_poll;
-            let write_timeout = cfg.write_timeout;
-            let pipeline_depth = cfg.pipeline_depth.max(1);
-            workers.push(
-                std::thread::Builder::new()
-                    .name(format!("mws-worker-{i}"))
-                    .spawn(move || {
-                        while let Ok(stream) = rx.recv() {
-                            if shutdown.load(Ordering::SeqCst) {
-                                break;
-                            }
-                            serve_conn(
-                                stream,
-                                &mut service,
-                                &shutdown,
-                                read_poll,
-                                write_timeout,
-                                pipeline_depth,
-                            );
-                        }
-                    })?,
-            );
-        }
-
         Ok(Self {
             local_addr,
             shutdown,
-            conn_tx: Some(tx),
-            accept: Some(accept),
-            workers,
+            core,
         })
     }
 
@@ -166,25 +200,58 @@ impl TcpServer {
     }
 
     /// Signals shutdown, wakes every blocked thread, and joins them all.
-    /// Returns the number of threads joined (accept + workers); idempotent
-    /// — a second call returns 0.
+    /// Returns the number of threads joined (accept + loops + workers);
+    /// idempotent — a second call returns 0.
     pub fn shutdown(&mut self) -> usize {
         self.shutdown.store(true, Ordering::SeqCst);
         // accept(2) has no timeout: a throwaway self-connection forces the
         // accept loop around its loop where it observes the flag.
         let _ = TcpStream::connect(self.local_addr);
         let mut joined = 0;
-        if let Some(h) = self.accept.take() {
-            if h.join().is_ok() {
-                joined += 1;
+        match &mut self.core {
+            Core::Threaded {
+                conn_tx,
+                accept,
+                workers,
+            } => {
+                if let Some(h) = accept.take() {
+                    if h.join().is_ok() {
+                        joined += 1;
+                    }
+                }
+                // With the accept thread gone this drops the last sender,
+                // so workers blocked in recv() observe the disconnect and
+                // exit.
+                conn_tx.take();
+                for h in workers.drain(..) {
+                    if h.join().is_ok() {
+                        joined += 1;
+                    }
+                }
             }
-        }
-        // With the accept thread gone this drops the last sender, so
-        // workers blocked in recv() observe the disconnect and exit.
-        self.conn_tx.take();
-        for h in self.workers.drain(..) {
-            if h.join().is_ok() {
-                joined += 1;
+            #[cfg(target_os = "linux")]
+            Core::Event(core) => {
+                // Each loop re-checks the flag after any wakeup; the tick
+                // bounds the worst case even if a waker write is lost.
+                for h in core.handles.iter() {
+                    h.wake();
+                }
+                if let Some(h) = core.accept.take() {
+                    if h.join().is_ok() {
+                        joined += 1;
+                    }
+                }
+                for h in core.loops.drain(..) {
+                    if h.join().is_ok() {
+                        joined += 1;
+                    }
+                }
+                // Loop exit drops the job senders, draining the workers.
+                for h in core.workers.drain(..) {
+                    if h.join().is_ok() {
+                        joined += 1;
+                    }
+                }
             }
         }
         joined
@@ -197,14 +264,110 @@ impl Drop for TcpServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, tx: channel::Sender<TcpStream>, shutdown: &AtomicBool) {
+/// Tells an over-capacity peer why it is being turned away, without
+/// letting a slow peer stall the accept path. Shared by both cores.
+pub(crate) fn over_capacity_close(mut stream: TcpStream) {
+    stats().over_capacity.inc();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
+    let _ = write_frame(
+        &mut stream,
+        &Pdu::Error {
+            code: 503,
+            detail: "server at max connections".into(),
+        },
+    );
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// Starts the thread-per-served-connection core (the pre-epoll engine,
+/// kept as a fallback and A/B baseline).
+fn spawn_threaded<S, F>(
+    cfg: &ServerConfig,
+    factory: &mut F,
+    listener: TcpListener,
+    shutdown: &Arc<AtomicBool>,
+) -> std::io::Result<Core>
+where
+    S: Service + 'static,
+    F: FnMut() -> S,
+{
+    let local_addr = listener.local_addr()?;
+    let (tx, rx) = channel::bounded::<TcpStream>(cfg.queue_depth.max(1));
+    let open = Arc::new(AtomicUsize::new(0));
+
+    let accept = {
+        let tx = tx.clone();
+        let shutdown = shutdown.clone();
+        let open = open.clone();
+        let max_connections = cfg.max_connections;
+        std::thread::Builder::new()
+            .name(format!("mws-accept-{local_addr}"))
+            .spawn(move || accept_loop(listener, tx, &shutdown, &open, max_connections))?
+    };
+
+    let mut workers = Vec::with_capacity(cfg.workers.max(1));
+    for i in 0..cfg.workers.max(1) {
+        let rx = rx.clone();
+        let shutdown = shutdown.clone();
+        let open = open.clone();
+        let mut service = factory();
+        let read_poll = cfg.read_poll;
+        let write_timeout = cfg.write_timeout;
+        let pipeline_depth = cfg.pipeline_depth.max(1);
+        workers.push(
+            std::thread::Builder::new()
+                .name(format!("mws-worker-{i}"))
+                .spawn(move || {
+                    while let Ok(stream) = rx.recv() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        serve_conn(
+                            stream,
+                            &mut service,
+                            &shutdown,
+                            read_poll,
+                            write_timeout,
+                            pipeline_depth,
+                        );
+                        open.fetch_sub(1, Ordering::SeqCst);
+                        stats().open_connections.add(-1);
+                    }
+                })?,
+        );
+    }
+
+    Ok(Core::Threaded {
+        conn_tx: Some(tx),
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    tx: channel::Sender<TcpStream>,
+    shutdown: &AtomicBool,
+    open: &AtomicUsize,
+    max_connections: Option<usize>,
+) {
     for conn in listener.incoming() {
         if shutdown.load(Ordering::SeqCst) {
             break;
         }
         match conn {
             Ok(stream) => {
+                // Over the ceiling: an explicit 503 close, never an
+                // unbounded queue of accepted-but-unserved sockets.
+                if max_connections.is_some_and(|max| open.load(Ordering::SeqCst) >= max) {
+                    over_capacity_close(stream);
+                    continue;
+                }
+                open.fetch_add(1, Ordering::SeqCst);
+                stats().open_connections.add(1);
                 if tx.send(stream).is_err() {
+                    open.fetch_sub(1, Ordering::SeqCst);
+                    stats().open_connections.add(-1);
                     break;
                 }
             }
@@ -365,6 +528,27 @@ mod tests {
     use mws_wire::{decode_envelope, encode_envelope};
     use std::io::Write;
 
+    /// Both cores must pass every behavioural test; this enumerates the
+    /// ones available on this platform.
+    fn cores() -> Vec<ServerCore> {
+        if cfg!(target_os = "linux") {
+            vec![ServerCore::EventLoop, ServerCore::Threaded]
+        } else {
+            vec![ServerCore::Threaded]
+        }
+    }
+
+    fn echo_server_on(core: ServerCore) -> TcpServer {
+        TcpServer::spawn(
+            ServerConfig {
+                core,
+                ..ServerConfig::default()
+            },
+            || |req: Pdu| req,
+        )
+        .unwrap()
+    }
+
     fn echo_server() -> TcpServer {
         TcpServer::spawn(ServerConfig::default(), || |req: Pdu| req).unwrap()
     }
@@ -377,31 +561,35 @@ mod tests {
     }
 
     #[test]
-    fn echo_roundtrip_over_socket() {
-        let server = echo_server();
-        let req = Pdu::DepositAck { message_id: 99 };
-        assert_eq!(call(server.local_addr(), &req), req);
+    fn echo_roundtrip_over_socket_on_both_cores() {
+        for core in cores() {
+            let server = echo_server_on(core);
+            let req = Pdu::DepositAck { message_id: 99 };
+            assert_eq!(call(server.local_addr(), &req), req, "{core:?}");
+        }
     }
 
     #[test]
     fn traced_request_gets_a_traced_reply() {
-        let server = echo_server();
-        let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        let ctx = mws_obs::trace::TraceContext {
-            trace_id: 0xabad_1dea_abad_1dea,
-            span_id: 0x5eed_5eed_5eed_5eed,
-        };
-        let req = Pdu::DepositAck { message_id: 7 };
-        s.write_all(&mws_wire::encode_envelope_traced(&req, ctx))
-            .unwrap();
-        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-        let (reply, _, trace) = mws_wire::decode_envelope_traced(&frame).unwrap();
-        assert_eq!(reply, req);
-        assert_eq!(
-            trace.map(|t| t.trace_id),
-            Some(ctx.trace_id),
-            "the reply frame must carry the request's trace id"
-        );
+        for core in cores() {
+            let server = echo_server_on(core);
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            let ctx = mws_obs::trace::TraceContext {
+                trace_id: 0xabad_1dea_abad_1dea,
+                span_id: 0x5eed_5eed_5eed_5eed,
+            };
+            let req = Pdu::DepositAck { message_id: 7 };
+            s.write_all(&mws_wire::encode_envelope_traced(&req, ctx))
+                .unwrap();
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            let (reply, _, trace) = mws_wire::decode_envelope_traced(&frame).unwrap();
+            assert_eq!(reply, req);
+            assert_eq!(
+                trace.map(|t| t.trace_id),
+                Some(ctx.trace_id),
+                "{core:?}: the reply frame must carry the request's trace id"
+            );
+        }
     }
 
     #[test]
@@ -422,52 +610,59 @@ mod tests {
 
     #[test]
     fn pipelined_requests_on_one_connection() {
-        let server = echo_server();
-        let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        let mut wire = Vec::new();
-        for id in 0..5u64 {
-            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
-        }
-        s.write_all(&wire).unwrap();
-        for id in 0..5u64 {
-            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-            assert_eq!(
-                decode_envelope(&frame).unwrap().0,
-                Pdu::DepositAck { message_id: id }
-            );
+        for core in cores() {
+            let server = echo_server_on(core);
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            let mut wire = Vec::new();
+            for id in 0..5u64 {
+                wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+            }
+            s.write_all(&wire).unwrap();
+            for id in 0..5u64 {
+                let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+                assert_eq!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::DepositAck { message_id: id },
+                    "{core:?}"
+                );
+            }
         }
     }
 
     #[test]
     fn slow_handler_still_replies_in_order_through_a_tiny_pipeline() {
-        // A 2-deep pipeline with a slow handler: the reader runs ahead,
+        // A 2-deep pipeline with a slow handler: decode runs ahead,
         // fills the queue, backpressures — and every reply still comes
         // back in request order.
-        let server = TcpServer::spawn(
-            ServerConfig {
-                pipeline_depth: 2,
-                ..ServerConfig::default()
-            },
-            || {
-                |req: Pdu| {
-                    std::thread::sleep(Duration::from_millis(5));
-                    req
-                }
-            },
-        )
-        .unwrap();
-        let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        let mut wire = Vec::new();
-        for id in 0..8u64 {
-            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
-        }
-        s.write_all(&wire).unwrap();
-        for id in 0..8u64 {
-            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-            assert_eq!(
-                decode_envelope(&frame).unwrap().0,
-                Pdu::DepositAck { message_id: id }
-            );
+        for core in cores() {
+            let server = TcpServer::spawn(
+                ServerConfig {
+                    core,
+                    pipeline_depth: 2,
+                    ..ServerConfig::default()
+                },
+                || {
+                    |req: Pdu| {
+                        std::thread::sleep(Duration::from_millis(5));
+                        req
+                    }
+                },
+            )
+            .unwrap();
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            let mut wire = Vec::new();
+            for id in 0..8u64 {
+                wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+            }
+            s.write_all(&wire).unwrap();
+            for id in 0..8u64 {
+                let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+                assert_eq!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::DepositAck { message_id: id },
+                    "{core:?}"
+                );
+            }
         }
     }
 
@@ -475,65 +670,87 @@ mod tests {
     fn queued_requests_are_answered_before_a_desync_closes() {
         // Good frames followed by garbage on one write: the pipeline must
         // answer every decoded request, then the 400, then close.
-        let server = echo_server();
-        let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        let mut wire = Vec::new();
-        for id in 0..3u64 {
-            wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
-        }
-        wire.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
-        s.write_all(&wire).unwrap();
-        for id in 0..3u64 {
+        for core in cores() {
+            let server = echo_server_on(core);
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            let mut wire = Vec::new();
+            for id in 0..3u64 {
+                wire.extend_from_slice(&encode_envelope(&Pdu::DepositAck { message_id: id }));
+            }
+            wire.extend_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+            s.write_all(&wire).unwrap();
+            for id in 0..3u64 {
+                let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+                assert_eq!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::DepositAck { message_id: id },
+                    "{core:?}"
+                );
+            }
             let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-            assert_eq!(
-                decode_envelope(&frame).unwrap().0,
-                Pdu::DepositAck { message_id: id }
+            assert!(
+                matches!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::Error { code: 400, .. }
+                ),
+                "{core:?}"
             );
+            let mut rest = Vec::new();
+            assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0, "{core:?}");
         }
-        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-        assert!(matches!(
-            decode_envelope(&frame).unwrap().0,
-            Pdu::Error { code: 400, .. }
-        ));
-        let mut rest = Vec::new();
-        assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
     }
 
     #[test]
     fn garbage_gets_error_then_close() {
-        let server = echo_server();
-        let mut s = TcpStream::connect(server.local_addr()).unwrap();
-        s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
-        let frame = crate::framing::read_raw_frame(&mut s).unwrap();
-        assert!(matches!(
-            decode_envelope(&frame).unwrap().0,
-            Pdu::Error { code: 400, .. }
-        ));
-        // Connection is then closed by the server.
-        let mut rest = Vec::new();
-        assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0);
+        for core in cores() {
+            let server = echo_server_on(core);
+            let mut s = TcpStream::connect(server.local_addr()).unwrap();
+            s.write_all(&[0xde, 0xad, 0xbe, 0xef]).unwrap();
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            assert!(
+                matches!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::Error { code: 400, .. }
+                ),
+                "{core:?}"
+            );
+            // Connection is then closed by the server.
+            let mut rest = Vec::new();
+            assert_eq!(s.read_to_end(&mut rest).unwrap_or(0), 0, "{core:?}");
+        }
     }
 
     #[test]
     fn shutdown_joins_every_thread() {
-        let mut server = TcpServer::spawn(
-            ServerConfig {
-                workers: 3,
-                ..ServerConfig::default()
-            },
-            || |req: Pdu| req,
-        )
-        .unwrap();
-        // Park a live connection on a worker so shutdown must interrupt a
-        // mid-connection read, not just idle recv()s.
-        let _held = TcpStream::connect(server.local_addr()).unwrap();
-        std::thread::sleep(Duration::from_millis(20));
-        assert_eq!(server.shutdown(), 4, "accept + 3 workers all joined");
-        assert_eq!(server.shutdown(), 0, "idempotent");
-        assert!(
-            TcpStream::connect(server.local_addr()).is_err(),
-            "listener is down"
-        );
+        // Threaded: accept + 3 workers. Event: accept + 1 loop + 3 workers.
+        let expected: Vec<(ServerCore, usize)> = cores()
+            .into_iter()
+            .map(|core| match core {
+                ServerCore::Threaded => (core, 4),
+                ServerCore::EventLoop => (core, 5),
+            })
+            .collect();
+        for (core, want) in expected {
+            let mut server = TcpServer::spawn(
+                ServerConfig {
+                    core,
+                    workers: 3,
+                    ..ServerConfig::default()
+                },
+                || |req: Pdu| req,
+            )
+            .unwrap();
+            // Park a live connection so shutdown must interrupt a
+            // mid-connection read, not just idle threads.
+            let _held = TcpStream::connect(server.local_addr()).unwrap();
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(server.shutdown(), want, "{core:?}: all threads joined");
+            assert_eq!(server.shutdown(), 0, "{core:?}: idempotent");
+            assert!(
+                TcpStream::connect(server.local_addr()).is_err(),
+                "{core:?}: listener is down"
+            );
+        }
     }
 
     #[test]
@@ -556,5 +773,132 @@ mod tests {
             })
             .collect();
         assert_eq!(ids, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn over_capacity_connection_gets_503_then_close() {
+        for core in cores() {
+            let server = TcpServer::spawn(
+                ServerConfig {
+                    core,
+                    max_connections: Some(1),
+                    ..ServerConfig::default()
+                },
+                || |req: Pdu| req,
+            )
+            .unwrap();
+            // A request on the first connection proves the accept thread
+            // has registered it before the second one arrives.
+            let mut first = TcpStream::connect(server.local_addr()).unwrap();
+            first
+                .write_all(&encode_envelope(&Pdu::ParamsRequest))
+                .unwrap();
+            let _ = crate::framing::read_raw_frame(&mut first).unwrap();
+
+            let mut second = TcpStream::connect(server.local_addr()).unwrap();
+            let frame = crate::framing::read_raw_frame(&mut second).unwrap();
+            assert!(
+                matches!(
+                    decode_envelope(&frame).unwrap().0,
+                    Pdu::Error { code: 503, .. }
+                ),
+                "{core:?}: over-capacity close announces itself"
+            );
+            let mut rest = Vec::new();
+            assert_eq!(second.read_to_end(&mut rest).unwrap_or(0), 0, "{core:?}");
+
+            // The slot frees when the first connection closes; a retry
+            // then succeeds (poll briefly — the close is asynchronous).
+            drop(first);
+            let recovered = (0..100).any(|_| {
+                std::thread::sleep(Duration::from_millis(10));
+                let Ok(mut s) = TcpStream::connect(server.local_addr()) else {
+                    return false;
+                };
+                if s.write_all(&encode_envelope(&Pdu::ParamsRequest)).is_err() {
+                    return false;
+                }
+                match crate::framing::read_raw_frame(&mut s) {
+                    Ok(f) => {
+                        !matches!(decode_envelope(&f).unwrap().0, Pdu::Error { code: 503, .. })
+                    }
+                    Err(_) => false,
+                }
+            });
+            assert!(recovered, "{core:?}: capacity frees on disconnect");
+        }
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn idle_connections_reap_and_active_ones_survive() {
+        let reaped_before = mws_obs::registry()
+            .counter("mws_server_idle_reaped_total")
+            .get();
+        let server = TcpServer::spawn(
+            ServerConfig {
+                core: ServerCore::EventLoop,
+                idle_timeout: Some(Duration::from_millis(150)),
+                read_poll: Duration::from_millis(10),
+                ..ServerConfig::default()
+            },
+            || |req: Pdu| req,
+        )
+        .unwrap();
+        let mut idle = TcpStream::connect(server.local_addr()).unwrap();
+        let mut active = TcpStream::connect(server.local_addr()).unwrap();
+        // Keep one connection warm past the other's reaping point.
+        for _ in 0..6 {
+            std::thread::sleep(Duration::from_millis(60));
+            active
+                .write_all(&encode_envelope(&Pdu::ParamsRequest))
+                .unwrap();
+            let _ = crate::framing::read_raw_frame(&mut active).unwrap();
+        }
+        // The idle peer was closed by the sweep: its read sees EOF.
+        idle.set_read_timeout(Some(Duration::from_millis(500)))
+            .unwrap();
+        let mut rest = Vec::new();
+        assert_eq!(idle.read_to_end(&mut rest).unwrap_or(0), 0);
+        let reaped_after = mws_obs::registry()
+            .counter("mws_server_idle_reaped_total")
+            .get();
+        assert!(reaped_after > reaped_before, "sweep counted the reap");
+        // The active connection still works after the sweep.
+        active
+            .write_all(&encode_envelope(&Pdu::DepositAck { message_id: 5 }))
+            .unwrap();
+        let frame = crate::framing::read_raw_frame(&mut active).unwrap();
+        assert_eq!(
+            decode_envelope(&frame).unwrap().0,
+            Pdu::DepositAck { message_id: 5 }
+        );
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn event_core_handles_many_more_connections_than_workers() {
+        // The point of the epoll core: 64 concurrent connections on 2
+        // workers, every one served (the threaded core would strand 62
+        // of them waiting for a worker).
+        let server = TcpServer::spawn(
+            ServerConfig {
+                core: ServerCore::EventLoop,
+                workers: 2,
+                ..ServerConfig::default()
+            },
+            || |req: Pdu| req,
+        )
+        .unwrap();
+        let addr = server.local_addr();
+        let conns: Vec<TcpStream> = (0..64).map(|_| TcpStream::connect(addr).unwrap()).collect();
+        for (i, mut s) in conns.into_iter().enumerate() {
+            let req = Pdu::DepositAck {
+                message_id: i as u64,
+            };
+            s.write_all(&encode_envelope(&req)).unwrap();
+            let frame = crate::framing::read_raw_frame(&mut s).unwrap();
+            assert_eq!(decode_envelope(&frame).unwrap().0, req);
+        }
     }
 }

@@ -5,12 +5,20 @@
 //! Labels are low-cardinality protocol facts only — never identities,
 //! payloads or key material (DESIGN.md §7).
 
-use mws_obs::{metric_name, Counter, Histogram};
+use mws_obs::{metric_name, Counter, Gauge, Histogram};
 use std::sync::OnceLock;
 
 pub(crate) struct ServerStats {
-    /// Connections handed to a worker.
+    /// Connections handed to a worker (threaded core) or registered
+    /// with an event loop (event core).
     pub connections: Counter,
+    /// Currently open connections across every server in this process.
+    pub open_connections: Gauge,
+    /// Connections closed by the idle sweep (event core).
+    pub idle_reaped: Counter,
+    /// Connections refused with a 503 because the server was at
+    /// `max_connections`.
+    pub over_capacity: Counter,
     /// Requests decoded and dispatched to a service.
     pub requests: Counter,
     /// Connections dropped because the stream stopped parsing.
@@ -37,6 +45,9 @@ pub(crate) fn stats() -> &'static ServerStats {
         };
         ServerStats {
             connections: r.counter("mws_server_connections_total"),
+            open_connections: r.gauge("mws_server_open_connections"),
+            idle_reaped: r.counter("mws_server_idle_reaped_total"),
+            over_capacity: r.counter("mws_server_over_capacity_total"),
             requests: r.counter("mws_server_requests_total"),
             wire_errors: r.counter("mws_server_wire_errors_total"),
             pipeline_depth: r.histogram("mws_server_pipeline_depth"),

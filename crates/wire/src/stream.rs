@@ -57,6 +57,44 @@ impl StreamDecoder {
         self.buf.extend_from_slice(bytes);
     }
 
+    /// Feeds the decoder straight from a reader — at most `max` bytes in
+    /// one `read` — without an intermediate copy buffer. Built for
+    /// nonblocking sockets: a `WouldBlock` (EAGAIN) mid-stream propagates
+    /// as the error it is while the buffer keeps exactly the bytes already
+    /// fed, so the caller just retries on the next readiness event.
+    ///
+    /// Returns the byte count from the underlying `read` (0 = EOF).
+    ///
+    /// ```
+    /// use mws_wire::{encode_envelope, Pdu, StreamDecoder};
+    ///
+    /// let frame = encode_envelope(&Pdu::DepositAck { message_id: 7 });
+    /// let mut dec = StreamDecoder::new();
+    /// let mut cursor = &frame[..];
+    /// // A tiny `max` forces several partial reads, like EAGAIN slices.
+    /// while dec.next_pdu().unwrap().is_none() {
+    ///     assert!(dec.fill_from(&mut cursor, 3).unwrap() > 0);
+    /// }
+    /// ```
+    pub fn fill_from<R: std::io::Read>(
+        &mut self,
+        reader: &mut R,
+        max: usize,
+    ) -> std::io::Result<usize> {
+        let old = self.buf.len();
+        self.buf.resize(old + max, 0);
+        match reader.read(&mut self.buf[old..]) {
+            Ok(n) => {
+                self.buf.truncate(old + n);
+                Ok(n)
+            }
+            Err(e) => {
+                self.buf.truncate(old);
+                Err(e)
+            }
+        }
+    }
+
     /// Bytes buffered but not yet consumed by a decoded frame.
     pub fn buffered(&self) -> usize {
         self.buf.len() - self.pos
@@ -207,6 +245,68 @@ mod tests {
                 (Pdu::ParamsRequest, None),
             ]
         );
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn fill_from_reads_partial_and_preserves_buffer_on_eagain() {
+        use std::io::{self, Read};
+
+        /// A reader that yields planned chunks, interleaving `WouldBlock`
+        /// errors — the shape a nonblocking socket presents.
+        struct Eager<'a> {
+            data: &'a [u8],
+            pos: usize,
+            plan: Vec<usize>, // 0 = WouldBlock, n = up to n bytes
+            step: usize,
+        }
+        impl Read for Eager<'_> {
+            fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+                let take = self.plan[self.step % self.plan.len()];
+                self.step += 1;
+                if take == 0 {
+                    return Err(io::ErrorKind::WouldBlock.into());
+                }
+                let n = take.min(buf.len()).min(self.data.len() - self.pos);
+                buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+                self.pos += n;
+                Ok(n)
+            }
+        }
+
+        let stream = sample_frames();
+        let mut reader = Eager {
+            data: &stream,
+            pos: 0,
+            plan: vec![1, 0, 3, 0, 0, 7],
+            step: 0,
+        };
+        let mut dec = StreamDecoder::new();
+        let mut got = Vec::new();
+        while got.len() < 3 {
+            match dec.fill_from(&mut reader, 8) {
+                Ok(n) => assert!(n > 0, "planned reads cover the stream"),
+                Err(e) => {
+                    assert_eq!(e.kind(), io::ErrorKind::WouldBlock);
+                    continue; // EAGAIN: nothing consumed, retry
+                }
+            }
+            got.extend(drain(&mut dec));
+        }
+        let want: Vec<Pdu> = {
+            let mut d = StreamDecoder::new();
+            d.feed(&stream);
+            drain(&mut d)
+        };
+        assert_eq!(got, want, "chunked fill_from decodes what one feed does");
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn fill_from_reports_eof_as_zero() {
+        let mut dec = StreamDecoder::new();
+        let empty: &[u8] = &[];
+        assert_eq!(dec.fill_from(&mut { empty }, 16).unwrap(), 0);
         assert_eq!(dec.buffered(), 0);
     }
 

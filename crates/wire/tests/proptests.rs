@@ -1,8 +1,41 @@
 //! Property-based tests for the wire codec: arbitrary PDUs roundtrip,
-//! arbitrary bytes never panic the decoder.
+//! arbitrary bytes never panic the decoder, and the incremental decoder
+//! agrees with one-shot decoding under adversarial socket behaviour.
 
 use mws_wire::{decode_envelope, encode_envelope, Pdu, StreamDecoder, WireMessage};
 use proptest::prelude::*;
+
+/// A reader that misbehaves the way a nonblocking socket can: each call
+/// follows a seeded script of short reads (down to one byte), spurious
+/// `EAGAIN`s landing mid-envelope, and `EINTR`s — then EOF once the
+/// stream is drained.
+struct AdversarialReader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    script: &'a [u8],
+    turn: usize,
+}
+
+impl std::io::Read for AdversarialReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let step = self.script[self.turn % self.script.len()];
+        self.turn += 1;
+        match step {
+            0 => Err(std::io::ErrorKind::WouldBlock.into()),
+            1 => Err(std::io::ErrorKind::Interrupted.into()),
+            // Step n delivers an (n-1)-byte short read — as little as one
+            // byte — or EOF once the stream is exhausted.
+            n => {
+                let take = ((n - 1) as usize)
+                    .min(buf.len())
+                    .min(self.data.len() - self.pos);
+                buf[..take].copy_from_slice(&self.data[self.pos..self.pos + take]);
+                self.pos += take;
+                Ok(take)
+            }
+        }
+    }
+}
 
 fn arb_bytes(max: usize) -> impl Strategy<Value = Vec<u8>> {
     prop::collection::vec(any::<u8>(), 0..max)
@@ -179,6 +212,64 @@ proptest! {
 
         prop_assert_eq!(decoded, pdus);
         // The stream ended on a frame boundary, so nothing may linger.
+        prop_assert_eq!(decoder.buffered(), 0);
+        prop_assert_eq!(decoder.next_pdu().unwrap(), None);
+    }
+
+    #[test]
+    fn adversarial_short_reads_match_one_shot_decode(
+        pdus in prop::collection::vec(arb_pdu(), 1..8),
+        script_head in prop::collection::vec(0u8..18, 0..47),
+        // At least one delivering step, so all-failure scripts still make
+        // progress each cycle and the loop terminates.
+        script_tail in 2u8..18,
+    ) {
+        // The event loop's read path (`fill_from` + `next_pdu`) against a
+        // socket returning 1-byte reads, random short reads, EAGAIN
+        // mid-envelope and EINTR, in a seeded adversarial order — it must
+        // decode exactly the PDU sequence a one-shot decode of the full
+        // stream would, and a failed read must never consume bytes.
+        let stream: Vec<u8> = pdus.iter().flat_map(encode_envelope).collect();
+        let mut script = script_head;
+        script.push(script_tail);
+        let mut reader = AdversarialReader { data: &stream, pos: 0, script: &script, turn: 0 };
+
+        let mut decoder = StreamDecoder::new();
+        let mut decoded = Vec::new();
+        loop {
+            let buffered_before = decoder.buffered();
+            match decoder.fill_from(&mut reader, 16 * 1024) {
+                Ok(0) => break, // EOF: the whole stream was delivered
+                Ok(_) => {
+                    while let Some(pdu) = decoder.next_pdu().unwrap() {
+                        decoded.push(pdu);
+                    }
+                }
+                Err(e) => {
+                    prop_assert!(
+                        matches!(
+                            e.kind(),
+                            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::Interrupted
+                        ),
+                        "unexpected error kind: {:?}", e.kind()
+                    );
+                    prop_assert_eq!(
+                        decoder.buffered(),
+                        buffered_before,
+                        "a failed read consumed bytes"
+                    );
+                }
+            }
+        }
+
+        let mut one_shot = Vec::new();
+        let mut offset = 0;
+        while offset < stream.len() {
+            let (pdu, consumed) = decode_envelope(&stream[offset..]).unwrap();
+            one_shot.push(pdu);
+            offset += consumed;
+        }
+        prop_assert_eq!(decoded, one_shot);
         prop_assert_eq!(decoder.buffered(), 0);
         prop_assert_eq!(decoder.next_pdu().unwrap(), None);
     }

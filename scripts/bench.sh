@@ -6,6 +6,7 @@
 #   scripts/bench.sh --server    # socket load benchmark -> BENCH_server.json
 #   scripts/bench.sh --cluster   # N-node quorum benchmark -> cluster key in BENCH_server.json
 #   scripts/bench.sh --rebalance # live-join benchmark -> rebalance key in BENCH_server.json
+#   scripts/bench.sh --connections # 10k-connection fleet benchmark -> connections key in BENCH_server.json
 #   scripts/bench.sh --all       # all of the above
 #
 # Iteration counts are pinned inside the binaries (crypto: 200 @ Toy,
@@ -44,11 +45,18 @@ run_rebalance() {
   echo "==> BENCH_server.json rebalance section written"
 }
 
+run_connections() {
+  echo "==> cargo run --release -p mws-bench --bin load_bench -- --connections"
+  cargo run --release -p mws-bench --bin load_bench -- --connections
+  echo "==> BENCH_server.json connections section written"
+}
+
 case "${target}" in
-  crypto)       run_crypto ;;
-  --server)     run_server ;;
-  --cluster)    run_cluster ;;
-  --rebalance)  run_rebalance ;;
-  --all)        run_crypto; run_server; run_cluster; run_rebalance ;;
-  *)            echo "usage: scripts/bench.sh [--server|--cluster|--rebalance|--all]" >&2; exit 2 ;;
+  crypto)        run_crypto ;;
+  --server)      run_server ;;
+  --cluster)     run_cluster ;;
+  --rebalance)   run_rebalance ;;
+  --connections) run_connections ;;
+  --all)         run_crypto; run_server; run_cluster; run_rebalance; run_connections ;;
+  *)             echo "usage: scripts/bench.sh [--server|--cluster|--rebalance|--connections|--all]" >&2; exit 2 ;;
 esac

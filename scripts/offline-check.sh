@@ -64,4 +64,7 @@ cargo run -q --release -p mws-bench --bin load_bench -- --cluster --smoke
 echo "==> load_bench --rebalance --smoke (live join mid-load, exactly R copies after evict)"
 cargo run -q --release -p mws-bench --bin load_bench -- --rebalance --smoke
 
+echo "==> load_bench --connections --smoke (idle fleet on the event core, bursts all acked)"
+cargo run -q --release -p mws-bench --bin load_bench -- --connections --smoke
+
 echo "==> offline check passed (stubs unpatch on exit)"

@@ -31,6 +31,9 @@ cargo run --release -p mws-bench --bin load_bench -- --cluster --smoke
 echo "==> load_bench --rebalance --smoke (live join mid-load, exactly R copies after evict)"
 cargo run --release -p mws-bench --bin load_bench -- --rebalance --smoke
 
+echo "==> load_bench --connections --smoke (idle fleet on the event core, bursts all acked)"
+cargo run --release -p mws-bench --bin load_bench -- --connections --smoke
+
 echo "==> MWS_LOG=warn smoke (happy path emits no error-level events)"
 SMOKE_OUT="$(MWS_LOG=warn cargo test -q -p mws --test observability -- --nocapture 2>&1)"
 if grep -q " ERROR " <<<"${SMOKE_OUT}"; then

@@ -20,7 +20,9 @@
 
 use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
 use mws_net::{BusTransport, Client, FaultConfig, FaultyTransport, NetError};
-use mws_server::{ChaosConfig, ChaosProxy, ClientConfig, ServerConfig, TcpClient, TcpServer};
+use mws_server::{
+    ChaosConfig, ChaosProxy, ClientConfig, ServerConfig, ServerCore, TcpClient, TcpServer,
+};
 use mws_store::FaultPlan;
 use mws_wire::Pdu;
 use std::net::SocketAddr;
@@ -206,12 +208,32 @@ fn bus_faults_lose_no_acked_deposit() {
 
 // ---------------------------------------------------------------------------
 // Scenario B: real sockets through the chaos proxy — stalls, truncation,
-// resets between a TcpClient and a live daemon.
+// resets between a TcpClient and a live daemon. Runs against BOTH server
+// cores explicitly: the epoll event loop must survive mid-frame
+// truncation and stalled writes exactly like the threaded core.
 // ---------------------------------------------------------------------------
+
+/// Both cores on Linux, threaded only elsewhere (where `EventLoop`
+/// would silently alias it).
+fn chaos_cores() -> &'static [ServerCore] {
+    if cfg!(target_os = "linux") {
+        &[ServerCore::EventLoop, ServerCore::Threaded]
+    } else {
+        &[ServerCore::Threaded]
+    }
+}
 
 #[test]
 fn tcp_chaos_proxy_loses_no_acked_deposit() {
-    for seed in seeds() {
+    for core in chaos_cores() {
+        for seed in seeds() {
+            tcp_chaos_proxy_scenario(*core, seed);
+        }
+    }
+}
+
+fn tcp_chaos_proxy_scenario(core: ServerCore, seed: u64) {
+    {
         let _dump = StatsDumpGuard {
             scenario: "tcp-chaos-proxy",
             seed,
@@ -224,7 +246,14 @@ fn tcp_chaos_proxy_loses_no_acked_deposit() {
         dep.register_client("rc", "pw", &["A"]);
         let mms = {
             let service = dep.mws().clone();
-            TcpServer::spawn(ServerConfig::default(), || service.as_service()).expect("bind mms")
+            TcpServer::spawn(
+                ServerConfig {
+                    core,
+                    ..ServerConfig::default()
+                },
+                || service.as_service(),
+            )
+            .expect("bind mms")
         };
         let mut proxy = ChaosProxy::spawn(
             mms.local_addr(),
@@ -730,5 +759,142 @@ fn circuit_breaker_fails_fast_then_recovers_when_daemon_returns() {
         });
         assert!(recovered, "seed {seed}: breaker never closed again");
         supervisor.kill();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario L: kill-mid-burst at high connection count — an event-loop
+// warehouse holding a large idle fleet is torn down while a device is
+// mid-burst through the chaos proxy. Every acknowledged deposit must be
+// warehoused, shutdown must join every thread with hundreds of
+// connections open, and every idle socket must observe the close.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn event_core_kill_mid_burst_with_idle_fleet_loses_no_acked_deposit() {
+    use std::io::Read as _;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    const IDLE_FLEET: usize = 500;
+    for seed in seeds() {
+        let _dump = StatsDumpGuard {
+            scenario: "event-kill-mid-burst",
+            seed,
+        };
+        let mut dep = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        dep.register_device("meter-1");
+        dep.register_client("rc", "pw", &["A"]);
+        let service = dep.mws().clone();
+        let mut mms = TcpServer::spawn(
+            ServerConfig {
+                core: ServerCore::EventLoop,
+                workers: 2,
+                read_poll: Duration::from_millis(5),
+                ..ServerConfig::default()
+            },
+            || service.as_service(),
+        )
+        .expect("bind mms");
+        let addr = mms.local_addr();
+
+        // The mostly-idle fleet: hundreds of devices connected and silent.
+        let idle: Vec<std::net::TcpStream> = (0..IDLE_FLEET)
+            .map(|_| std::net::TcpStream::connect(addr).expect("idle connect"))
+            .collect();
+
+        // One device bursts deposits through stalls and mid-frame
+        // truncation while the fleet sits on the same event loop.
+        let mut proxy = ChaosProxy::spawn(
+            addr,
+            ChaosConfig {
+                stall_rate: 0.1,
+                truncate_rate: 0.1,
+                reset_rate: 0.05,
+                stall: Duration::from_millis(10),
+                seed,
+            },
+        )
+        .expect("spawn chaos proxy");
+        let pkg = dep.network().client("pkg");
+        let mut meter = dep
+            .device_with(
+                "meter-1",
+                chaos_tcp_client(proxy.local_addr(), seed).into_client(),
+                &pkg,
+            )
+            .unwrap_or_else(|e| panic!("seed {seed}: bootstrap failed: {e}"));
+
+        let acked = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let acked_final = std::thread::scope(|scope| {
+            let burst_acked = acked.clone();
+            let burst_stop = stop.clone();
+            let burster = scope.spawn(move || {
+                for i in 0u64.. {
+                    if burst_stop.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let payload = format!("burst-{i}").into_bytes();
+                    match meter.deposit_reliable("A", &payload, 10) {
+                        Ok(_) => {
+                            burst_acked.fetch_add(1, Ordering::Relaxed);
+                        }
+                        // The kill landed under this deposit: no ack, so no
+                        // durability claim to check for it. Stop bursting.
+                        Err(_) => break,
+                    }
+                }
+            });
+            // Let the burst make progress, then kill the daemon mid-flight
+            // with the whole fleet still connected. Shutdown itself is the
+            // assertion that every loop/worker thread joins while hundreds
+            // of connections are open and frames are in the pipe.
+            let deadline = std::time::Instant::now() + Duration::from_secs(20);
+            while acked.load(Ordering::Relaxed) < 5 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            assert!(
+                acked.load(Ordering::Relaxed) >= 5,
+                "seed {seed}: burst never got going through the chaos proxy"
+            );
+            mms.shutdown();
+            stop.store(true, Ordering::Relaxed);
+            burster.join().expect("burster thread");
+            acked.load(Ordering::Relaxed)
+        });
+
+        // No acked deposit may be lost in the kill. (The count can exceed
+        // `acked_final` — a deposit stored whose ack died in the proxy is
+        // warehoused but unacknowledged, which is the safe direction.)
+        assert!(
+            dep.mws().message_count() as u64 >= acked_final,
+            "seed {seed}: kill lost acked deposits ({} warehoused < {acked_final} acked)",
+            dep.mws().message_count()
+        );
+
+        // Teardown really closed the fleet: every idle socket sees EOF (or
+        // a reset), never a hang.
+        for mut s in idle {
+            s.set_read_timeout(Some(Duration::from_secs(5)))
+                .expect("idle read timeout");
+            let mut buf = [0u8; 1];
+            match s.read(&mut buf) {
+                Ok(0) => {}
+                Ok(_) => panic!("seed {seed}: idle connection received bytes at teardown"),
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    panic!("seed {seed}: teardown left an idle connection open")
+                }
+                // A reset is a legitimate close observation (unread FIN
+                // queue data, RST-on-close).
+                Err(_) => {}
+            }
+        }
+        proxy.shutdown();
     }
 }

@@ -9,7 +9,7 @@
 
 use mws_core::clock::ReplayPolicy;
 use mws_core::protocol::{Deployment, DeploymentConfig};
-use mws_server::{GatekeeperFrontdoor, ServerConfig, TcpClient, TcpServer};
+use mws_server::{GatekeeperFrontdoor, ServerConfig, ServerCore, TcpClient, TcpServer};
 
 /// The three servers plus the provisioning authority behind them.
 struct TcpTopology {
@@ -101,10 +101,16 @@ fn four_server_flow_over_real_sockets() {
     ));
     assert_eq!(topo.dep.mws().rejection_count(), 0);
 
-    // Graceful shutdown joins every thread of every server: accept loop +
-    // default 4 workers each, even with the clients' persistent
+    // Graceful shutdown joins every thread of every server — accept loop +
+    // event loops + workers on the default epoll core, accept loop +
+    // workers on the threaded fallback — even with the clients' persistent
     // connections still open.
-    let expected = 1 + ServerConfig::default().workers;
+    let cfg = ServerConfig::default();
+    let expected = if cfg!(target_os = "linux") && cfg.core == ServerCore::EventLoop {
+        1 + cfg.event_loops + cfg.workers
+    } else {
+        1 + cfg.workers
+    };
     assert_eq!(topo.mms.shutdown(), expected);
     assert_eq!(topo.pkg.shutdown(), expected);
     assert_eq!(topo.gatekeeper.shutdown(), expected);
