@@ -47,19 +47,33 @@
 //! * `--connections --smoke` — a few hundred connections on the event
 //!   core plus a threaded A/B row, no file output; asserts every burst
 //!   deposit is acked and warehoused (the gate `scripts/tier1.sh` runs)
+//! * `--secure` — transport-security overhead (DESIGN.md §12, E13): the
+//!   IBS-authenticated handshake's fresh-connection latency p50/p99, and
+//!   the same single-deposit workload over plaintext framing vs
+//!   AES-GCM-sealed sessions on a memory-backed warehouse; spliced into
+//!   `BENCH_server.json` as the `secure` key
+//! * `--secure --smoke` — tiny run, no file output; asserts every
+//!   handshake establishes and every sealed deposit is acked (the gate
+//!   `scripts/tier1.sh` runs)
 //!
 //! JSON is hand-written: this binary must compile against the offline
 //! serde stub, so it cannot use derive macros.
 
 use mws_core::clock::{LogicalClock, ReplayPolicy};
-use mws_core::protocol::MwsService;
+use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
 use mws_core::registry::DeviceRegistry;
 use mws_core::sda::{deposit_mac, DeviceAuthVerifier};
-use mws_server::{ServerConfig, ServerCore, TcpServer};
+use mws_server::{
+    ClientConfig, IbsAuth, SecureClientSettings, SecureSettings, ServerConfig, ServerCore,
+    TcpClient, TcpServer, ID_CLIENT, ID_MMS,
+};
 use mws_store::{ShardRouter, StorageKind};
+use mws_wire::secure::{SessionConfig, RECORD_OVERHEAD};
 use mws_wire::{DepositItem, DepositOutcome, Pdu};
 use std::fmt::Write as _;
-use std::time::Instant;
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One traffic shape's results for one shard count.
 struct ModeReport {
@@ -1602,6 +1616,284 @@ fn run_connections(smoke: bool) {
     eprintln!("wrote BENCH_server.json (connections section)");
 }
 
+// ---------------------------------------------------------------------------
+// --secure: transport-security overhead (DESIGN.md §12). The warehouse is
+// memory-backed on purpose: an fsync-per-commit store hides the
+// microsecond-scale costs of AES-GCM sealing behind millisecond-scale
+// durability, and durability scaling already has its own rows above.
+// ---------------------------------------------------------------------------
+
+/// The `--secure` A/B: fresh-connection handshake latency plus identical
+/// plaintext vs sealed single-deposit runs.
+struct SecureRow {
+    handshakes: usize,
+    hs_p50_us: u64,
+    hs_p99_us: u64,
+    /// Plain fresh-connection first call — the same probe without the
+    /// handshake, so the difference is the handshake's own cost.
+    plain_first_call_p50_us: u64,
+    plain: ModeReport,
+    secure: ModeReport,
+}
+
+/// One memory-backed warehouse with `devices` registered, listening with
+/// the given transport settings.
+fn spawn_secure_warehouse(
+    devices: &[(String, Vec<u8>, String)],
+    workers: usize,
+    secure: Option<Arc<SecureSettings>>,
+) -> (MwsService, TcpServer) {
+    let mws = MwsService::new_sharded(
+        DeviceRegistry::new(),
+        mws_store::shard_kinds(&StorageKind::Memory, 1),
+        StorageKind::Memory,
+        StorageKind::Memory,
+        b"load-bench-secret",
+        LogicalClock::new(),
+        ReplayPolicy::standard(),
+        7,
+        DeviceAuthVerifier::Mac,
+    )
+    .expect("service open");
+    for (sd_id, mac_key, _) in devices {
+        mws.register_device(sd_id, mac_key);
+    }
+    let service = mws.clone();
+    let server = TcpServer::spawn(
+        ServerConfig {
+            workers,
+            secure,
+            ..ServerConfig::default()
+        },
+        move || service.as_service(),
+    )
+    .expect("server spawn");
+    (mws, server)
+}
+
+/// Drives the single-deposit shape with one persistent connection per
+/// client, plaintext or sealed depending on `secure`.
+fn drive_single_deposits(
+    addr: SocketAddr,
+    devices: &[(String, Vec<u8>, String)],
+    w: &Workload,
+    secure: &Option<Arc<SecureClientSettings>>,
+    tag: u8,
+) -> ModeReport {
+    let started = Instant::now();
+    let lat: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = devices
+            .iter()
+            .enumerate()
+            .map(|(i, (sd_id, mac_key, attribute))| {
+                scope.spawn(move || {
+                    let client = TcpClient::with_config(
+                        addr,
+                        ClientConfig {
+                            secure: secure.clone(),
+                            ..ClientConfig::default()
+                        },
+                    )
+                    .into_client();
+                    // Establish the connection (and session, when secure)
+                    // before the clock starts: the handshake is measured
+                    // on its own, this shape measures per-frame cost.
+                    client.call(&Pdu::HealthRequest).expect("warmup");
+                    let mut lat = Vec::with_capacity(w.per_client);
+                    for seq in 0..w.per_client {
+                        let item =
+                            craft_item(mac_key, sd_id, attribute, 0, tag, 1, i as u16, seq as u64);
+                        let req = item_to_request(sd_id, item);
+                        let t0 = Instant::now();
+                        let reply = client.call(&req).expect("deposit rtt");
+                        lat.push(t0.elapsed().as_micros() as u64);
+                        assert!(
+                            matches!(reply, Pdu::DepositAck { .. }),
+                            "deposit not acked: {reply:?}"
+                        );
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let n = (w.clients * w.per_client) as u64;
+    let (p50, p99) = quantiles(lat.into_iter().flatten().collect());
+    ModeReport {
+        deposits: n,
+        secs,
+        deposits_per_sec: n as f64 / secs,
+        p50_us: p50,
+        p99_us: p99,
+    }
+}
+
+/// Times fresh-connection first calls: connect (+ handshake when `secure`)
+/// + one HealthRequest round trip, one sample per brand-new client.
+fn first_call_samples(
+    addr: SocketAddr,
+    n: usize,
+    secure: &Option<Arc<SecureClientSettings>>,
+) -> Vec<u64> {
+    (0..n)
+        .map(|_| {
+            let client = TcpClient::with_config(
+                addr,
+                ClientConfig {
+                    secure: secure.clone(),
+                    ..ClientConfig::default()
+                },
+            )
+            .into_client();
+            let t0 = Instant::now();
+            match client.call(&Pdu::HealthRequest).expect("handshake probe") {
+                Pdu::HealthResponse { .. } => t0.elapsed().as_micros() as u64,
+                other => panic!("unexpected health reply: {other:?}"),
+            }
+        })
+        .collect()
+}
+
+fn bench_secure(w: &Workload) -> SecureRow {
+    // The deployment is only the transport trust root here (master secret
+    // → per-identity signing keys); the warehouse's own device MACs stay
+    // the app-layer concern they are in every other mode.
+    let dep = Deployment::new(DeploymentConfig::test_default());
+    let server_sec = Arc::new(SecureSettings {
+        auth: Arc::new(IbsAuth::from_deployment(&dep, ID_MMS)),
+        session: SessionConfig::default(),
+        handshake_timeout: Duration::from_secs(5),
+    });
+    let client_sec = Some(Arc::new(SecureClientSettings::new(
+        &dep,
+        ID_CLIENT,
+        Some(ID_MMS),
+    )));
+    let plain_sec: Option<Arc<SecureClientSettings>> = None;
+
+    let mut devices = Vec::with_capacity(w.clients);
+    for i in 0..w.clients {
+        devices.push((
+            format!("bench-sd-{i}"),
+            vec![i as u8 + 1; 32],
+            format!("LOAD-SEC-{i}"),
+        ));
+    }
+
+    let (_mws_p, mut plain_srv) = spawn_secure_warehouse(&devices, w.clients, None);
+    let (_mws_s, mut sec_srv) = spawn_secure_warehouse(&devices, w.clients, Some(server_sec));
+
+    let handshakes = if w.smoke { 8 } else { 100 };
+    let hs = first_call_samples(sec_srv.local_addr(), handshakes, &client_sec);
+    let plain_first = first_call_samples(plain_srv.local_addr(), handshakes, &plain_sec);
+    let (hs_p50, hs_p99) = quantiles(hs);
+    let (pf_p50, _) = quantiles(plain_first);
+
+    let plain = drive_single_deposits(plain_srv.local_addr(), &devices, w, &plain_sec, 7);
+    let secure = drive_single_deposits(sec_srv.local_addr(), &devices, w, &client_sec, 8);
+
+    plain_srv.shutdown();
+    sec_srv.shutdown();
+    SecureRow {
+        handshakes,
+        hs_p50_us: hs_p50,
+        hs_p99_us: hs_p99,
+        plain_first_call_p50_us: pf_p50,
+        plain,
+        secure,
+    }
+}
+
+/// Renders the secure row and splices it into `BENCH_server.json` as the
+/// `secure` key (idempotently, like the other mode splices).
+fn splice_secure_json(r: &SecureRow, w: &Workload) -> String {
+    let mut block = String::from("  \"secure\": {\n");
+    let _ = writeln!(
+        block,
+        "    \"clients\": {}, \"per_client\": {},",
+        w.clients, w.per_client
+    );
+    let _ = writeln!(
+        block,
+        "    \"handshakes\": {}, \"handshake_p50_us\": {}, \"handshake_p99_us\": {}, \"plain_first_call_p50_us\": {},",
+        r.handshakes, r.hs_p50_us, r.hs_p99_us, r.plain_first_call_p50_us
+    );
+    let _ = writeln!(block, "    \"record_overhead_bytes\": {RECORD_OVERHEAD},");
+    let mode = |m: &ModeReport| {
+        format!(
+            "{{ \"deposits\": {}, \"secs\": {:.3}, \"deposits_per_sec\": {:.1}, \"p50_us\": {}, \"p99_us\": {} }}",
+            m.deposits, m.secs, m.deposits_per_sec, m.p50_us, m.p99_us
+        )
+    };
+    let _ = writeln!(block, "    \"plain\": {},", mode(&r.plain));
+    let _ = writeln!(block, "    \"sealed\": {},", mode(&r.secure));
+    let _ = writeln!(
+        block,
+        "    \"throughput_ratio_sealed_over_plain\": {:.3},\n    \"per_frame_added_us_p50\": {}\n  }}",
+        r.secure.deposits_per_sec / r.plain.deposits_per_sec,
+        r.secure.p50_us.saturating_sub(r.plain.p50_us)
+    );
+
+    const MARKER: &str = ",\n  \"secure\": {";
+    let base = std::fs::read_to_string("BENCH_server.json")
+        .ok()
+        .map(|s| match s.find(MARKER) {
+            Some(at) => s[..at].to_string(),
+            None => s.trim_end().trim_end_matches('}').trim_end().to_string(),
+        })
+        .unwrap_or_else(|| String::from("{\n  \"bench\": \"load_bench\""));
+    format!("{base},\n{block}}}\n")
+}
+
+/// `--secure` entry: handshake latency + sealed-vs-plain throughput.
+/// Smoke keeps it tiny with no file output — the transport-security gate
+/// `scripts/tier1.sh` runs.
+fn run_secure(smoke: bool) {
+    let w = if smoke {
+        Workload {
+            clients: 2,
+            per_client: 10,
+            batches: 0,
+            batch_size: 0,
+            smoke: true,
+        }
+    } else {
+        Workload {
+            clients: 8,
+            per_client: 400,
+            batches: 0,
+            batch_size: 0,
+            smoke: false,
+        }
+    };
+    let row = bench_secure(&w);
+    eprintln!(
+        "secure: handshake p50 {:>5}µs p99 {:>6}µs over {} fresh conns (plain first call p50 {}µs)",
+        row.hs_p50_us, row.hs_p99_us, row.handshakes, row.plain_first_call_p50_us
+    );
+    eprintln!(
+        "secure: single-deposit plain {:>7.0} dep/s (p50 {:>4}µs) vs sealed {:>7.0} dep/s (p50 {:>4}µs)  +{}B/record, +{}µs p50",
+        row.plain.deposits_per_sec,
+        row.plain.p50_us,
+        row.secure.deposits_per_sec,
+        row.secure.p50_us,
+        RECORD_OVERHEAD,
+        row.secure.p50_us.saturating_sub(row.plain.p50_us),
+    );
+    if smoke {
+        eprintln!(
+            "load_bench --secure --smoke: every handshake established, every sealed deposit acked"
+        );
+        return;
+    }
+    let json = splice_secure_json(&row, &w);
+    std::fs::write("BENCH_server.json", &json).expect("write BENCH_server.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_server.json (secure section)");
+}
+
 fn main() {
     let argv: Vec<String> = std::env::args().collect();
     if argv.get(1).map(String::as_str) == Some("--conn-fleet") {
@@ -1609,6 +1901,10 @@ fn main() {
         return;
     }
     let smoke = std::env::args().any(|a| a == "--smoke");
+    if std::env::args().any(|a| a == "--secure") {
+        run_secure(smoke);
+        return;
+    }
     if std::env::args().any(|a| a == "--connections") {
         run_connections(smoke);
         return;

@@ -875,6 +875,7 @@ pub struct Deployment {
     clock: LogicalClock,
     ibe: IbeSystem,
     msk: mws_ibe::MasterSecret,
+    mpk: mws_ibe::MasterPublic,
     mws: MwsService,
     pkg: PkgService,
     rng: HmacDrbg,
@@ -922,7 +923,7 @@ impl Deployment {
             DeviceAuthMode::Mac => DeviceAuthVerifier::Mac,
             DeviceAuthMode::Ibs => DeviceAuthVerifier::Ibs {
                 ibe: ibe.clone(),
-                mpk,
+                mpk: mpk.clone(),
             },
         };
         let mws = MwsService::new_sharded(
@@ -945,6 +946,7 @@ impl Deployment {
             clock,
             ibe,
             msk,
+            mpk,
             mws,
             pkg,
             rng,
@@ -1102,6 +1104,27 @@ impl Deployment {
     /// The shared IBE system.
     pub fn ibe(&self) -> &IbeSystem {
         &self.ibe
+    }
+
+    /// The deployment master seed.
+    pub fn seed(&self) -> u64 {
+        self.config.seed
+    }
+
+    /// Master public parameters. Transport-level IBS verification
+    /// (DESIGN.md §12) needs them on every daemon; like all provisioning
+    /// they are seed-deterministic, so every deployment of the same seed
+    /// verifies the same endpoint signatures.
+    pub fn master_public(&self) -> &mws_ibe::MasterPublic {
+        &self.mpk
+    }
+
+    /// Extracts the IBS signing key for a transport endpoint identity
+    /// (e.g. `"mws/gatekeeper"`). This is the PKG-side extraction the
+    /// paper performs for devices, reused to give each daemon a
+    /// transport credential without any extra key distribution.
+    pub fn extract_transport_key(&self, identity: &str) -> mws_ibe::UserPrivateKey {
+        self.ibe.extract(&self.msk, identity.as_bytes())
     }
 
     /// The cluster replica-plane MAC key (see [`replica_key`]). Seed-

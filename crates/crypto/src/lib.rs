@@ -27,7 +27,7 @@
 //! their module docs.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 mod aead;
 mod aes;

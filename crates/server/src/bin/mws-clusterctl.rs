@@ -17,8 +17,11 @@
 //!   mws-clusterctl drain <node-addr> [--addr ...] [--seed ...] [--device ...] [--client ...]
 
 use mws_server::daemon::{provision, ClientSpec, DaemonOpts, Role};
-use mws_server::{ClientConfig, TcpClient};
+use mws_server::{
+    ClientConfig, SecureClientSettings, TcpClient, TransportMode, ID_GATEKEEPER, ID_OPS,
+};
 use mws_wire::{Pdu, MEMBER_DRAINING, MEMBER_JOINING};
+use std::sync::Arc;
 use std::time::Duration;
 
 const USAGE: &str = "mws-clusterctl — order membership changes on a cluster-mode front door\n\n\
@@ -29,6 +32,7 @@ FLAGS:\n  --addr <host:port>      front door to order (default 127.0.0.1:7103)\n
 \x20 --seed <u64>            deployment master seed, must match the daemons (default 42)\n\
 \x20 --device <sd_id>        provisioned device, repeatable, same order as the daemons\n\
 \x20 --client <rc:pw[:a,b]>  provisioned client, repeatable, same order as the daemons\n\
+\x20 --transport <mode>      'plain' (default) or 'secure' (IBS handshake + AES-GCM; env MWS_TRANSPORT=secure also selects it)\n\
 \x20 --wait <secs>           after join/drain, poll status until the transfer finishes";
 
 struct Ctl {
@@ -36,6 +40,7 @@ struct Ctl {
     seed: u64,
     devices: Vec<String>,
     clients: Vec<ClientSpec>,
+    transport: TransportMode,
     wait: Option<u64>,
 }
 
@@ -52,6 +57,7 @@ fn parse(mut args: std::env::Args) -> Result<(String, Option<String>, Ctl), Stri
         seed: 42,
         devices: Vec::new(),
         clients: Vec::new(),
+        transport: TransportMode::from_env(),
         wait: None,
     };
     let mut node = None;
@@ -91,6 +97,12 @@ fn parse(mut args: std::env::Args) -> Result<(String, Option<String>, Ctl), Stri
                         .unwrap_or_default(),
                 });
             }
+            "--transport" => {
+                let v = value("--transport")?;
+                ctl.transport = TransportMode::parse(&v).ok_or(format!(
+                    "--transport expects 'plain' or 'secure', got '{v}'"
+                ))?;
+            }
             "--wait" => {
                 let v = value("--wait")?;
                 ctl.wait = Some(
@@ -105,10 +117,20 @@ fn parse(mut args: std::env::Args) -> Result<(String, Option<String>, Ctl), Stri
     Ok((cmd, node, ctl))
 }
 
-fn door(addr: &str) -> Result<mws_net::Client, String> {
-    let sock = addr
+fn door(ctl: &Ctl) -> Result<mws_net::Client, String> {
+    let sock = ctl
+        .addr
         .parse()
-        .map_err(|e| format!("bad address '{addr}': {e}"))?;
+        .map_err(|e| format!("bad address '{}': {e}", ctl.addr))?;
+    // The operator credential needs only the master secret at the right
+    // seed; orders always target the front door, so its identity is
+    // pinned.
+    let secure: Option<Arc<SecureClientSettings>> = ctl.transport.is_secure().then(|| {
+        let mut opts = DaemonOpts::defaults_for(Role::Gatekeeper);
+        opts.seed = ctl.seed;
+        let dep = provision(&opts);
+        Arc::new(SecureClientSettings::new(&dep, ID_OPS, Some(ID_GATEKEEPER)))
+    });
     Ok(TcpClient::with_config(
         sock,
         ClientConfig {
@@ -116,6 +138,7 @@ fn door(addr: &str) -> Result<mws_net::Client, String> {
             request_timeout: Duration::from_secs(5),
             attempts: 1,
             breaker_threshold: 0,
+            secure,
             ..ClientConfig::default()
         },
     )
@@ -169,7 +192,7 @@ fn run() -> Result<(), String> {
     let mut args = std::env::args();
     args.next();
     let (cmd, node, ctl) = parse(args)?;
-    let door = door(&ctl.addr)?;
+    let door = door(&ctl)?;
     if cmd == "status" {
         print_report(&report(&door)?);
         return Ok(());

@@ -1,8 +1,11 @@
 //! Scrapes the `Stats` admin PDU from each running daemon and prints the
 //! Prometheus-style exposition text, one section per daemon.
 //!
-//! USAGE: `mws-stats [--shards] [--cluster] [addr ...]` — defaults to the
-//! three fixed ports (7101 MMS, 7102 PKG, 7103 Gatekeeper). Unreachable
+//! USAGE: `mws-stats [--shards] [--cluster] [--transport secure]
+//! [--seed <u64>] [addr ...]` — defaults to the three fixed ports (7101
+//! MMS, 7102 PKG, 7103 Gatekeeper). With `--transport secure` (or
+//! `MWS_TRANSPORT=secure`) every scrape authenticates as `mws/ops` over
+//! an encrypted session (DESIGN.md §12). Unreachable
 //! daemons are reported and skipped; the exit code is the number of scrape
 //! failures. With `--shards`, a warehouse section is followed by a
 //! per-shard summary table built from the `mws_store_shard_*` series
@@ -10,9 +13,11 @@
 //! is followed by a per-node membership table built from the
 //! `mws_cluster_*` series (DESIGN.md §10).
 
-use mws_server::{ClientConfig, TcpClient};
+use mws_core::protocol::{Deployment, DeploymentConfig};
+use mws_server::{ClientConfig, SecureClientSettings, TcpClient, TransportMode, ID_OPS};
 use mws_wire::Pdu;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The per-shard counter families, in summary-column order.
@@ -133,7 +138,10 @@ fn cluster_summary(text: &str) -> Option<String> {
     Some(out)
 }
 
-fn scrape(addr: &str) -> Result<(String, String), String> {
+fn scrape(
+    addr: &str,
+    secure: &Option<Arc<SecureClientSettings>>,
+) -> Result<(String, String), String> {
     let sock = addr
         .parse()
         .map_err(|e| format!("bad address '{addr}': {e}"))?;
@@ -144,6 +152,7 @@ fn scrape(addr: &str) -> Result<(String, String), String> {
             request_timeout: Duration::from_secs(2),
             attempts: 1,
             breaker_threshold: 0,
+            secure: secure.clone(),
             ..ClientConfig::default()
         },
     )
@@ -160,15 +169,59 @@ fn main() {
     if targets.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "mws-stats — scrape the Stats admin PDU from MWS daemons\n\n\
-             USAGE: mws-stats [--shards] [--cluster] [addr ...]   (default: the three fixed ports)\n\n\
-             FLAGS:\n  --shards    append a per-shard warehouse summary table per section\n\
-             \x20 --cluster   append a per-node cluster membership table per section"
+             USAGE: mws-stats [--shards] [--cluster] [--transport <mode>] [--seed <u64>] [addr ...]   (default: the three fixed ports)\n\n\
+             FLAGS:\n  --shards            append a per-shard warehouse summary table per section\n\
+             \x20 --cluster           append a per-node cluster membership table per section\n\
+             \x20 --transport <mode>  'plain' (default) or 'secure' (IBS handshake + AES-GCM; env MWS_TRANSPORT=secure also selects it)\n\
+             \x20 --seed <u64>        deployment master seed for the secure credential, must match the daemons (default 42)"
         );
         return;
     }
     let shards = targets.iter().any(|a| a == "--shards");
     let cluster = targets.iter().any(|a| a == "--cluster");
     targets.retain(|a| a != "--shards" && a != "--cluster");
+    let mut transport = TransportMode::from_env();
+    let mut seed: u64 = 42;
+    let mut i = 0;
+    while i < targets.len() {
+        let take_value = |targets: &mut Vec<String>, i: usize, flag: &str| {
+            if i + 1 >= targets.len() {
+                eprintln!("mws-stats: {flag} requires a value");
+                std::process::exit(2);
+            }
+            targets.remove(i + 1)
+        };
+        match targets[i].as_str() {
+            "--transport" => {
+                let v = take_value(&mut targets, i, "--transport");
+                transport = TransportMode::parse(&v).unwrap_or_else(|| {
+                    eprintln!("mws-stats: --transport expects 'plain' or 'secure', got '{v}'");
+                    std::process::exit(2);
+                });
+                targets.remove(i);
+            }
+            "--seed" => {
+                let v = take_value(&mut targets, i, "--seed");
+                seed = v.parse().unwrap_or_else(|_| {
+                    eprintln!("mws-stats: --seed expects a u64, got '{v}'");
+                    std::process::exit(2);
+                });
+                targets.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    // The operator credential only needs the master secret, so a bare
+    // deployment at the right seed suffices — no provisioning list. No
+    // pinned peer identity: one scrape loop visits MMS, PKG and
+    // gatekeeper alike, and each still has to *prove* its identity.
+    let secure: Option<Arc<SecureClientSettings>> = transport.is_secure().then(|| {
+        let dep = Deployment::new(DeploymentConfig {
+            seed,
+            ..DeploymentConfig::test_default()
+        });
+        Arc::new(SecureClientSettings::new(&dep, ID_OPS, None))
+    });
     if targets.is_empty() {
         targets = vec![
             "127.0.0.1:7101".into(),
@@ -178,7 +231,7 @@ fn main() {
     }
     let mut failures = 0;
     for addr in &targets {
-        match scrape(addr) {
+        match scrape(addr, &secure) {
             Ok((role, text)) => {
                 println!("# ---- {role} @ {addr} ----");
                 print!("{text}");

@@ -20,8 +20,10 @@
 //!   a single half-open probe decides between closing and re-opening.
 
 use crate::framing::{read_raw_frame, write_raw_frame};
+use crate::secure::SecureClientSettings;
 use mws_crypto::HmacDrbg;
 use mws_net::{NetError, Transport};
+use mws_wire::secure::{Opened, SecureChannel, SecureSession};
 use parking_lot::Mutex;
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -54,6 +56,10 @@ pub struct ClientConfig {
     pub breaker_cooldown: Duration,
     /// Seed for backoff and cooldown jitter — same seed, same schedule.
     pub seed: u64,
+    /// `Some` dials the peer over a secure session (DESIGN.md §12): an
+    /// IBS-authenticated handshake on every (re)connect, then AES-GCM
+    /// records around each frame. `None` speaks plaintext envelopes.
+    pub secure: Option<Arc<SecureClientSettings>>,
 }
 
 impl Default for ClientConfig {
@@ -68,6 +74,7 @@ impl Default for ClientConfig {
             breaker_threshold: 8,
             breaker_cooldown: Duration::from_millis(100),
             seed: 0,
+            secure: None,
         }
     }
 }
@@ -90,6 +97,13 @@ struct RetryState {
     last_backoff: Duration,
 }
 
+/// One cached connection: the socket plus, in secure mode, the
+/// established session keys (fresh handshake per (re)connect).
+struct ConnState {
+    stream: TcpStream,
+    session: Option<SecureSession>,
+}
+
 /// A persistent-connection TCP transport to one MWS daemon.
 ///
 /// Note on retries: a timed-out request may have been executed by the
@@ -99,7 +113,7 @@ struct RetryState {
 pub struct TcpClient {
     addr: SocketAddr,
     config: ClientConfig,
-    conn: Mutex<Option<TcpStream>>,
+    conn: Mutex<Option<ConnState>>,
     state: Mutex<RetryState>,
 }
 
@@ -148,24 +162,72 @@ impl TcpClient {
         let mut guard = self.conn.lock();
         if guard.is_none() {
             let connect = self.config.connect_timeout.min(io_timeout);
-            let stream = TcpStream::connect_timeout(&self.addr, connect)
+            let mut stream = TcpStream::connect_timeout(&self.addr, connect)
                 .map_err(|e| NetError::Io(format!("connect {}: {e}", self.addr)))?;
             let _ = stream.set_nodelay(true);
-            *guard = Some(stream);
+            // In secure mode every fresh connection pays one handshake,
+            // under this attempt's socket deadline.
+            let session = match &self.config.secure {
+                None => None,
+                Some(sec) => {
+                    stream
+                        .set_read_timeout(Some(io_timeout))
+                        .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+                        .map_err(|e| NetError::Io(e.to_string()))?;
+                    let (session, _peer) = SecureChannel::connect(
+                        &mut stream,
+                        &sec.auth,
+                        sec.expect_peer.as_deref(),
+                        &sec.session,
+                    )
+                    .map_err(|e| NetError::Io(format!("handshake {}: {e}", self.addr)))?;
+                    Some(session)
+                }
+            };
+            *guard = Some(ConnState { stream, session });
         }
-        let stream = guard.as_mut().expect("connection just ensured");
-        let result = stream
-            .set_read_timeout(Some(io_timeout))
-            .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
-            .map_err(|e| NetError::Io(e.to_string()))
-            .and_then(|()| write_raw_frame(stream, frame).map_err(NetError::from))
-            .and_then(|()| read_raw_frame(stream).map_err(NetError::from));
+        let conn = guard.as_mut().expect("connection just ensured");
+        let result = Self::exchange(conn, frame, io_timeout);
         if result.is_err() {
             // Even a timeout leaves the stream desynchronized (the late
             // reply would be mistaken for the next response): drop it.
             *guard = None;
         }
         result
+    }
+
+    /// One request/response on an established connection.
+    fn exchange(
+        conn: &mut ConnState,
+        frame: &[u8],
+        io_timeout: Duration,
+    ) -> Result<Vec<u8>, NetError> {
+        let stream = &mut conn.stream;
+        stream
+            .set_read_timeout(Some(io_timeout))
+            .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+            .map_err(|e| NetError::Io(e.to_string()))?;
+        match conn.session.as_mut() {
+            None => {
+                write_raw_frame(stream, frame).map_err(NetError::from)?;
+                read_raw_frame(stream).map_err(NetError::from)
+            }
+            Some(session) => {
+                let io_err = |e: std::io::Error| {
+                    if crate::framing::is_timeout(&e) {
+                        NetError::Timeout
+                    } else {
+                        NetError::Io(e.to_string())
+                    }
+                };
+                SecureChannel::write_frame(stream, session, frame).map_err(io_err)?;
+                match SecureChannel::read_record(stream, session) {
+                    Ok(Opened::Frame(reply)) => Ok(reply),
+                    Ok(Opened::Close) => Err(NetError::Io("peer closed the secure session".into())),
+                    Err(e) => Err(io_err(e)),
+                }
+            }
+        }
     }
 
     fn retryable(e: &NetError) -> bool {
@@ -251,6 +313,23 @@ impl TcpClient {
     /// Time left before `deadline` (`None` = unbounded).
     fn remaining(deadline: Option<Instant>) -> Option<Duration> {
         deadline.map(|d| d.saturating_duration_since(Instant::now()))
+    }
+}
+
+impl Drop for TcpClient {
+    fn drop(&mut self) {
+        // Best-effort authenticated `CLOSE` so the server can tell a
+        // clean shutdown from truncation. Broken connections were
+        // already dropped without ceremony when they poisoned the cache.
+        let mut guard = self.conn.lock();
+        if let Some(conn) = guard.as_mut() {
+            if let Some(session) = conn.session.as_mut() {
+                let _ = conn
+                    .stream
+                    .set_write_timeout(Some(Duration::from_millis(100)));
+                let _ = SecureChannel::write_close(&mut conn.stream, session);
+            }
+        }
     }
 }
 

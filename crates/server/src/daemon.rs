@@ -10,10 +10,12 @@
 //! its own local [`Deployment`], so no key ever crosses the network at
 //! setup time — the multi-process analogue of the paper's pre-shared keys.
 
-use crate::client::TcpClient;
+use crate::client::{ClientConfig, TcpClient};
 use crate::gateway::GatekeeperFrontdoor;
+use crate::secure::{SecureClientSettings, SecureSettings, TransportMode, ID_GATEKEEPER, ID_MMS};
 use crate::server::{ServerConfig, ServerCore, TcpServer};
 use mws_core::protocol::{Deployment, DeploymentConfig};
+use std::sync::Arc;
 
 /// Which of the topology's servers a daemon hosts.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -118,6 +120,9 @@ pub struct DaemonOpts {
     pub max_connections: Option<usize>,
     /// Idle-connection reaping window in milliseconds (event core).
     pub idle_timeout_ms: Option<u64>,
+    /// Wire protocol: plaintext envelopes or IBS-authenticated AES-GCM
+    /// sessions (`--transport secure`; DESIGN.md §12).
+    pub transport: TransportMode,
     /// Message-warehouse shard count (MMS role; DESIGN.md §9).
     pub shards: usize,
     /// Devices to provision, in registration order.
@@ -159,6 +164,7 @@ impl DaemonOpts {
             event_loops: 1,
             max_connections: None,
             idle_timeout_ms: None,
+            transport: TransportMode::from_env(),
             shards: 1,
             devices: Vec::new(),
             clients: Vec::new(),
@@ -210,6 +216,7 @@ pub fn usage(role: Role) -> String {
          \x20 --event-loops <n>       event-loop threads under --core epoll (default 1)\n\
          \x20 --max-connections <n>   open-connection ceiling; extra peers get an explicit 503 close (default: unlimited)\n\
          \x20 --idle-timeout-ms <n>   reap connections idle this long, epoll core only (default: never)\n\
+         \x20 --transport <mode>      wire protocol: 'plain' (default) or 'secure' (IBS handshake + AES-GCM records; env MWS_TRANSPORT=secure also selects it)\n\
          \x20 --shards <n>            message-warehouse shards (default 1)\n\
          \x20 --device <sd_id>        provision a smart device (repeatable, order matters)\n\
          \x20 --client <id:pw[:a,b]>  provision an RC with attribute grants (repeatable, order matters){extra}\n\
@@ -286,6 +293,14 @@ where
                             "--idle-timeout-ms expects milliseconds >= 1, got '{v}'"
                         ))
                     })?);
+            }
+            "--transport" => {
+                let v = value("--transport")?;
+                opts.transport = TransportMode::parse(&v).ok_or_else(|| {
+                    FlagError::Bad(format!(
+                        "--transport expects 'plain' or 'secure', got '{v}'"
+                    ))
+                })?;
             }
             "--device" => opts.devices.push(value("--device")?),
             "--client" => opts
@@ -380,6 +395,25 @@ pub fn provision(opts: &DaemonOpts) -> Deployment {
     dep
 }
 
+/// One upstream TCP client, speaking the deployment's transport: a
+/// fresh handshake per (re)connect in secure mode, bare sockets in
+/// plain mode.
+fn upstream_client(
+    sock: std::net::SocketAddr,
+    secure: &Option<Arc<SecureClientSettings>>,
+) -> TcpClient {
+    match secure {
+        Some(s) => TcpClient::with_config(
+            sock,
+            ClientConfig {
+                secure: Some(s.clone()),
+                ..ClientConfig::default()
+            },
+        ),
+        None => TcpClient::new(sock),
+    }
+}
+
 /// Binds the role's service from `dep` onto a TCP listener.
 pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result<TcpServer> {
     let cfg = ServerConfig {
@@ -389,8 +423,19 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
         event_loops: opts.event_loops,
         max_connections: opts.max_connections,
         idle_timeout: opts.idle_timeout_ms.map(std::time::Duration::from_millis),
+        secure: opts
+            .transport
+            .is_secure()
+            .then(|| Arc::new(SecureSettings::for_role(dep, role))),
         ..ServerConfig::default()
     };
+    // The gatekeeper's upstream hops authenticate as the gatekeeper and
+    // pin the warehouse identity — a misrouted address (or an imposter)
+    // fails the handshake instead of receiving relayed plaintext.
+    let client_secure: Option<Arc<SecureClientSettings>> = opts
+        .transport
+        .is_secure()
+        .then(|| Arc::new(SecureClientSettings::new(dep, ID_GATEKEEPER, Some(ID_MMS))));
     match role {
         Role::Mms => {
             let mws = dep.mws().clone();
@@ -414,7 +459,7 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
                     )
                 })?;
                 let pool = (0..CLUSTER_POOL)
-                    .map(|_| TcpClient::new(sock).into_client())
+                    .map(|_| upstream_client(sock, &client_secure).into_client())
                     .collect();
                 nodes.push(mws_cluster::ClusterNode::new(addr.clone(), pool));
             }
@@ -434,10 +479,11 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
             router.enable_hints(opts.hint_dir.clone());
             // Live joins name nodes by address; build them the same way
             // the static member list is built.
-            router.set_node_factory(|name| {
+            let factory_secure = client_secure.clone();
+            router.set_node_factory(move |name| {
                 let pool = match name.parse::<std::net::SocketAddr>() {
                     Ok(sock) => (0..CLUSTER_POOL)
-                        .map(|_| TcpClient::new(sock).into_client())
+                        .map(|_| upstream_client(sock, &factory_secure).into_client())
                         .collect(),
                     Err(e) => {
                         // The order was operator-MAC'd, but the address is
@@ -473,7 +519,7 @@ pub fn serve(role: Role, dep: &Deployment, opts: &DaemonOpts) -> std::io::Result
                     format!("--upstream '{}': {e}", opts.upstream),
                 )
             })?;
-            let upstream = TcpClient::new(upstream_addr).into_client();
+            let upstream = upstream_client(upstream_addr, &client_secure).into_client();
             let front = GatekeeperFrontdoor::new(
                 dep.clock().clone(),
                 mws_core::clock::ReplayPolicy::standard(),
@@ -527,6 +573,7 @@ pub fn run(role: Role) -> ! {
     };
     mws_obs::info!(target: "mws_server", "listening",
         role = role.name(), addr = server.local_addr().to_string(),
+        transport = opts.transport.to_string(),
         seed = opts.seed, devices = opts.devices.len(), clients = opts.clients.len(),);
     loop {
         std::thread::park();
@@ -634,6 +681,18 @@ mod tests {
         assert!(parse_args(Role::Mms, argv(&["--event-loops", "0"])).is_err());
         assert!(parse_args(Role::Mms, argv(&["--max-connections", "0"])).is_err());
         assert!(parse_args(Role::Mms, argv(&["--idle-timeout-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn transport_flag_parses_on_every_role() {
+        for role in [Role::Mms, Role::Pkg, Role::Gatekeeper] {
+            let opts = parse_args(role, argv(&["--transport", "secure"])).unwrap();
+            assert_eq!(opts.transport, TransportMode::Secure);
+            let opts = parse_args(role, argv(&["--transport", "plain"])).unwrap();
+            assert_eq!(opts.transport, TransportMode::Plain);
+        }
+        assert!(parse_args(Role::Mms, argv(&["--transport", "tls"])).is_err());
+        assert!(parse_args(Role::Mms, argv(&["--transport"])).is_err());
     }
 
     #[test]

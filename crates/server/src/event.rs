@@ -34,13 +34,15 @@
 //! [`pipeline_depth`]: crate::ServerConfig::pipeline_depth
 //! [`ServerConfig::idle_timeout`]: crate::ServerConfig::idle_timeout
 
+use crate::secure::SecureSettings;
 use crate::server::{over_capacity_close, ServerConfig};
 use crate::stats::{handle_us, stats};
 use crate::sys::{Epoll, EpollEvent, EPOLLERR, EPOLLHUP, EPOLLIN, EPOLLOUT, EPOLLRDHUP};
 use crossbeam::channel;
 use mws_net::Service;
 use mws_obs::trace::TraceContext;
-use mws_wire::{encode_envelope, encode_envelope_auto, Pdu, StreamDecoder};
+use mws_wire::secure::{Handshaker, Opened, RecordDecoder, RecvHalf, SecureError, SendHalf};
+use mws_wire::{decode_envelope_traced, encode_envelope, encode_envelope_auto, Pdu, StreamDecoder};
 use std::collections::{HashMap, VecDeque};
 use std::io::{Read, Write};
 use std::net::{TcpListener, TcpStream};
@@ -105,11 +107,45 @@ pub(crate) struct EventCore {
     pub(crate) workers: Vec<JoinHandle<()>>,
 }
 
+/// Secure-transport state for one connection (`None` = plaintext).
+/// On a secure listener every connection is born HANDSHAKING and only
+/// reaches the decoded-PDU path once the handshake proves the peer and
+/// derives session keys — the epoll analogue of the threaded core's
+/// handshake-first `serve_conn`.
+// `Open` is the steady state touched on every record, so its halves stay
+// inline; only the transient handshake driver is boxed.
+#[allow(clippy::large_enum_variant)]
+enum SecState {
+    /// Handshake in progress; `since` enforces the handshake deadline
+    /// via the idle sweep. Boxed: the driver's transcript state would
+    /// otherwise bloat every established connection's inline `Conn`.
+    Handshaking { hs: Box<Handshaker>, since: Instant },
+    /// Keys established: inbound bytes split into records, open through
+    /// `recv`; replies seal through `send`.
+    Open {
+        send: SendHalf,
+        recv: RecvHalf,
+        records: RecordDecoder,
+    },
+}
+
+/// One step of the secure decode loop (see [`EventLoop::next_request`]).
+enum Decoded {
+    /// No complete request buffered.
+    Idle,
+    /// One decoded request.
+    Req(Pdu, Option<TraceContext>),
+    /// The peer sent the authenticated CLOSE record.
+    Close,
+}
+
 /// One connection's entire state machine. Owned by exactly one loop
 /// thread; nothing here is shared or locked.
 struct Conn {
     stream: TcpStream,
     decoder: StreamDecoder,
+    /// Secure-transport state; `None` on a plaintext listener.
+    sec: Option<SecState>,
     /// Decoded-but-undispatched requests, in arrival order.
     pending: VecDeque<(Pdu, Option<TraceContext>)>,
     /// One request is at a worker; its completion dispatches the next.
@@ -130,10 +166,11 @@ struct Conn {
 }
 
 impl Conn {
-    fn new(stream: TcpStream, interest: u32) -> Self {
+    fn new(stream: TcpStream, interest: u32, sec: Option<SecState>) -> Self {
         Self {
             stream,
             decoder: StreamDecoder::new(),
+            sec,
             pending: VecDeque::new(),
             busy: false,
             out: VecDeque::new(),
@@ -158,6 +195,7 @@ struct EventLoop {
     next_token: u64,
     pipeline_depth: usize,
     idle_timeout: Option<Duration>,
+    secure: Option<Arc<SecureSettings>>,
     tick: Duration,
     shutdown: Arc<AtomicBool>,
     open: Arc<AtomicUsize>,
@@ -223,19 +261,46 @@ impl EventLoop {
         self.service_conn(token);
     }
 
-    /// Nonblocking reads straight into the decoder buffer, until
-    /// `EAGAIN`, EOF, or the per-event fairness cap.
+    /// Nonblocking reads until `EAGAIN`, EOF, or the per-event fairness
+    /// cap. Plaintext bytes go straight into the envelope decoder;
+    /// secure bytes route through the handshake driver or record
+    /// decoder via [`Self::feed_secure`].
     fn pump_read(conn: &mut Conn) {
         if conn.read_done {
             return;
         }
+        if conn.sec.is_none() {
+            for _ in 0..READS_PER_EVENT {
+                match conn.decoder.fill_from(&mut conn.stream, READ_CHUNK) {
+                    Ok(0) => {
+                        conn.read_done = true;
+                        return;
+                    }
+                    Ok(_) => conn.last_activity = Instant::now(),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                    Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.read_done = true;
+                        return;
+                    }
+                }
+            }
+            return;
+        }
+        let mut buf = [0u8; READ_CHUNK];
         for _ in 0..READS_PER_EVENT {
-            match conn.decoder.fill_from(&mut conn.stream, READ_CHUNK) {
+            match conn.stream.read(&mut buf) {
                 Ok(0) => {
                     conn.read_done = true;
                     return;
                 }
-                Ok(_) => conn.last_activity = Instant::now(),
+                Ok(n) => {
+                    conn.last_activity = Instant::now();
+                    Self::feed_secure(conn, &buf[..n]);
+                    if conn.read_done || conn.closing {
+                        return;
+                    }
+                }
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
                 Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
                 Err(_) => {
@@ -243,6 +308,112 @@ impl EventLoop {
                     return;
                 }
             }
+        }
+    }
+
+    /// Routes freshly read bytes through the connection's secure state.
+    /// Handshake completion swaps HANDSHAKING for OPEN in place and
+    /// carries buffered post-handshake records over; handshake failure
+    /// closes (after a plaintext 426 when the peer never spoke the
+    /// secure protocol at all).
+    fn feed_secure(conn: &mut Conn, bytes: &[u8]) {
+        match &mut conn.sec {
+            Some(SecState::Handshaking { hs, since }) => {
+                let fed = hs.feed(bytes);
+                let out = hs.take_output();
+                if !out.is_empty() {
+                    conn.out.push_back(out);
+                }
+                match fed {
+                    Ok(None) => {}
+                    Ok(Some(est)) => {
+                        stats().secure_handshakes.inc();
+                        stats().handshake_us.record_duration(since.elapsed());
+                        mws_obs::debug!(target: "mws_server", "secure session established",
+                            peer_identity = est.peer.clone(),);
+                        let (send, recv) = est.session.into_halves();
+                        let mut records = RecordDecoder::new();
+                        records.feed(&est.leftover);
+                        conn.sec = Some(SecState::Open {
+                            send,
+                            recv,
+                            records,
+                        });
+                    }
+                    Err(e) => {
+                        stats().secure_handshake_failures.inc();
+                        conn.out.clear();
+                        if matches!(e, SecureError::PlaintextPeer(_)) {
+                            // A plaintext client dialed a secure
+                            // listener: answer in its own protocol so
+                            // the operator sees the misconfiguration.
+                            stats().secure_downgrades.inc();
+                            conn.out.push_back(encode_envelope(&Pdu::Error {
+                                code: 426,
+                                detail: "secure transport required (--transport secure)".into(),
+                            }));
+                        }
+                        mws_obs::warn!(target: "mws_server", "secure handshake failed",
+                            error = e.to_string(),);
+                        conn.read_done = true;
+                        conn.closing = true;
+                    }
+                }
+            }
+            Some(SecState::Open { records, .. }) => records.feed(bytes),
+            None => {}
+        }
+    }
+
+    /// Decodes the next complete request, routing through the secure
+    /// record layer when the connection has one. `Err` is a desync: the
+    /// stream (or record sequence) can no longer be trusted.
+    fn next_request(conn: &mut Conn) -> Result<Decoded, String> {
+        match &mut conn.sec {
+            None => match conn.decoder.next_traced() {
+                Ok(Some((pdu, trace))) => Ok(Decoded::Req(pdu, trace)),
+                Ok(None) => Ok(Decoded::Idle),
+                Err(e) => Err(e.to_string()),
+            },
+            // No requests exist before the handshake proves the peer.
+            Some(SecState::Handshaking { .. }) => Ok(Decoded::Idle),
+            // One record per call; the pipeline loop in `service_conn`
+            // keeps calling until `Idle`, draining everything buffered.
+            Some(SecState::Open { recv, records, .. }) => {
+                let Some((rtype, payload)) = records.next_record().map_err(|e| e.to_string())?
+                else {
+                    return Ok(Decoded::Idle);
+                };
+                match recv
+                    .open_record(rtype, &payload)
+                    .map_err(|e| e.to_string())?
+                {
+                    Opened::Close => Ok(Decoded::Close),
+                    Opened::Frame(frame) => match decode_envelope_traced(&frame) {
+                        Ok((pdu, consumed, trace)) if consumed == frame.len() => {
+                            Ok(Decoded::Req(pdu, trace))
+                        }
+                        Ok(_) => Err("trailing bytes in record".into()),
+                        Err(e) => Err(e.to_string()),
+                    },
+                }
+            }
+        }
+    }
+
+    /// Queues one reply frame, sealing it first on a secure connection.
+    /// A seal failure is unrecoverable for the session: abandon the
+    /// reply and close.
+    fn push_reply(conn: &mut Conn, frame: Vec<u8>) {
+        match &mut conn.sec {
+            Some(SecState::Open { send, .. }) => match send.seal_frame(&frame) {
+                Ok(rec) => conn.out.push_back(rec),
+                Err(_) => conn.closing = true,
+            },
+            // Unreachable (no request decodes before keys), but closing
+            // beats leaking plaintext if it ever were.
+            Some(SecState::Handshaking { .. }) => conn.closing = true,
+            None => conn.out.push_back(frame),
         }
     }
 
@@ -282,10 +453,16 @@ impl EventLoop {
             while conn.desync.is_none()
                 && (conn.busy as usize) + conn.pending.len() < self.pipeline_depth
             {
-                match conn.decoder.next_traced() {
-                    Ok(Some(item)) => conn.pending.push_back(item),
-                    Ok(None) => break,
-                    Err(e) => conn.desync = Some(e.to_string()),
+                match Self::next_request(conn) {
+                    Ok(Decoded::Req(pdu, trace)) => conn.pending.push_back((pdu, trace)),
+                    Ok(Decoded::Idle) => break,
+                    Ok(Decoded::Close) => {
+                        // Authenticated session close: same
+                        // drain-then-close sequencing as EOF.
+                        conn.read_done = true;
+                        break;
+                    }
+                    Err(e) => conn.desync = Some(e),
                 }
             }
             if !conn.busy {
@@ -308,8 +485,7 @@ impl EventLoop {
                 stats().wire_errors.inc();
                 mws_obs::warn!(target: "mws_server", "stream desynchronized, dropping connection",
                     error = detail.clone(),);
-                conn.out
-                    .push_back(encode_envelope(&Pdu::Error { code: 400, detail }));
+                Self::push_reply(conn, encode_envelope(&Pdu::Error { code: 400, detail }));
                 conn.closing = true;
             }
             let write_dead = Self::flush(conn);
@@ -352,7 +528,7 @@ impl EventLoop {
             let live = match self.conns.get_mut(&c.token) {
                 Some(conn) => {
                     conn.busy = false;
-                    conn.out.push_back(c.frame);
+                    Self::push_reply(conn, c.frame);
                     true
                 }
                 None => false,
@@ -377,36 +553,59 @@ impl EventLoop {
                 self.release_one();
                 continue;
             }
-            self.conns.insert(token, Conn::new(stream, mask));
+            // On a secure listener the connection is born HANDSHAKING;
+            // the server speaks second, so there is no initial output.
+            let sec = self.secure.as_ref().map(|s| SecState::Handshaking {
+                hs: Box::new(Handshaker::server(s.auth.clone(), s.session.clone())),
+                since: Instant::now(),
+            });
+            self.conns.insert(token, Conn::new(stream, mask, sec));
             stats().connections.inc();
         }
     }
 
     fn sweep_idle(&mut self, last_sweep: &mut Instant) {
-        let Some(timeout) = self.idle_timeout else {
+        let idle = self.idle_timeout;
+        let hs_timeout = self.secure.as_ref().map(|s| s.handshake_timeout);
+        let Some(shortest) = [idle, hs_timeout].into_iter().flatten().min() else {
             return;
         };
         // Sweeping is O(connections); amortize it to a fraction of the
-        // timeout instead of every tick.
-        let granularity = (timeout / 4).max(Duration::from_millis(10));
+        // shortest deadline instead of every tick.
+        let granularity = (shortest / 4).max(Duration::from_millis(10));
         if last_sweep.elapsed() < granularity {
             return;
         }
         *last_sweep = Instant::now();
         let now = Instant::now();
-        let stale: Vec<u64> = self
-            .conns
-            .iter()
-            .filter(|(_, c)| {
-                // Only truly quiet connections reap: in-flight work or
-                // unflushed replies both count as activity.
-                !c.busy
+        let mut hs_expired = Vec::new();
+        let mut stale = Vec::new();
+        for (t, c) in &self.conns {
+            // A connection stuck mid-handshake is dropped on its own
+            // (shorter) deadline, so a slowloris peer cannot park in
+            // HANDSHAKING forever.
+            if let (Some(limit), Some(SecState::Handshaking { since, .. })) = (hs_timeout, &c.sec) {
+                if now.duration_since(*since) >= limit {
+                    hs_expired.push(*t);
+                }
+                continue;
+            }
+            // Only truly quiet connections reap: in-flight work or
+            // unflushed replies both count as activity.
+            if let Some(timeout) = idle {
+                if !c.busy
                     && c.pending.is_empty()
                     && c.out.is_empty()
                     && now.duration_since(c.last_activity) >= timeout
-            })
-            .map(|(t, _)| *t)
-            .collect();
+                {
+                    stale.push(*t);
+                }
+            }
+        }
+        for t in hs_expired {
+            stats().secure_handshake_failures.inc();
+            self.close(t);
+        }
         for t in stale {
             stats().idle_reaped.inc();
             self.close(t);
@@ -414,7 +613,16 @@ impl EventLoop {
     }
 
     fn close(&mut self, token: u64) {
-        if let Some(conn) = self.conns.remove(&token) {
+        if let Some(mut conn) = self.conns.remove(&token) {
+            // A secure session announces its end with an authenticated
+            // CLOSE record so the peer can tell shutdown from
+            // truncation (best-effort: a nonblocking short write or
+            // dead socket just drops it).
+            if let Some(SecState::Open { send, .. }) = &mut conn.sec {
+                if let Ok(rec) = send.seal_close() {
+                    let _ = conn.stream.write(&rec);
+                }
+            }
             let _ = self.epoll.delete(conn.stream.as_raw_fd());
             self.release_one();
         }
@@ -540,6 +748,7 @@ where
             next_token: WAKER_TOKEN + 1,
             pipeline_depth: cfg.pipeline_depth.max(1),
             idle_timeout: cfg.idle_timeout,
+            secure: cfg.secure.clone(),
             tick: cfg.read_poll,
             shutdown: shutdown.clone(),
             open: open.clone(),

@@ -33,6 +33,10 @@
 //! * [`cluster`] — [`ClusterFrontdoor`]: the same front door in cluster
 //!   mode, routing deposits and retrieves through an
 //!   [`mws_cluster::ClusterRouter`] across N warehouse daemons.
+//! * [`secure`] — IBS-backed transport security ([`secure::IbsAuth`]):
+//!   every daemon link can run over the authenticated, encrypted
+//!   sessions of `mws_wire::secure` (`--transport secure`, DESIGN.md
+//!   §12), with endpoint credentials extracted from the deployment seed.
 //! * [`chaos`] — [`ChaosProxy`]: a seed-deterministic chaos TCP relay
 //!   injecting stalls, mid-frame truncation and connection resets between
 //!   real sockets (the transport half of the chaos harness).
@@ -54,6 +58,7 @@ pub mod daemon;
 pub(crate) mod event;
 pub mod framing;
 pub mod gateway;
+pub mod secure;
 pub mod server;
 pub(crate) mod stats;
 #[cfg(target_os = "linux")]
@@ -64,6 +69,10 @@ pub use client::{ClientConfig, TcpClient};
 pub use cluster::ClusterFrontdoor;
 pub use daemon::{DaemonOpts, FlagError, Role};
 pub use gateway::GatekeeperFrontdoor;
+pub use secure::{
+    IbsAuth, SecureClientSettings, SecureSettings, TransportMode, ID_CLIENT, ID_GATEKEEPER, ID_MMS,
+    ID_OPS, ID_PKG,
+};
 pub use server::{ServerConfig, ServerCore, TcpServer};
 #[cfg(target_os = "linux")]
 pub use sys::raise_nofile_limit;

@@ -29,9 +29,13 @@
 //! [`TcpServer::shutdown`] returns.
 
 use crate::framing::{is_timeout, write_frame};
+use crate::secure::SecureSettings;
 use crate::stats::{handle_us, stats};
 use crossbeam::channel;
 use mws_net::Service;
+use mws_wire::secure::{
+    io_secure_error, Opened, RecordDecoder, RecvHalf, SecureChannel, SecureError, SendHalf,
+};
 use mws_wire::{Pdu, StreamDecoder};
 use std::io::Read;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -116,6 +120,10 @@ pub struct ServerConfig {
     /// off the socket and TCP backpressure reaches the client. `1`
     /// still overlaps decode with handling; `0` is clamped to `1`.
     pub pipeline_depth: usize,
+    /// `Some` requires every connection to complete the secure handshake
+    /// (DESIGN.md §12) before any PDU is served; plaintext peers get a
+    /// plain `426` and a close. `None` serves plaintext envelopes.
+    pub secure: Option<Arc<SecureSettings>>,
 }
 
 impl Default for ServerConfig {
@@ -131,6 +139,7 @@ impl Default for ServerConfig {
             read_poll: Duration::from_millis(50),
             write_timeout: Duration::from_secs(2),
             pipeline_depth: 32,
+            secure: None,
         }
     }
 }
@@ -314,6 +323,7 @@ where
         let read_poll = cfg.read_poll;
         let write_timeout = cfg.write_timeout;
         let pipeline_depth = cfg.pipeline_depth.max(1);
+        let secure = cfg.secure.clone();
         workers.push(
             std::thread::Builder::new()
                 .name(format!("mws-worker-{i}"))
@@ -329,6 +339,7 @@ where
                             read_poll,
                             write_timeout,
                             pipeline_depth,
+                            secure.as_deref(),
                         );
                         open.fetch_sub(1, Ordering::SeqCst);
                         stats().open_connections.add(-1);
@@ -402,17 +413,31 @@ fn serve_conn<S: Service>(
     read_poll: Duration,
     write_timeout: Duration,
     pipeline_depth: usize,
+    secure: Option<&SecureSettings>,
 ) {
+    let _ = stream.set_nodelay(true);
+    // In secure mode the handshake runs first, blocking, under its own
+    // deadline — no plaintext PDU is ever served on a secure listener.
+    let halves = match secure {
+        None => None,
+        Some(sec) => match accept_handshake(&mut stream, sec) {
+            Some(session) => Some(session.into_halves()),
+            None => return,
+        },
+    };
     if stream.set_read_timeout(Some(read_poll)).is_err()
         || stream.set_write_timeout(Some(write_timeout)).is_err()
     {
         return;
     }
-    let _ = stream.set_nodelay(true);
     stats().connections.inc();
     let reader_stream = match stream.try_clone() {
         Ok(s) => s,
         Err(_) => return,
+    };
+    let (send_half, recv_half) = match halves {
+        None => (None, None),
+        Some((s, r)) => (Some(s), Some(r)),
     };
     let done = Arc::new(AtomicBool::new(false));
     let (tx, rx) = channel::bounded::<Inbound>(pipeline_depth.max(1));
@@ -421,10 +446,29 @@ fn serve_conn<S: Service>(
         let shutdown = shutdown.clone();
         std::thread::Builder::new()
             .name("mws-conn-reader".into())
-            .spawn(move || read_loop(reader_stream, &tx, &done, &shutdown))
+            .spawn(move || match recv_half {
+                None => read_loop(reader_stream, &tx, &done, &shutdown),
+                Some(recv) => read_loop_secure(reader_stream, recv, &tx, &done, &shutdown),
+            })
     };
     let Ok(reader) = reader else { return };
-    serve_replies(&mut stream, service, shutdown, &rx, read_poll);
+    let mut send_half = send_half;
+    serve_replies(
+        &mut stream,
+        service,
+        shutdown,
+        &rx,
+        read_poll,
+        &mut send_half,
+    );
+    // A secure connection announces its end with an authenticated CLOSE
+    // (best-effort; an already-broken socket just drops).
+    if let Some(send) = send_half.as_mut() {
+        if let Ok(rec) = send.seal_close() {
+            use std::io::Write;
+            let _ = stream.write_all(&rec);
+        }
+    }
     // Unwind the reader: the flag covers its timeout polls, the socket
     // shutdown unblocks a read in progress, and dropping the receiver
     // unparks a send() against a full queue.
@@ -432,6 +476,50 @@ fn serve_conn<S: Service>(
     let _ = stream.shutdown(Shutdown::Both);
     drop(rx);
     let _ = reader.join();
+}
+
+/// Runs the server side of the secure handshake on a fresh connection.
+/// Returns `None` (after metrics and the downgrade 426) on any failure.
+pub(crate) fn accept_handshake(
+    stream: &mut TcpStream,
+    sec: &SecureSettings,
+) -> Option<mws_wire::secure::SecureSession> {
+    let started = Instant::now();
+    if stream
+        .set_read_timeout(Some(sec.handshake_timeout))
+        .and_then(|()| stream.set_write_timeout(Some(sec.handshake_timeout)))
+        .is_err()
+    {
+        return None;
+    }
+    match SecureChannel::accept(stream, &sec.auth, &sec.session) {
+        Ok((session, peer)) => {
+            stats().secure_handshakes.inc();
+            stats().handshake_us.record_duration(started.elapsed());
+            mws_obs::debug!(target: "mws_server", "secure session established",
+                peer_identity = peer,);
+            session.into()
+        }
+        Err(e) => {
+            stats().secure_handshake_failures.inc();
+            if matches!(io_secure_error(&e), Some(SecureError::PlaintextPeer(_))) {
+                // A plaintext client dialed a secure listener: answer in
+                // its own protocol so the operator sees the misconfig.
+                stats().secure_downgrades.inc();
+                let _ = write_frame(
+                    stream,
+                    &Pdu::Error {
+                        code: 426,
+                        detail: "secure transport required (--transport secure)".into(),
+                    },
+                );
+            }
+            mws_obs::warn!(target: "mws_server", "secure handshake failed",
+                error = e.to_string(),);
+            let _ = stream.shutdown(Shutdown::Both);
+            None
+        }
+    }
 }
 
 /// Reader half of a pipelined connection: socket bytes → decoded PDUs.
@@ -474,6 +562,65 @@ fn read_loop(
     }
 }
 
+/// Secure-mode reader: socket bytes → records → opened frames → PDUs.
+/// One record carries exactly one envelope frame, so each opened record
+/// decodes directly without a second incremental decoder.
+fn read_loop_secure(
+    mut stream: TcpStream,
+    mut recv: RecvHalf,
+    tx: &channel::Sender<Inbound>,
+    done: &AtomicBool,
+    shutdown: &AtomicBool,
+) {
+    let mut records = RecordDecoder::new();
+    let mut buf = [0u8; 8 * 1024];
+    loop {
+        loop {
+            match records.next_record() {
+                Ok(Some((rtype, payload))) => {
+                    let frame = match recv.open_record(rtype, &payload) {
+                        Ok(Opened::Frame(frame)) => frame,
+                        Ok(Opened::Close) => return, // clean, authenticated close
+                        Err(e) => {
+                            let _ = tx.send(Inbound::Desync(e.to_string()));
+                            return;
+                        }
+                    };
+                    match mws_wire::decode_envelope_traced(&frame) {
+                        Ok((request, consumed, trace)) if consumed == frame.len() => {
+                            if tx.send(Inbound::Req(request, trace)).is_err() {
+                                return;
+                            }
+                        }
+                        Ok(_) => {
+                            let _ = tx.send(Inbound::Desync("trailing bytes in record".into()));
+                            return;
+                        }
+                        Err(wire_err) => {
+                            let _ = tx.send(Inbound::Desync(wire_err.to_string()));
+                            return;
+                        }
+                    }
+                }
+                Ok(None) => break,
+                Err(e) => {
+                    let _ = tx.send(Inbound::Desync(e.to_string()));
+                    return;
+                }
+            }
+        }
+        if done.load(Ordering::SeqCst) || shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match stream.read(&mut buf) {
+            Ok(0) => return, // transport close (no CLOSE record: truncation)
+            Ok(n) => records.feed(&buf[..n]),
+            Err(ref e) if is_timeout(e) => continue, // poll the flags
+            Err(_) => return,
+        }
+    }
+}
+
 /// Handler half of a pipelined connection: decoded PDUs → replies, in
 /// queue (= request) order.
 fn serve_replies<S: Service>(
@@ -482,6 +629,7 @@ fn serve_replies<S: Service>(
     shutdown: &AtomicBool,
     rx: &channel::Receiver<Inbound>,
     poll: Duration,
+    send: &mut Option<SendHalf>,
 ) {
     loop {
         if shutdown.load(Ordering::SeqCst) {
@@ -506,7 +654,7 @@ fn serve_replies<S: Service>(
                 let started = Instant::now();
                 let reply = service.handle(request);
                 handle_us(pdu).record_duration(started.elapsed());
-                if write_frame(stream, &reply).is_err() {
+                if send_reply(stream, send, &reply).is_err() {
                     return;
                 }
             }
@@ -515,9 +663,38 @@ fn serve_replies<S: Service>(
                 mws_obs::warn!(target: "mws_server", "stream desynchronized, dropping connection",
                     error = detail.clone(),);
                 // Desynchronized stream: tell the peer why, then drop.
-                let _ = write_frame(stream, &Pdu::Error { code: 400, detail });
+                let _ = send_reply(stream, send, &Pdu::Error { code: 400, detail });
                 return;
             }
+        }
+    }
+}
+
+/// Writes one reply, sealed when the connection is secure. Shared by the
+/// request and desync paths of the threaded core.
+fn send_reply(
+    stream: &mut TcpStream,
+    send: &mut Option<SendHalf>,
+    reply: &Pdu,
+) -> std::io::Result<()> {
+    match send {
+        None => write_frame(stream, reply).map_err(|e| {
+            let msg = match e {
+                crate::framing::FrameError::Io(msg) => msg,
+                crate::framing::FrameError::Closed => "connection closed by peer".into(),
+                crate::framing::FrameError::Timeout => "write timed out".into(),
+                crate::framing::FrameError::Wire(w) => format!("wire error: {w:?}"),
+            };
+            std::io::Error::other(msg)
+        }),
+        Some(half) => {
+            use std::io::Write;
+            let frame = mws_wire::encode_envelope_auto(reply);
+            let rec = half
+                .seal_frame(&frame)
+                .map_err(mws_wire::secure::secure_to_io)?;
+            stream.write_all(&rec)?;
+            stream.flush()
         }
     }
 }

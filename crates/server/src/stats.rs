@@ -31,6 +31,14 @@ pub(crate) struct ServerStats {
     pub breaker_opened: Counter,
     pub breaker_half_open: Counter,
     pub breaker_closed: Counter,
+    /// Secure-transport handshakes completed (server side).
+    pub secure_handshakes: Counter,
+    /// Secure-transport handshakes that failed or were interrupted.
+    pub secure_handshake_failures: Counter,
+    /// Plaintext peers turned away from a secure listener with a 426.
+    pub secure_downgrades: Counter,
+    /// Server-side handshake latency (µs), accept to session keys.
+    pub handshake_us: Histogram,
 }
 
 pub(crate) fn stats() -> &'static ServerStats {
@@ -55,6 +63,10 @@ pub(crate) fn stats() -> &'static ServerStats {
             breaker_opened: breaker("open"),
             breaker_half_open: breaker("half_open"),
             breaker_closed: breaker("closed"),
+            secure_handshakes: r.counter("mws_server_secure_handshakes_total"),
+            secure_handshake_failures: r.counter("mws_server_secure_handshake_failures_total"),
+            secure_downgrades: r.counter("mws_server_secure_downgrades_total"),
+            handshake_us: r.histogram("mws_server_secure_handshake_us"),
         }
     })
 }

@@ -20,14 +20,17 @@
 //! * [`envelope`] — the outer frame: `version ‖ type ‖ len ‖ body`.
 //! * [`stream`] — incremental decoding of envelopes arriving in arbitrary
 //!   split chunks (TCP transports).
+//! * [`secure`] — authenticated, encrypted sessions wrapping envelope
+//!   frames in AES-GCM records (DESIGN.md §12).
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod codec;
 pub mod envelope;
 pub mod hash;
 pub mod pdu;
+pub mod secure;
 pub mod stream;
 
 pub use codec::{WireReader, WireWriter};
@@ -40,6 +43,10 @@ pub use pdu::{
     cluster_admin_bytes, cluster_drain_bytes, cluster_join_bytes, replica_evict_bytes,
     replica_plane_bytes, DepositItem, DepositOutcome, MemberState, Pdu, RelayEntry, WireMessage,
     MEMBER_ACTIVE, MEMBER_DRAINING, MEMBER_JOINING,
+};
+pub use secure::{
+    ChannelAuth, Handshaker, Opened, PskAuth, RecordDecoder, SecureChannel, SecureError,
+    SecureSession, SessionConfig, WIRE_VERSION_SECURE,
 };
 pub use stream::StreamDecoder;
 

@@ -2,8 +2,10 @@
 //! arbitrary bytes never panic the decoder, and the incremental decoder
 //! agrees with one-shot decoding under adversarial socket behaviour.
 
+use mws_wire::secure::{ChannelAuth, Handshaker, Opened, PskAuth, RecordDecoder, SessionConfig};
 use mws_wire::{decode_envelope, encode_envelope, Pdu, StreamDecoder, WireMessage};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 /// A reader that misbehaves the way a nonblocking socket can: each call
 /// follows a seeded script of short reads (down to one byte), spurious
@@ -272,5 +274,154 @@ proptest! {
         prop_assert_eq!(decoded, one_shot);
         prop_assert_eq!(decoder.buffered(), 0);
         prop_assert_eq!(decoder.next_pdu().unwrap(), None);
+    }
+
+    #[test]
+    fn secure_handshake_survives_arbitrary_fragmentation(
+        chunk_sizes in prop::collection::vec(1usize..23, 1..64),
+        seed in any::<u64>(),
+    ) {
+        // The sans-io handshake driver against a transport delivering
+        // its three flights in arbitrary fragments — splits land
+        // mid-header, mid-signature, anywhere. Both sides must still
+        // complete and derive byte-identical directional keys (proved
+        // by sealing/opening in both directions), exactly as if each
+        // flight had arrived whole.
+        let psk = b"proptest transport psk";
+        let client_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/client", seed));
+        let server_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/warehouse", seed.wrapping_add(1)));
+        let cfg = SessionConfig::default();
+        let mut c = Handshaker::client(client_auth, Some("mws/warehouse".into()), cfg.clone());
+        let mut s = Handshaker::server(server_auth, cfg);
+        let mut c_est = None;
+        let mut s_est = None;
+        let mut to_server: Vec<u8> = Vec::new();
+        let mut to_client: Vec<u8> = Vec::new();
+        let mut turn = 0;
+        // Generous bound: the whole exchange is a few KB of one-byte
+        // fragments at worst; a stall would mean lost handshake bytes.
+        for _ in 0..20_000 {
+            to_server.extend(c.take_output());
+            to_client.extend(s.take_output());
+            if c_est.is_some() && s_est.is_some() {
+                break;
+            }
+            let take = chunk_sizes[turn % chunk_sizes.len()];
+            turn += 1;
+            if s_est.is_none() && !to_server.is_empty() {
+                let n = take.min(to_server.len());
+                let bytes: Vec<u8> = to_server.drain(..n).collect();
+                if let Some(est) = s.feed(&bytes).unwrap() {
+                    s_est = Some(est);
+                }
+            } else if c_est.is_none() && !to_client.is_empty() {
+                let n = take.min(to_client.len());
+                let bytes: Vec<u8> = to_client.drain(..n).collect();
+                if let Some(est) = c.feed(&bytes).unwrap() {
+                    c_est = Some(est);
+                }
+            }
+        }
+        let mut c_est = c_est.expect("client handshake completed");
+        let mut s_est = s_est.expect("server handshake completed");
+        prop_assert_eq!(&c_est.peer, "mws/warehouse");
+        prop_assert_eq!(&s_est.peer, "mws/client");
+        prop_assert!(c_est.leftover.is_empty());
+        prop_assert!(s_est.leftover.is_empty());
+
+        // Same keys both ways: client→server and server→client frames
+        // seal under one side's schedule and open under the other's.
+        let rec = c_est.session.seal_frame(b"client frame").unwrap();
+        let mut rd = RecordDecoder::new();
+        rd.feed(&rec);
+        let (rt, pl) = rd.next_record().unwrap().unwrap();
+        prop_assert_eq!(
+            s_est.session.open_record(rt, &pl).unwrap(),
+            Opened::Frame(b"client frame".to_vec())
+        );
+        let rec = s_est.session.seal_frame(b"server frame").unwrap();
+        let mut rd = RecordDecoder::new();
+        rd.feed(&rec);
+        let (rt, pl) = rd.next_record().unwrap().unwrap();
+        prop_assert_eq!(
+            c_est.session.open_record(rt, &pl).unwrap(),
+            Opened::Frame(b"server frame".to_vec())
+        );
+    }
+
+    #[test]
+    fn tampered_handshake_bytes_never_panic_or_establish_mismatched_keys(
+        pos in any::<u32>(),
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        // A random bit flip anywhere in the client's first flight. The
+        // server may error (typed), may wait for more bytes (a flip in
+        // a length field), but must never panic — and if it somehow
+        // answers, the client must not complete against a transcript
+        // that differs from its own.
+        let psk = b"proptest transport psk";
+        let client_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/client", seed));
+        let server_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/warehouse", seed.wrapping_add(1)));
+        let cfg = SessionConfig::default();
+        let mut c = Handshaker::client(client_auth, Some("mws/warehouse".into()), cfg.clone());
+        let mut s = Handshaker::server(server_auth, cfg);
+        let mut hello = c.take_output();
+        let n = hello.len();
+        hello[(pos as usize) % n] ^= 1 << bit;
+        match s.feed(&hello) {
+            Err(_) => {}       // typed rejection: the common case
+            Ok(Some(_)) => unreachable!("server cannot establish on its first flight"),
+            Ok(None) => {
+                // Flip landed in framing: the server either waits for
+                // bytes that will never come, or answered a mutated
+                // HELLO — in which case the client's transcript check
+                // must refuse the ACCEPT.
+                let accept = s.take_output();
+                if !accept.is_empty() {
+                    prop_assert!(c.feed(&accept).is_err());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_data_records_never_open(
+        pos in any::<u32>(),
+        bit in 0u8..8,
+        seed in any::<u64>(),
+    ) {
+        // Establish a real session, then flip one bit anywhere in a
+        // sealed record — header, ciphertext or tag. The receiver may
+        // reject the record stream or keep waiting (length flip), but a
+        // flipped record must never open as a frame.
+        let psk = b"proptest transport psk";
+        let client_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/client", seed));
+        let server_auth: Arc<dyn ChannelAuth> =
+            Arc::new(PskAuth::new(psk, "mws/warehouse", seed.wrapping_add(1)));
+        let cfg = SessionConfig::default();
+        let mut c = Handshaker::client(client_auth, Some("mws/warehouse".into()), cfg.clone());
+        let mut s = Handshaker::server(server_auth, cfg);
+        assert!(s.feed(&c.take_output()).unwrap().is_none());
+        let mut c_est = c.feed(&s.take_output()).unwrap().expect("client established");
+        let mut s_est = s.feed(&c.take_output()).unwrap().expect("server established");
+
+        let mut rec = c_est.session.seal_frame(b"meter reading 42").unwrap();
+        let n = rec.len();
+        rec[(pos as usize) % n] ^= 1 << bit;
+        let mut rd = RecordDecoder::new();
+        rd.feed(&rec);
+        match rd.next_record() {
+            Err(_) => {}   // framing rejected (version/type/length flip)
+            Ok(None) => {} // length flip: waits forever, never opens
+            Ok(Some((rt, pl))) => {
+                prop_assert!(s_est.session.open_record(rt, &pl).is_err());
+            }
+        }
     }
 }

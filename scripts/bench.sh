@@ -7,6 +7,7 @@
 #   scripts/bench.sh --cluster   # N-node quorum benchmark -> cluster key in BENCH_server.json
 #   scripts/bench.sh --rebalance # live-join benchmark -> rebalance key in BENCH_server.json
 #   scripts/bench.sh --connections # 10k-connection fleet benchmark -> connections key in BENCH_server.json
+#   scripts/bench.sh --secure    # transport-security overhead -> secure key in BENCH_server.json
 #   scripts/bench.sh --all       # all of the above
 #
 # Iteration counts are pinned inside the binaries (crypto: 200 @ Toy,
@@ -51,12 +52,19 @@ run_connections() {
   echo "==> BENCH_server.json connections section written"
 }
 
+run_secure() {
+  echo "==> cargo run --release -p mws-bench --bin load_bench -- --secure"
+  cargo run --release -p mws-bench --bin load_bench -- --secure
+  echo "==> BENCH_server.json secure section written"
+}
+
 case "${target}" in
   crypto)        run_crypto ;;
   --server)      run_server ;;
   --cluster)     run_cluster ;;
   --rebalance)   run_rebalance ;;
   --connections) run_connections ;;
-  --all)         run_crypto; run_server; run_cluster; run_rebalance; run_connections ;;
-  *)             echo "usage: scripts/bench.sh [--server|--cluster|--rebalance|--connections|--all]" >&2; exit 2 ;;
+  --secure)      run_secure ;;
+  --all)         run_crypto; run_server; run_cluster; run_rebalance; run_connections; run_secure ;;
+  *)             echo "usage: scripts/bench.sh [--server|--cluster|--rebalance|--connections|--secure|--all]" >&2; exit 2 ;;
 esac

@@ -27,4 +27,16 @@ for seed in "${SEEDS[@]}"; do
   fi
 done
 
-echo "==> chaos gate passed (${#SEEDS[@]} seed(s))"
+# One extra pinned pass of the secure-transport scenario alone: the
+# handshake-fault schedule (truncation/reset/stall landing inside the
+# three-message handshake, DESIGN.md §12) at a seed outside the default
+# list, so handshake robustness is gated even when someone trims SEEDS.
+echo "==> secure handshake-fault scenario, pinned seed 4242"
+if ! MWS_CHAOS_SEED=4242 cargo test -q -p mws --test chaos secure_session -- --nocapture; then
+  echo "" >&2
+  echo "secure handshake-fault scenario FAILED at seed 4242" >&2
+  echo "reproduce with: MWS_CHAOS_SEED=4242 cargo test -p mws --test chaos secure_session" >&2
+  exit 1
+fi
+
+echo "==> chaos gate passed (${#SEEDS[@]} seed(s) + pinned handshake-fault seed)"

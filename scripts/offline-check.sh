@@ -46,8 +46,11 @@ cargo test -q -p mws \
   --test revocation --test tcp_deployment --test utility_scenario \
   --test cluster_chaos
 
+echo "==> offline secure-transport loopback (MWS_TRANSPORT=secure tcp_deployment)"
+MWS_TRANSPORT=secure cargo test -q -p mws --test tcp_deployment
+
 echo "==> offline doctests (crates under #![deny(missing_docs)])"
-cargo test -q -p mws-store -p mws-server --doc
+cargo test -q -p mws-store -p mws-server -p mws-wire --doc
 
 echo "==> crypto_bench --smoke (fast-path bit-identity gate)"
 # The crypto_bench and load_bench binaries are serde-free, so they build
@@ -66,5 +69,8 @@ cargo run -q --release -p mws-bench --bin load_bench -- --rebalance --smoke
 
 echo "==> load_bench --connections --smoke (idle fleet on the event core, bursts all acked)"
 cargo run -q --release -p mws-bench --bin load_bench -- --connections --smoke
+
+echo "==> load_bench --secure --smoke (IBS handshake + sealed deposits all acked)"
+cargo run -q --release -p mws-bench --bin load_bench -- --secure --smoke
 
 echo "==> offline check passed (stubs unpatch on exit)"

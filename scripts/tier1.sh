@@ -34,6 +34,12 @@ cargo run --release -p mws-bench --bin load_bench -- --rebalance --smoke
 echo "==> load_bench --connections --smoke (idle fleet on the event core, bursts all acked)"
 cargo run --release -p mws-bench --bin load_bench -- --connections --smoke
 
+echo "==> load_bench --secure --smoke (IBS handshake + sealed deposits all acked)"
+cargo run --release -p mws-bench --bin load_bench -- --secure --smoke
+
+echo "==> MWS_TRANSPORT=secure loopback deployment (every link handshaked + sealed)"
+MWS_TRANSPORT=secure cargo test -q -p mws --test tcp_deployment
+
 echo "==> MWS_LOG=warn smoke (happy path emits no error-level events)"
 SMOKE_OUT="$(MWS_LOG=warn cargo test -q -p mws --test observability -- --nocapture 2>&1)"
 if grep -q " ERROR " <<<"${SMOKE_OUT}"; then

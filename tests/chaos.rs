@@ -21,9 +21,11 @@
 use mws_core::protocol::{Deployment, DeploymentConfig, MwsService};
 use mws_net::{BusTransport, Client, FaultConfig, FaultyTransport, NetError};
 use mws_server::{
-    ChaosConfig, ChaosProxy, ClientConfig, ServerConfig, ServerCore, TcpClient, TcpServer,
+    ChaosConfig, ChaosProxy, ClientConfig, IbsAuth, SecureClientSettings, SecureSettings,
+    ServerConfig, ServerCore, TcpClient, TcpServer, ID_CLIENT, ID_MMS,
 };
 use mws_store::FaultPlan;
+use mws_wire::secure::SessionConfig;
 use mws_wire::Pdu;
 use std::net::SocketAddr;
 use std::sync::Arc;
@@ -291,6 +293,106 @@ fn tcp_chaos_proxy_scenario(core: ServerCore, seed: u64) {
         proxy.shutdown();
         drop(mms);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario S: secure sessions through the chaos proxy — the IBS-authenticated
+// handshake and the AES-GCM record stream (DESIGN.md §12) under truncation,
+// resets and stalls, on BOTH cores. Faults land anywhere, including inside
+// the three-message handshake itself (a truncated HELLO/ACCEPT/FINISH must
+// surface as a clean transport error the client retries through, never a
+// hang or a half-established session), and a tiny rekey interval forces
+// mid-session key ratchets between the faults.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn secure_session_chaos_loses_no_acked_deposit() {
+    for core in chaos_cores() {
+        for seed in seeds() {
+            secure_chaos_scenario(*core, seed);
+        }
+    }
+}
+
+fn secure_chaos_scenario(core: ServerCore, seed: u64) {
+    let _dump = StatsDumpGuard {
+        scenario: "secure-chaos",
+        seed,
+    };
+    let mut dep = Deployment::new(DeploymentConfig {
+        seed,
+        ..DeploymentConfig::test_default()
+    });
+    dep.register_device("meter-1");
+    dep.register_client("rc", "pw", &["A"]);
+    // rekey_every=4 makes every multi-deposit session ratchet its keys
+    // several times mid-run; both sides must stay in lockstep across
+    // retransmissions and reconnects.
+    let session = SessionConfig { rekey_every: 4 };
+    let service = dep.mws().clone();
+    let mms = TcpServer::spawn(
+        ServerConfig {
+            core,
+            secure: Some(Arc::new(SecureSettings {
+                auth: Arc::new(IbsAuth::from_deployment(&dep, ID_MMS)),
+                session: session.clone(),
+                handshake_timeout: Duration::from_secs(2),
+            })),
+            ..ServerConfig::default()
+        },
+        || service.as_service(),
+    )
+    .expect("bind mms");
+    let mut proxy = ChaosProxy::spawn(
+        mms.local_addr(),
+        ChaosConfig {
+            stall_rate: 0.1,
+            truncate_rate: 0.1,
+            reset_rate: 0.1,
+            stall: Duration::from_millis(20),
+            seed,
+        },
+    )
+    .expect("spawn chaos proxy");
+    let device_link = TcpClient::with_config(
+        proxy.local_addr(),
+        ClientConfig {
+            request_timeout: Duration::from_millis(500),
+            attempts: 3,
+            backoff: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(20),
+            breaker_threshold: 0,
+            seed,
+            secure: Some(Arc::new(SecureClientSettings {
+                auth: Arc::new(IbsAuth::from_deployment(&dep, ID_CLIENT)),
+                expect_peer: Some(ID_MMS.into()),
+                session,
+            })),
+            ..ClientConfig::default()
+        },
+    )
+    .into_client();
+    let pkg = dep.network().client("pkg");
+    let mut meter = dep
+        .device_with("meter-1", device_link, &pkg)
+        .unwrap_or_else(|e| panic!("seed {seed}: secure bootstrap failed: {e}"));
+    let mut acked = Vec::new();
+    for i in 0..10 {
+        let payload = format!("secure-reading-{i}").into_bytes();
+        meter
+            .deposit_reliable("A", &payload, 64)
+            .unwrap_or_else(|e| panic!("seed {seed}: secure deposit {i} never acked: {e}"));
+        acked.push(payload);
+    }
+    assert_eq!(
+        dep.mws().message_count(),
+        acked.len(),
+        "seed {seed}: retransmissions over secure sessions must not duplicate rows"
+    );
+    assert_converged(&mut dep, "rc", "pw", &acked, seed);
+    assert_ciphertext_only(&mut dep, "rc", "pw", b"secure-reading-0", seed);
+    proxy.shutdown();
+    drop(mms);
 }
 
 // ---------------------------------------------------------------------------
